@@ -1,0 +1,134 @@
+//! The collocation baseline.
+//!
+//! Per the paper: "The collocation algorithm assigns the polarity of a
+//! sentiment term to a subject term in the same sentence. If positive and
+//! negative sentiment terms co-exist, the polarity with more counts is
+//! selected." It ignores sentence structure entirely, which is why its
+//! precision collapses (18% in the paper) while recall stays high (70%).
+
+use wf_lexicon::SentimentLexicon;
+use wf_nlp::{lemma, tokenizer, PosTagger};
+use wf_types::Polarity;
+
+/// The collocation classifier.
+pub struct CollocationClassifier {
+    lexicon: &'static SentimentLexicon,
+    tagger: PosTagger,
+}
+
+impl Default for CollocationClassifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CollocationClassifier {
+    pub fn new() -> Self {
+        CollocationClassifier {
+            lexicon: SentimentLexicon::default_lexicon(),
+            tagger: PosTagger::new(),
+        }
+    }
+
+    /// Classifies a sentence containing a subject term: the majority
+    /// polarity of all sentiment terms co-occurring in the sentence,
+    /// regardless of what they are about.
+    pub fn classify_sentence(&self, sentence: &str) -> Polarity {
+        let tokens = tokenizer::tokenize(sentence);
+        let tags = self.tagger.tag_sentence(&tokens);
+        let mut positive = 0usize;
+        let mut negative = 0usize;
+        for (token, &tag) in tokens.iter().zip(&tags) {
+            let key = lemma::lemmatize(&token.lower(), tag);
+            if let Some(p) = self.lexicon.polarity_any_pos(&key) {
+                match p {
+                    Polarity::Positive => positive += 1,
+                    Polarity::Negative => negative += 1,
+                    Polarity::Neutral => {}
+                }
+            }
+        }
+        match positive.cmp(&negative) {
+            std::cmp::Ordering::Greater => Polarity::Positive,
+            std::cmp::Ordering::Less => Polarity::Negative,
+            std::cmp::Ordering::Equal => Polarity::Neutral,
+        }
+    }
+
+    /// Raw (positive, negative) sentiment-term counts of a sentence.
+    pub fn term_counts(&self, sentence: &str) -> (usize, usize) {
+        let tokens = tokenizer::tokenize(sentence);
+        let tags = self.tagger.tag_sentence(&tokens);
+        let mut counts = (0usize, 0usize);
+        for (token, &tag) in tokens.iter().zip(&tags) {
+            let key = lemma::lemmatize(&token.lower(), tag);
+            match self.lexicon.polarity_any_pos(&key) {
+                Some(Polarity::Positive) => counts.0 += 1,
+                Some(Polarity::Negative) => counts.1 += 1,
+                _ => {}
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_positive() {
+        let c = CollocationClassifier::new();
+        assert_eq!(
+            c.classify_sentence("The excellent camera takes great pictures despite one flaw."),
+            Polarity::Positive
+        );
+    }
+
+    #[test]
+    fn majority_negative() {
+        let c = CollocationClassifier::new();
+        assert_eq!(
+            c.classify_sentence("The terrible menu and the awful battery ruin a good idea."),
+            Polarity::Negative
+        );
+    }
+
+    #[test]
+    fn tie_is_neutral() {
+        let c = CollocationClassifier::new();
+        assert_eq!(
+            c.classify_sentence("An excellent lens but a terrible battery."),
+            Polarity::Neutral
+        );
+    }
+
+    #[test]
+    fn no_sentiment_terms_is_neutral() {
+        let c = CollocationClassifier::new();
+        assert_eq!(
+            c.classify_sentence("The camera has a memory card slot."),
+            Polarity::Neutral
+        );
+    }
+
+    #[test]
+    fn blind_to_targets() {
+        // the sentiment is about the pictures, not the T series — the
+        // collocation baseline cannot tell (the paper's key criticism)
+        let c = CollocationClassifier::new();
+        assert_eq!(
+            c.classify_sentence("Unlike the T series, the NR70 takes excellent pictures."),
+            Polarity::Positive
+        );
+    }
+
+    #[test]
+    fn term_counts_match() {
+        let c = CollocationClassifier::new();
+        assert_eq!(
+            c.term_counts("An excellent lens but a terrible battery."),
+            (1, 1)
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Baseline sentiment classifiers the paper compares against.
+//!
+//! - [`collocation`]: the collocation algorithm — majority polarity of
+//!   sentiment terms co-occurring in the sentence, blind to targets;
+//! - [`reviewseer`]: a ReviewSeer-style statistical classifier —
+//!   multinomial Naive Bayes over unigrams + bigrams with document-level
+//!   training labels and no neutral class.
+
+pub mod collocation;
+pub mod reviewseer;
+
+pub use collocation::CollocationClassifier;
+pub use reviewseer::ReviewSeerClassifier;

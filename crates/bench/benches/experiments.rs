@@ -1,0 +1,75 @@
+//! Benchmarks for the experiment kernels: one per table/figure, at a
+//! reduced corpus scale so Criterion sampling stays tractable. These
+//! measure the end-to-end cost of regenerating each paper artifact;
+//! `cargo run -p wf-eval --bin <table|fig>` regenerates the artifact
+//! itself at paper scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wf_corpus::{ReviewConfig, WebConfig};
+use wf_eval::experiments::{
+    analyzer_ablations, disambiguation_study, fig1, fig2, fig3, fig4, fig5, table2, table3,
+    table4, table5, ExperimentScale,
+};
+
+/// Tiny corpora so each experiment iteration stays in the tens of
+/// milliseconds.
+fn bench_scale() -> ExperimentScale {
+    ExperimentScale {
+        seed: 1,
+        camera: ReviewConfig {
+            n_plus: 12,
+            n_minus: 40,
+            ..ReviewConfig::camera()
+        },
+        music: ReviewConfig {
+            n_plus: 8,
+            n_minus: 40,
+            ..ReviewConfig::music()
+        },
+        web: WebConfig {
+            n_docs: 12,
+            ..WebConfig::standard()
+        },
+        cluster_nodes: 2,
+        holdout: 0.25,
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table2_feature_extraction", |b| b.iter(|| table2(&scale)));
+    group.bench_function("table3_reference_counts", |b| b.iter(|| table3(&scale)));
+    group.bench_function("table4_review_eval", |b| b.iter(|| table4(&scale)));
+    group.bench_function("table5_web_eval", |b| b.iter(|| table5(&scale)));
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig1_platform_dataflow", |b| b.iter(|| fig1(&scale)));
+    group.bench_function("fig2_satisfaction_chart", |b| b.iter(|| fig2(&scale)));
+    group.bench_function("fig3_adhoc_queries", |b| b.iter(|| fig3(&scale)));
+    group.bench_function("fig4_sentiment_matrix", |b| b.iter(|| fig4(&scale)));
+    group.bench_function("fig5_sentence_listing", |b| b.iter(|| fig5(&scale)));
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("analyzer_rule_ablations", |b| {
+        b.iter(|| analyzer_ablations(&scale))
+    });
+    group.bench_function("disambiguation_study", |b| {
+        b.iter(|| disambiguation_study(1, 10, 15))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Microbenchmarks for the NLP + sentiment pipeline stages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wf_baselines::{CollocationClassifier, ReviewSeerClassifier};
+use wf_features::FeatureExtractor;
+use wf_nlp::{chunk, clause, tokenizer, Pipeline, PosTagger};
+use wf_sentiment::{SentimentMiner, SubjectList};
+use wf_types::Polarity;
+
+const SENTENCES: &[&str] = &[
+    "This camera takes excellent pictures.",
+    "Unlike the more recent T series CLIEs, the NR70 does not require an add-on adapter for MP3 playback, which is certainly a welcome change.",
+    "The Memory Stick support in the NR70 series is well implemented and functional, although there is still a lack of non-memory Memory Sticks for consumer consumption.",
+    "I am impressed by the picture quality, but the battery drains quickly and the menu is confusing.",
+];
+
+fn review_doc() -> String {
+    SENTENCES.repeat(8).join(" ")
+}
+
+fn bench_nlp_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nlp");
+    for (name, text) in [("short", SENTENCES[0]), ("long", SENTENCES[1])] {
+        let tokens = tokenizer::tokenize(text);
+        let tagger = PosTagger::new();
+        let tags = tagger.tag_sentence(&tokens);
+        let chunks = chunk::chunk(&tokens, &tags);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::new("tokenize", name), &text, |b, t| {
+            b.iter(|| tokenizer::tokenize(t))
+        });
+        group.bench_with_input(BenchmarkId::new("tag", name), &tokens, |b, toks| {
+            b.iter(|| tagger.tag_sentence(toks))
+        });
+        group.bench_function(BenchmarkId::new("chunk", name), |b| {
+            b.iter(|| chunk::chunk(&tokens, &tags))
+        });
+        group.bench_function(BenchmarkId::new("clause", name), |b| {
+            b.iter(|| clause::analyze_clauses(&tokens, &tags, &chunks))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sentiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sentiment");
+    let miner = SentimentMiner::with_default_resources();
+    let subjects = SubjectList::builder()
+        .subject("NR70", ["NR70", "NR70 series"])
+        .subject("T series CLIEs", ["T series CLIEs", "T series"])
+        .subject("camera", ["camera", "cameras"])
+        .build();
+    let spotter = wf_spotter::Spotter::new(&subjects);
+    for (name, text) in [
+        ("sentence", SENTENCES[1].to_string()),
+        ("document", review_doc()),
+    ] {
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::new("mode_a", name), &text, |b, t| {
+            b.iter(|| miner.analyze_with_spotter(t, &subjects, &spotter))
+        });
+        group.bench_with_input(BenchmarkId::new("mode_b_ner", name), &text, |b, t| {
+            b.iter(|| miner.analyze_named_entities(t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    let colloc = CollocationClassifier::new();
+    let training: Vec<(String, Polarity)> = (0..40)
+        .map(|i| {
+            if i % 2 == 0 {
+                (
+                    format!("great camera excellent pictures number {i}"),
+                    Polarity::Positive,
+                )
+            } else {
+                (
+                    format!("terrible camera awful pictures number {i}"),
+                    Polarity::Negative,
+                )
+            }
+        })
+        .collect();
+    let reviewseer = ReviewSeerClassifier::train(&training);
+    group.bench_function("collocation/sentence", |b| {
+        b.iter(|| colloc.classify_sentence(SENTENCES[3]))
+    });
+    group.bench_function("reviewseer/sentence", |b| {
+        b.iter(|| reviewseer.classify(SENTENCES[3]))
+    });
+    group.bench_function("reviewseer/train_40_docs", |b| {
+        b.iter(|| ReviewSeerClassifier::train(&training))
+    });
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("features");
+    group.sample_size(20);
+    let fx = FeatureExtractor::new();
+    let doc = review_doc();
+    let d_plus: Vec<String> = (0..10)
+        .map(|i| {
+            format!("The battery lasts long in test {i}. The picture quality is superb. {doc}")
+        })
+        .collect();
+    let d_minus: Vec<String> = (0..30)
+        .map(|i| format!("The committee met on day {i} and the weather held."))
+        .collect();
+    group.bench_function("bbnp_candidates/doc", |b| b.iter(|| fx.candidates(&doc)));
+    group.bench_function("rank_10_vs_30_docs", |b| {
+        b.iter(|| fx.rank(&d_plus, &d_minus))
+    });
+    group.finish();
+}
+
+fn bench_full_pipeline_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    let p = Pipeline::new();
+    let doc = review_doc();
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.bench_function("analyze/document", |b| b.iter(|| p.analyze(&doc)));
+    group.bench_function("named_entities/document", |b| {
+        b.iter(|| p.named_entities(&doc))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nlp_stages,
+    bench_sentiment,
+    bench_baselines,
+    bench_feature_extraction,
+    bench_full_pipeline_analyze
+);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Benchmark crate: all targets live under `benches/`.
+//!
+//! Run with `cargo bench --workspace`.

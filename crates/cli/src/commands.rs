@@ -1,0 +1,436 @@
+//! `wfsm` subcommand implementations.
+//!
+//! Each command reads plain text (stdin or `--file`; `mine`/`features`
+//! read one document per line) and writes a human-readable report to the
+//! returned string, so commands are directly testable.
+
+use crate::args::ParsedArgs;
+use std::io::Read;
+use std::path::Path;
+use wf_features::{FeatureExtractor, Selection, CHI2_95};
+use wf_platform::{load_store, save_store, DataStore, Indexer, MinerPipeline};
+use wf_sentiment::{
+    mention_polarities, AdhocSentimentMiner, SentimentEntityMiner, SentimentMiner,
+    SentimentQueryService, SubjectList,
+};
+use wf_types::Polarity;
+
+/// Dispatches a parsed command line. Returns the report to print.
+pub fn run(args: &ParsedArgs) -> Result<String, String> {
+    match args.command.as_str() {
+        "analyze" => analyze(args),
+        "entities" => entities(args),
+        "features" => features(args),
+        "mine" => mine(args),
+        "query" => query(args),
+        "gen-corpus" => gen_corpus(args),
+        "search" => search(args),
+        "help" | "" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+/// Top-level usage text.
+pub fn usage() -> String {
+    "wfsm — WebFountain sentiment mining (Yi & Niblack, ICDE 2005 reproduction)
+
+USAGE:
+  wfsm analyze  --subjects A,B[,C...] [--file PATH]
+      Target-level sentiment for each subject mention (text from stdin
+      or --file).
+  wfsm entities [--file PATH]
+      Named entities plus their mention sentiment (no subject list).
+  wfsm features <D_PLUS.txt> <D_MINUS.txt> [--top N]
+      Feature terms by bBNP + likelihood ratio; inputs are one document
+      per line.
+  wfsm mine     --input DOCS.txt --snapshot OUT.jsonl [--subjects A,B]
+      Run the mining pipeline over one-document-per-line input and save
+      an annotated store snapshot (named-entity mode when no subjects).
+  wfsm query    --snapshot OUT.jsonl --subject NAME [--polarity +|-]
+      Query a mined snapshot for a subject's sentiment-bearing sentences.
+  wfsm search   --snapshot OUT.jsonl --query 'camera AND (battery OR \"picture quality\")'
+      Boolean/phrase/meta/concept/regex search over a snapshot's index.
+  wfsm gen-corpus --domain camera|music|petroleum|pharma --out DOCS.txt
+                [--docs N] [--seed S]
+      Write a synthetic gold-labeled evaluation corpus, one document per
+      line (feed it back into `wfsm mine`).
+  wfsm help
+      This message.
+"
+    .to_string()
+}
+
+fn read_text(args: &ParsedArgs) -> Result<String, String> {
+    match args.opt("file") {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+        }
+        None => {
+            let mut buffer = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buffer)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            Ok(buffer)
+        }
+    }
+}
+
+fn read_doc_lines(path: &str) -> Result<Vec<String>, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(content
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect())
+}
+
+fn subject_list(names: &[String]) -> SubjectList {
+    let mut builder = SubjectList::builder();
+    for name in names {
+        builder = builder.subject(name, [name.clone()]);
+    }
+    builder.build()
+}
+
+fn analyze(args: &ParsedArgs) -> Result<String, String> {
+    let names = args.opt_list("subjects");
+    if names.is_empty() {
+        return Err("analyze needs --subjects A,B,...".into());
+    }
+    let text = read_text(args)?;
+    let miner = SentimentMiner::with_default_resources();
+    let records = miner.analyze_text(&text, &subject_list(&names));
+    let mut out = String::new();
+    for (subject, sentence_span, polarity) in mention_polarities(&records) {
+        let sentence = sentence_span.slice(&text).trim().replace('\n', " ");
+        out.push_str(&format!("[{polarity}] {subject}: {sentence}\n"));
+    }
+    if out.is_empty() {
+        out.push_str("(no subject mentions found)\n");
+    }
+    Ok(out)
+}
+
+fn entities(args: &ParsedArgs) -> Result<String, String> {
+    let text = read_text(args)?;
+    let miner = SentimentMiner::with_default_resources();
+    let records = miner.analyze_named_entities(&text);
+    let mut out = String::new();
+    for (subject, _, polarity) in mention_polarities(&records) {
+        out.push_str(&format!("[{polarity}] {subject}\n"));
+    }
+    if out.is_empty() {
+        out.push_str("(no named entities found)\n");
+    }
+    Ok(out)
+}
+
+fn features(args: &ParsedArgs) -> Result<String, String> {
+    let [d_plus_path, d_minus_path] = args.positional.as_slice() else {
+        return Err("features needs two positional arguments: <D_PLUS.txt> <D_MINUS.txt>".into());
+    };
+    let d_plus = read_doc_lines(d_plus_path)?;
+    let d_minus = read_doc_lines(d_minus_path)?;
+    let top: usize = args
+        .opt("top")
+        .map(|v| v.parse().map_err(|e| format!("bad --top: {e}")))
+        .transpose()?
+        .unwrap_or(20);
+    let fx = FeatureExtractor::new();
+    let selected = fx.select(&d_plus, &d_minus, Selection::Confidence(CHI2_95));
+    let mut out = format!("{:<24} {:>10}\n", "feature term", "-2logλ");
+    for f in selected.iter().take(top) {
+        out.push_str(&format!("{:<24} {:>10.1}\n", f.term, f.score));
+    }
+    Ok(out)
+}
+
+fn mine(args: &ParsedArgs) -> Result<String, String> {
+    let input = args.require("input")?;
+    let snapshot = args.require("snapshot")?.to_string();
+    let docs = read_doc_lines(input)?;
+    let store = DataStore::new(4).map_err(|e| e.to_string())?;
+    for (i, text) in docs.iter().enumerate() {
+        store.insert(wf_platform::Entity::new(
+            format!("file://{input}#{i}"),
+            wf_platform::SourceKind::Web,
+            text.clone(),
+        ));
+    }
+    let names = args.opt_list("subjects");
+    let pipeline = if names.is_empty() {
+        MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()))
+    } else {
+        MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subject_list(&names))))
+    };
+    let stats = pipeline.run(&store);
+    let written = save_store(&store, Path::new(&snapshot)).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "mined {} documents ({} failed); snapshot of {} entities written to {}\n",
+        stats.processed, stats.failed, written, snapshot
+    ))
+}
+
+fn query(args: &ParsedArgs) -> Result<String, String> {
+    let snapshot = args.require("snapshot")?;
+    let subject = args.require("subject")?;
+    let polarity = match args.opt("polarity") {
+        None => None,
+        Some(p) => Some(
+            Polarity::parse(p).ok_or_else(|| format!("bad --polarity {p:?} (use + or -)"))?,
+        ),
+    };
+    let store = load_store(Path::new(snapshot), 4).map_err(|e| e.to_string())?;
+    let indexer = Indexer::new();
+    store.for_each(|e| indexer.index_entity(e));
+    let hits = SentimentQueryService::query(&indexer, &store, subject, polarity)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for hit in &hits {
+        out.push_str(&format!("[{}] ({}) {}\n", hit.polarity, hit.doc, hit.sentence));
+    }
+    out.push_str(&format!("{} hit(s)\n", hits.len()));
+    Ok(out)
+}
+
+fn search(args: &ParsedArgs) -> Result<String, String> {
+    use wf_platform::parse_query;
+    let snapshot = args.require("snapshot")?;
+    let query_text = args.require("query")?;
+    let query = parse_query(query_text).map_err(|e| e.to_string())?;
+    let store = load_store(Path::new(snapshot), 4).map_err(|e| e.to_string())?;
+    let indexer = Indexer::new();
+    store.for_each(|e| indexer.index_entity(e));
+    let docs = indexer.query(&query).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for doc in &docs {
+        let entity = store.get(*doc).map_err(|e| e.to_string())?;
+        let preview: String = entity.text.chars().take(80).collect();
+        out.push_str(&format!("{doc}  {}  {preview}\n", entity.uri));
+    }
+    out.push_str(&format!("{} document(s)\n", docs.len()));
+    Ok(out)
+}
+
+fn gen_corpus(args: &ParsedArgs) -> Result<String, String> {
+    use wf_corpus::{camera_reviews, music_reviews, petroleum_web, pharma_web, ReviewConfig, WebConfig};
+    let domain = args.require("domain")?;
+    let out = args.require("out")?.to_string();
+    let seed: u64 = args
+        .opt("seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(20050405);
+    let docs: usize = args
+        .opt("docs")
+        .map(|v| v.parse().map_err(|e| format!("bad --docs: {e}")))
+        .transpose()?
+        .unwrap_or(50);
+    let texts: Vec<String> = match domain {
+        "camera" => camera_reviews(seed, &ReviewConfig { n_plus: docs, n_minus: 0, ..ReviewConfig::camera() })
+            .d_plus_texts(),
+        "music" => music_reviews(seed, &ReviewConfig { n_plus: docs, n_minus: 0, ..ReviewConfig::music() })
+            .d_plus_texts(),
+        "petroleum" => petroleum_web(seed, &WebConfig { n_docs: docs, ..WebConfig::standard() })
+            .d_plus_texts(),
+        "pharma" => pharma_web(seed, &WebConfig { n_docs: docs, ..WebConfig::standard() })
+            .d_plus_texts(),
+        other => return Err(format!("unknown domain {other:?} (camera|music|petroleum|pharma)")),
+    };
+    let content = texts.join("\n");
+    std::fs::write(&out, content).map_err(|e| format!("cannot write {out}: {e}"))?;
+    Ok(format!("wrote {} {domain} documents to {out}\n", texts.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_file(name: &str, content: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wfsm-test-{name}-{}", std::process::id()));
+        std::fs::write(&p, content).unwrap();
+        p
+    }
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, String> {
+        let parsed = ParsedArgs::parse(tokens.iter().map(|s| s.to_string())).unwrap();
+        run(&parsed)
+    }
+
+    #[test]
+    fn analyze_from_file() {
+        let f = temp_file("analyze", "The Canon takes excellent pictures. The Nikon is terrible.");
+        let out = run_tokens(&[
+            "analyze",
+            "--subjects",
+            "Canon,Nikon",
+            "--file",
+            f.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("[+] Canon"), "{out}");
+        assert!(out.contains("[-] Nikon"), "{out}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn entities_from_file() {
+        let f = temp_file("entities", "Zorblax delivered excellent results.");
+        let out = run_tokens(&["entities", "--file", f.to_str().unwrap()]).unwrap();
+        assert!(out.contains("[+] Zorblax"), "{out}");
+        std::fs::remove_file(f).ok();
+    }
+
+    #[test]
+    fn features_from_files() {
+        let dp = temp_file(
+            "dplus",
+            "The battery lasts long. The picture quality is superb.\n\
+             The battery charges fast. The picture quality shines.\n\
+             The battery holds up. The picture quality impressed me.\n",
+        );
+        let dm = temp_file(
+            "dminus",
+            "The committee met on Monday.\nThe team won again.\nThe weather held.\n\
+             Voters lined up early.\nThe festival was crowded.\n",
+        );
+        let out = run_tokens(&[
+            "features",
+            dp.to_str().unwrap(),
+            dm.to_str().unwrap(),
+            "--top",
+            "5",
+        ])
+        .unwrap();
+        assert!(out.contains("battery"), "{out}");
+        assert!(out.contains("picture quality"), "{out}");
+        std::fs::remove_file(dp).ok();
+        std::fs::remove_file(dm).ok();
+    }
+
+    #[test]
+    fn mine_then_query_round_trip() {
+        let docs = temp_file(
+            "docs",
+            "The Canon takes excellent pictures.\nThe Canon battery is terrible.\n",
+        );
+        let mut snap = std::env::temp_dir();
+        snap.push(format!("wfsm-snap-{}.jsonl", std::process::id()));
+        let out = run_tokens(&[
+            "mine",
+            "--input",
+            docs.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--subjects",
+            "Canon",
+        ])
+        .unwrap();
+        assert!(out.contains("mined 2 documents"), "{out}");
+        let out = run_tokens(&[
+            "query",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--subject",
+            "Canon",
+            "--polarity",
+            "+",
+        ])
+        .unwrap();
+        assert!(out.contains("excellent pictures"), "{out}");
+        assert!(out.contains("1 hit(s)"), "{out}");
+        std::fs::remove_file(docs).ok();
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn search_over_snapshot() {
+        let docs = temp_file(
+            "searchdocs",
+            "The Canon takes excellent pictures.\nThe song has a great chorus.\n",
+        );
+        let mut snap = std::env::temp_dir();
+        snap.push(format!("wfsm-search-{}.jsonl", std::process::id()));
+        run_tokens(&[
+            "mine",
+            "--input",
+            docs.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--subjects",
+            "Canon",
+        ])
+        .unwrap();
+        let out = run_tokens(&[
+            "search",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--query",
+            "excellent AND NOT chorus",
+        ])
+        .unwrap();
+        assert!(out.contains("1 document(s)"), "{out}");
+        let out = run_tokens(&[
+            "search",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--query",
+            "concept:sentiment:polarity=+",
+        ])
+        .unwrap();
+        assert!(out.contains("1 document(s)"), "{out}");
+        std::fs::remove_file(docs).ok();
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn gen_corpus_then_mine() {
+        let mut out = std::env::temp_dir();
+        out.push(format!("wfsm-corpus-{}.txt", std::process::id()));
+        let report = run_tokens(&[
+            "gen-corpus",
+            "--domain",
+            "camera",
+            "--out",
+            out.to_str().unwrap(),
+            "--docs",
+            "5",
+        ])
+        .unwrap();
+        assert!(report.contains("wrote 5 camera documents"), "{report}");
+        let content = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(content.lines().count(), 5);
+        std::fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn gen_corpus_rejects_unknown_domain() {
+        let err = run_tokens(&["gen-corpus", "--domain", "cooking", "--out", "x"]).unwrap_err();
+        assert!(err.contains("unknown domain"));
+    }
+
+    #[test]
+    fn unknown_command_shows_usage() {
+        let err = run_tokens(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown command"));
+        assert!(err.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_and_empty() {
+        assert!(run_tokens(&["help"]).unwrap().contains("USAGE"));
+        assert!(run_tokens(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn missing_options_error_cleanly() {
+        assert!(run_tokens(&["analyze"]).unwrap_err().contains("--subjects"));
+        assert!(run_tokens(&["query", "--subject", "x"])
+            .unwrap_err()
+            .contains("--snapshot"));
+        assert!(run_tokens(&["features"]).unwrap_err().contains("positional"));
+    }
+}

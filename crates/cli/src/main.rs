@@ -1,0 +1,22 @@
+//! `wfsm`: command-line front end for the WebFountain sentiment-mining
+//! reproduction. See `wfsm help` for usage.
+
+mod args;
+mod commands;
+
+fn main() {
+    let parsed = match args::ParsedArgs::parse(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(report) => print!("{report}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

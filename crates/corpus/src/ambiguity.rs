@@ -1,0 +1,164 @@
+//! Ambiguous-subject corpus for the disambiguation experiment.
+//!
+//! The paper's example: the token "SUN" may mean SUN Microsystems or
+//! Sunday, and "due to the high ambiguity of natural language, some token
+//! strings that match the subject term may not refer to the intended
+//! subject". We generate documents mentioning the camera brand "Apex"
+//! alongside documents using "apex" as a common noun (mountaineering),
+//! with gold on/off-topic labels per mention.
+
+use crate::gold::Domain;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The ambiguous brand name.
+pub const AMBIGUOUS_BRAND: &str = "Apex";
+
+/// One document with gold topicality per "Apex" mention (all mentions in
+/// a document share the gold label — brand pages talk about the camera,
+/// climbing pages about summits).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AmbiguityDoc {
+    pub domain: Domain,
+    pub text: String,
+    /// True when "Apex" refers to the camera brand here.
+    pub on_topic: bool,
+    /// True when the document carries sentiment wording around the
+    /// mention (used to measure downstream false positives).
+    pub has_sentiment_words: bool,
+}
+
+/// Generates `n_on` brand documents and `n_off` common-noun documents.
+pub fn ambiguity_corpus(seed: u64, n_on: usize, n_off: usize) -> Vec<AmbiguityDoc> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut docs = Vec::with_capacity(n_on + n_off);
+    for _ in 0..n_on {
+        docs.push(brand_doc(&mut rng));
+    }
+    for _ in 0..n_off {
+        docs.push(climbing_doc(&mut rng));
+    }
+    docs
+}
+
+fn brand_doc(rng: &mut StdRng) -> AmbiguityDoc {
+    const OPENERS: &[&str] = &[
+        "The Apex camera arrived with a spare battery.",
+        "I tested the Apex against two other cameras.",
+        "The Apex ships with a zoom lens and a charger.",
+    ];
+    const SENTIMENT: &[&str] = &[
+        "The Apex takes excellent pictures.",
+        "The Apex is terrible in low light.",
+        "I am impressed by the Apex viewfinder.",
+    ];
+    const FILLER: &[&str] = &[
+        "The shutter feels responsive and the menu is plain.",
+        "The memory card slot sits under a small door.",
+        "The battery lasts a full day of shooting.",
+    ];
+    let has_sentiment = rng.random_bool(0.6);
+    let mut sentences = vec![OPENERS[rng.random_range(0..OPENERS.len())].to_string()];
+    if has_sentiment {
+        sentences.push(SENTIMENT[rng.random_range(0..SENTIMENT.len())].to_string());
+    }
+    sentences.push(FILLER[rng.random_range(0..FILLER.len())].to_string());
+    AmbiguityDoc {
+        domain: Domain::DigitalCamera,
+        text: sentences.join(" "),
+        on_topic: true,
+        has_sentiment_words: has_sentiment,
+    }
+}
+
+fn climbing_doc(rng: &mut StdRng) -> AmbiguityDoc {
+    const OPENERS: &[&str] = &[
+        "We reached the Apex of the ridge before noon.",
+        "The trail climbs toward the Apex through loose scree.",
+        "From the Apex the whole valley opens up.",
+    ];
+    const SENTIMENT: &[&str] = &[
+        "The Apex offers stunning views of the glacier.",
+        "The Apex is beautiful at sunrise.",
+        "The climb to the Apex is dreadful in the rain.",
+    ];
+    const FILLER: &[&str] = &[
+        "The weather shifted as we descended the mountain trail.",
+        "Our guide checked the rope at every anchor on the climb.",
+        "The summit hut serves soup until the evening.",
+    ];
+    let has_sentiment = rng.random_bool(0.6);
+    let mut sentences = vec![OPENERS[rng.random_range(0..OPENERS.len())].to_string()];
+    if has_sentiment {
+        sentences.push(SENTIMENT[rng.random_range(0..SENTIMENT.len())].to_string());
+    }
+    sentences.push(FILLER[rng.random_range(0..FILLER.len())].to_string());
+    AmbiguityDoc {
+        domain: Domain::Background,
+        text: sentences.join(" "),
+        on_topic: false,
+        has_sentiment_words: has_sentiment,
+    }
+}
+
+/// On-topic context terms for the camera-brand reading.
+pub fn brand_context_terms() -> Vec<String> {
+    ["camera", "lens", "battery", "zoom", "viewfinder", "shutter", "pictures", "menu"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Off-topic context terms (the mountaineering reading).
+pub fn climbing_context_terms() -> Vec<String> {
+    ["ridge", "trail", "valley", "glacier", "summit", "climb", "mountain", "scree", "rope"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let a = ambiguity_corpus(5, 10, 15);
+        let b = ambiguity_corpus(5, 10, 15);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 25);
+        assert_eq!(a.iter().filter(|d| d.on_topic).count(), 10);
+    }
+
+    #[test]
+    fn every_doc_mentions_the_brand_token() {
+        for doc in ambiguity_corpus(1, 5, 5) {
+            assert!(doc.text.contains(AMBIGUOUS_BRAND), "{}", doc.text);
+        }
+    }
+
+    #[test]
+    fn context_vocabularies_are_disjoint() {
+        let brand = brand_context_terms();
+        for t in climbing_context_terms() {
+            assert!(!brand.contains(&t), "{t} in both vocabularies");
+        }
+    }
+
+    #[test]
+    fn sentiment_flag_matches_content() {
+        for doc in ambiguity_corpus(3, 20, 20) {
+            if doc.has_sentiment_words {
+                let lowered = doc.text.to_lowercase();
+                assert!(
+                    ["excellent", "terrible", "impressed", "stunning", "beautiful", "dreadful"]
+                        .iter()
+                        .any(|w| lowered.contains(w)),
+                    "{}",
+                    doc.text
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Gold-labeled corpus types.
+//!
+//! Every generated document carries per-mention gold labels: for each
+//! (sentence, subject) pair the generator knows the intended polarity and
+//! the *case class* of the construction, which lets the evaluation harness
+//! reproduce the paper's I-class ablation (Table 5) exactly.
+
+use serde::{Deserialize, Serialize};
+use wf_types::Polarity;
+
+/// Construction class of a gold mention. The first five are the review
+/// phenomena driving Table 4; the `CaseI/II/III` classes are the paper's
+/// "I class" taxonomy for general web documents (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaseClass {
+    /// Clear sentiment at the subject, expressed through standard
+    /// predicate structure.
+    Clear,
+    /// Sentiment expressed with lexicon words but outside predicate
+    /// structure (fragments, verbless constructions).
+    LexicalOnly,
+    /// Sentiment expressed idiomatically; no lexicon words at all.
+    Exotic,
+    /// Sarcastic/ironic: surface polarity opposite to the gold label
+    /// (the paper's case i when taken out of context).
+    Sarcasm,
+    /// Contrastive multi-topic sentence ("Unlike X, Y ...").
+    Contrast,
+    /// Neutral mention with no sentiment words in the sentence.
+    NeutralPlain,
+    /// Neutral mention co-occurring with sentiment words directed at
+    /// something else.
+    NeutralDistractor,
+    /// I-class case i: ambiguous out of context.
+    CaseI,
+    /// I-class case ii: sentiment not describing the subject.
+    CaseII,
+    /// I-class case iii: sentiment words but no sentiment expressed.
+    CaseIII,
+}
+
+impl CaseClass {
+    /// True for the paper's difficult "I class" (Table 5 ablation).
+    pub fn is_i_class(self) -> bool {
+        matches!(self, CaseClass::CaseI | CaseClass::CaseII | CaseClass::CaseIII)
+    }
+}
+
+/// One gold-labeled subject mention.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GoldMention {
+    /// Index of the sentence within the document.
+    pub sentence: usize,
+    /// Canonical subject name as it appears in the subject list.
+    pub subject: String,
+    /// Gold polarity of the mention (what a human annotator would assign
+    /// with full context).
+    pub polarity: Polarity,
+    /// Construction class.
+    pub case: CaseClass,
+}
+
+/// Evaluation domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    DigitalCamera,
+    MusicReview,
+    PetroleumWeb,
+    PharmaWeb,
+    PetroleumNews,
+    Background,
+}
+
+impl Domain {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Domain::DigitalCamera => "digital-camera",
+            Domain::MusicReview => "music-review",
+            Domain::PetroleumWeb => "petroleum-web",
+            Domain::PharmaWeb => "pharma-web",
+            Domain::PetroleumNews => "petroleum-news",
+            Domain::Background => "background",
+        }
+    }
+}
+
+/// A generated document with gold labels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedDoc {
+    pub domain: Domain,
+    /// Sentences in order (document text = sentences joined by spaces).
+    pub sentences: Vec<String>,
+    /// Document-level review label (reviews only; trains ReviewSeer).
+    pub doc_label: Option<Polarity>,
+    /// Gold subject mentions.
+    pub mentions: Vec<GoldMention>,
+}
+
+impl GeneratedDoc {
+    /// Full document text.
+    pub fn text(&self) -> String {
+        self.sentences.join(" ")
+    }
+
+    /// The sentence text of a mention.
+    pub fn mention_sentence(&self, mention: &GoldMention) -> &str {
+        &self.sentences[mention.sentence]
+    }
+}
+
+/// A labeled corpus: the on-topic collection D+ and background D−.
+#[derive(Debug, Clone, Default)]
+pub struct Corpus {
+    pub d_plus: Vec<GeneratedDoc>,
+    pub d_minus: Vec<GeneratedDoc>,
+}
+
+impl Corpus {
+    /// D+ document texts (for the feature extractor).
+    pub fn d_plus_texts(&self) -> Vec<String> {
+        self.d_plus.iter().map(|d| d.text()).collect()
+    }
+
+    /// D− document texts.
+    pub fn d_minus_texts(&self) -> Vec<String> {
+        self.d_minus.iter().map(|d| d.text()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i_class_membership() {
+        assert!(CaseClass::CaseI.is_i_class());
+        assert!(CaseClass::CaseII.is_i_class());
+        assert!(CaseClass::CaseIII.is_i_class());
+        assert!(!CaseClass::Clear.is_i_class());
+        assert!(!CaseClass::NeutralDistractor.is_i_class());
+    }
+
+    #[test]
+    fn doc_text_joins_sentences() {
+        let doc = GeneratedDoc {
+            domain: Domain::Background,
+            sentences: vec!["One.".into(), "Two.".into()],
+            doc_label: None,
+            mentions: vec![],
+        };
+        assert_eq!(doc.text(), "One. Two.");
+    }
+}

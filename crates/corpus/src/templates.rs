@@ -1,0 +1,336 @@
+//! Sentence templates for mention generation.
+//!
+//! Each template realizes one gold case class for a subject (and possibly
+//! a contrast partner). Templates are authored against the behaviour of
+//! the NLP stack: `Clear`/`Contrast` constructions are parseable by the
+//! sentiment analyzer, `LexicalOnly` ones carry lexicon words outside
+//! predicate structure, `Exotic` ones carry no lexicon words at all, and
+//! the neutral/distractor ones must *not* bind sentiment to the subject.
+
+use crate::gold::CaseClass;
+use crate::vocab::{NEG_ADJ, POS_ADJ};
+use wf_types::Polarity;
+
+/// A realized sentence plus its gold mentions `(subject, polarity, case)`.
+pub struct Realized {
+    pub sentence: String,
+    pub mentions: Vec<(String, Polarity, CaseClass)>,
+}
+
+fn adj(polarity: Polarity, pick: usize) -> &'static str {
+    match polarity {
+        Polarity::Positive => POS_ADJ[pick % POS_ADJ.len()],
+        _ => NEG_ADJ[pick % NEG_ADJ.len()],
+    }
+}
+
+/// Domain flavor for mention templates: product reviews talk about
+/// pictures and viewfinders, music reviews about songs and melodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    Product,
+    Music,
+}
+
+/// Clear sentiment templates with music-domain phrasing.
+pub fn clear_music(subject: &str, polarity: Polarity, pick: usize) -> Realized {
+    let a = adj(polarity, pick);
+    let variants_pos = [
+        format!("The {subject} is {a}."),
+        format!("The {subject} delivers {a} melodies."),
+        format!("I am impressed by the {subject}."),
+        format!("The {subject} performs beautifully."),
+        format!("I love the {subject}."),
+        format!("The {subject} never disappoints."),
+    ];
+    let variants_neg = [
+        format!("The {subject} is {a}."),
+        format!("The {subject} delivers {a} melodies."),
+        format!("I am disappointed by the {subject}."),
+        format!("The {subject} performs poorly."),
+        format!("The {subject} lacks a single memorable hook."),
+        format!("The {subject} never performs well."),
+    ];
+    let sentence = match polarity {
+        Polarity::Positive => variants_pos[pick % variants_pos.len()].clone(),
+        _ => variants_neg[pick % variants_neg.len()].clone(),
+    };
+    Realized {
+        sentence,
+        mentions: vec![(subject.to_string(), polarity, CaseClass::Clear)],
+    }
+}
+
+/// Clear templates dispatched by flavor.
+pub fn clear_flavored(subject: &str, polarity: Polarity, pick: usize, flavor: Flavor) -> Realized {
+    match flavor {
+        Flavor::Product => clear(subject, polarity, pick),
+        Flavor::Music => clear_music(subject, polarity, pick),
+    }
+}
+
+/// Clear sentiment templates (SM-parseable). `pick` selects the variant
+/// and adjective deterministically.
+pub fn clear(subject: &str, polarity: Polarity, pick: usize) -> Realized {
+    let a = adj(polarity, pick);
+    let variants_pos = [
+        format!("The {subject} is {a}."),
+        format!("The {subject} takes {a} pictures."),
+        format!("I am impressed by the {subject}."),
+        format!("The {subject} performs beautifully."),
+        format!("I love the {subject}."),
+        format!("The {subject} excels in daily use."),
+        format!("The {subject} delivers {a} results."),
+        format!("The {subject} works flawlessly."),
+        format!("The {a} {subject} earns its keep every day."),
+        format!("The {subject} never disappoints."),
+        format!("The {subject} does not lack anything important."),
+    ];
+    let variants_neg = [
+        format!("The {subject} is {a}."),
+        format!("The {subject} takes {a} pictures."),
+        format!("I am disappointed by the {subject}."),
+        format!("The {subject} performs poorly."),
+        format!("I hate the {subject}."),
+        format!("The {subject} lacks a working viewfinder."),
+        format!("The {subject} malfunctions constantly."),
+        format!("The {subject} fails to meet basic expectations."),
+        format!("The {a} {subject} stays in the drawer."),
+        format!("There is a real lack of polish in the {subject} software."),
+        format!("The {subject} does not take good pictures."),
+        format!("The {subject} never performs well."),
+    ];
+    let sentence = match polarity {
+        Polarity::Positive => variants_pos[pick % variants_pos.len()].clone(),
+        _ => variants_neg[pick % variants_neg.len()].clone(),
+    };
+    Realized {
+        sentence,
+        mentions: vec![(subject.to_string(), polarity, CaseClass::Clear)],
+    }
+}
+
+/// Sentiment via lexicon words but outside predicate structure.
+pub fn lexical_only(subject: &str, polarity: Polarity, pick: usize) -> Realized {
+    let variants_pos = [
+        format!("A superb little machine, the {subject}."),
+        format!("Excellent value here, and the {subject} ships in a generous bundle."),
+        format!("My verdict on the {subject}: wonderful, wonderful, wonderful."),
+        format!("Five stars and a big thumbs up for the {subject} — outstanding."),
+    ];
+    let variants_neg = [
+        format!("Utter junk, this {subject}."),
+        format!("My verdict on the {subject}: dreadful."),
+        format!("Such a mess, the whole {subject} experience — awful, frankly."),
+        format!("Zero stars for the {subject} — worthless."),
+    ];
+    let sentence = match polarity {
+        Polarity::Positive => variants_pos[pick % variants_pos.len()].clone(),
+        _ => variants_neg[pick % variants_neg.len()].clone(),
+    };
+    Realized {
+        sentence,
+        mentions: vec![(subject.to_string(), polarity, CaseClass::LexicalOnly)],
+    }
+}
+
+/// Idiomatic sentiment with no lexicon words (missed by everything).
+pub fn exotic(subject: &str, polarity: Polarity, pick: usize) -> Realized {
+    let variants_pos = [
+        format!("I would buy the {subject} again in a heartbeat."),
+        format!("After one week, the {subject} already owns my weekends."),
+        format!("The {subject} goes everywhere with me now."),
+    ];
+    let variants_neg = [
+        format!("The {subject} goes straight back to the shop tomorrow."),
+        format!("I want my money back after a month with the {subject}."),
+        format!("The {subject} now lives in a drawer."),
+    ];
+    let sentence = match polarity {
+        Polarity::Positive => variants_pos[pick % variants_pos.len()].clone(),
+        _ => variants_neg[pick % variants_neg.len()].clone(),
+    };
+    Realized {
+        sentence,
+        mentions: vec![(subject.to_string(), polarity, CaseClass::Exotic)],
+    }
+}
+
+/// Sarcastic constructions: surface polarity is the opposite of gold.
+/// Gold is always negative here (ironic praise), matching the common case.
+pub fn sarcasm(subject: &str, pick: usize) -> Realized {
+    let variants = [
+        format!("Oh sure, the {subject} is just wonderful when it decides to start."),
+        format!("The {subject} is great at eating batteries for breakfast."),
+        format!("Naturally the {subject} is perfect, apart from everything it does."),
+    ];
+    Realized {
+        sentence: variants[pick % variants.len()].clone(),
+        mentions: vec![(subject.to_string(), Polarity::Negative, CaseClass::Sarcasm)],
+    }
+}
+
+/// Contrastive multi-topic sentence: the subject gets `polarity`, the
+/// partner the opposite.
+pub fn contrast(subject: &str, other: &str, polarity: Polarity, pick: usize) -> Realized {
+    let a = adj(polarity, pick);
+    let comparative = match polarity {
+        Polarity::Positive => ["better", "sharper", "faster"][pick % 3],
+        _ => ["worse", "slower", "weaker"][pick % 3],
+    };
+    let sentence = match pick % 3 {
+        0 => format!("Unlike the {other}, the {subject} is {a}."),
+        1 => format!("Unlike the {other}, the {subject} takes {a} pictures."),
+        _ => format!("The {subject} is {comparative} than the {other}."),
+    };
+    Realized {
+        sentence,
+        mentions: vec![
+            (subject.to_string(), polarity, CaseClass::Contrast),
+            (other.to_string(), polarity.reversed(), CaseClass::Contrast),
+        ],
+    }
+}
+
+/// Neutral mention, no sentiment words anywhere.
+pub fn neutral_plain(subject: &str, pick: usize) -> Realized {
+    let variants = [
+        format!("The {subject} arrived on Tuesday."),
+        format!("I bought the {subject} in March."),
+        format!("The {subject} weighs about ten ounces."),
+        format!("The {subject} stores files on a standard card."),
+        format!("The {subject} comes in black and in silver."),
+        format!("The {subject} uses two small batteries."),
+        format!("My brother borrowed the {subject} for a trip."),
+    ];
+    Realized {
+        sentence: variants[pick % variants.len()].clone(),
+        mentions: vec![(subject.to_string(), Polarity::Neutral, CaseClass::NeutralPlain)],
+    }
+}
+
+/// Neutral mention with sentiment words directed at something else —
+/// the collocation killer.
+pub fn neutral_distractor(subject: &str, pick: usize) -> Realized {
+    let pa = POS_ADJ[pick % POS_ADJ.len()];
+    let na = NEG_ADJ[pick % NEG_ADJ.len()];
+    let variants = [
+        format!("I packed the {subject} next to a {pa} bouquet."),
+        format!("The {subject} arrived while I was reading an {pa} novel."),
+        format!("A friend with {na} handwriting borrowed the {subject}."),
+        format!("The {subject} sat on the shelf beside a {na} old radio."),
+        format!("The manual mentions the {pa} warranty terms for the {subject}."),
+        format!("The {subject} appeared in a story about {na} weather."),
+        format!("A courier praised the {pa} packaging while dropping the {subject} box."),
+        format!("I carried the {subject} through a {na} storm."),
+    ];
+    Realized {
+        sentence: variants[pick % variants.len()].clone(),
+        mentions: vec![(
+            subject.to_string(),
+            Polarity::Neutral,
+            CaseClass::NeutralDistractor,
+        )],
+    }
+}
+
+/// Feature sentence: a bBNP opener about a domain feature term, carrying
+/// sentiment aligned with the document tone (feeds Tables 2 and 3; not a
+/// product mention).
+pub fn feature_sentence(feature: &str, polarity: Polarity, pick: usize) -> String {
+    let a = adj(polarity, pick);
+    let variants_pos = [
+        format!("The {feature} is {a}."),
+        format!("The {feature} works well."),
+        format!("The {feature} feels {a}."),
+        format!("The {feature} impressed me."),
+    ];
+    let variants_neg = [
+        format!("The {feature} is {a}."),
+        format!("The {feature} feels {a}."),
+        format!("The {feature} disappointed me."),
+        format!("The {feature} drains quickly."),
+    ];
+    match polarity {
+        Polarity::Positive => variants_pos[pick % variants_pos.len()].clone(),
+        _ => variants_neg[pick % variants_neg.len()].clone(),
+    }
+}
+
+/// Neutral feature sentence (still a bBNP).
+pub fn feature_sentence_neutral(feature: &str, pick: usize) -> String {
+    let variants = [
+        format!("The {feature} sits on the left side."),
+        format!("The {feature} comes in the box."),
+        format!("The {feature} uses a standard connector."),
+        format!("The {feature} has three settings."),
+    ];
+    variants[pick % variants.len()].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_templates_mention_subject() {
+        for pick in 0..8 {
+            for pol in [Polarity::Positive, Polarity::Negative] {
+                let r = clear("Canon", pol, pick);
+                assert!(r.sentence.contains("Canon"), "{}", r.sentence);
+                assert_eq!(r.mentions.len(), 1);
+                assert_eq!(r.mentions[0].1, pol);
+            }
+        }
+    }
+
+    #[test]
+    fn contrast_yields_two_opposite_mentions() {
+        let r = contrast("Canon", "Nikon", Polarity::Positive, 0);
+        assert_eq!(r.mentions.len(), 2);
+        assert_eq!(r.mentions[0].1, Polarity::Positive);
+        assert_eq!(r.mentions[1].1, Polarity::Negative);
+        assert!(r.sentence.contains("Unlike the Nikon"));
+    }
+
+    #[test]
+    fn neutral_templates_are_neutral() {
+        for pick in 0..7 {
+            assert_eq!(neutral_plain("Canon", pick).mentions[0].1, Polarity::Neutral);
+        }
+        for pick in 0..8 {
+            let r = neutral_distractor("Canon", pick);
+            assert_eq!(r.mentions[0].1, Polarity::Neutral);
+            assert_eq!(r.mentions[0].2, CaseClass::NeutralDistractor);
+        }
+    }
+
+    #[test]
+    fn sarcasm_is_gold_negative() {
+        for pick in 0..3 {
+            let r = sarcasm("Canon", pick);
+            assert_eq!(r.mentions[0].1, Polarity::Negative);
+        }
+    }
+
+    #[test]
+    fn distractor_sentences_contain_sentiment_words() {
+        use wf_baselines::CollocationClassifier;
+        let c = CollocationClassifier::new();
+        let mut with_sentiment = 0;
+        for pick in 0..8 {
+            let r = neutral_distractor("Canon", pick);
+            let (p, n) = c.term_counts(&r.sentence);
+            if p + n > 0 {
+                with_sentiment += 1;
+            }
+        }
+        assert!(with_sentiment >= 6, "only {with_sentiment}/8 have terms");
+    }
+
+    #[test]
+    fn feature_sentences_start_with_the() {
+        assert!(feature_sentence("battery", Polarity::Positive, 0).starts_with("The battery"));
+        assert!(feature_sentence_neutral("zoom", 1).starts_with("The zoom"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Domain vocabularies for corpus generation.
+//!
+//! Feature-term lists mirror the paper's Table 2 so the reproduced
+//! feature-extraction ranking is directly comparable; product lists mirror
+//! Table 3's seven named brands plus eight masked ones (15 products).
+//! Weights are Zipf-like so reference-count distributions have the paper's
+//! head-heavy shape.
+
+/// Digital camera feature terms in the paper's Table 2 rank order.
+pub const CAMERA_FEATURES: &[&str] = &[
+    "camera",
+    "picture",
+    "flash",
+    "lens",
+    "picture quality",
+    "battery",
+    "software",
+    "price",
+    "battery life",
+    "viewfinder",
+    "color",
+    "feature",
+    "image",
+    "menu",
+    "manual",
+    "photo",
+    "movie",
+    "resolution",
+    "quality",
+    "zoom",
+    // tail beyond the top-20 (the paper found 55 feature terms in total)
+    "screen",
+    "sensor",
+    "shutter",
+    "grip",
+    "autofocus",
+    "exposure",
+    "playback",
+    "interface",
+    "charger",
+    "strap",
+];
+
+/// Music review feature terms in the paper's Table 2 rank order.
+pub const MUSIC_FEATURES: &[&str] = &[
+    "song",
+    "album",
+    "track",
+    "music",
+    "piece",
+    "band",
+    "lyrics",
+    "first movement",
+    "second movement",
+    "orchestra",
+    "guitar",
+    "final movement",
+    "beat",
+    "production",
+    "chorus",
+    "first track",
+    "mix",
+    "third movement",
+    "piano",
+    "work",
+    // tail
+    "melody",
+    "rhythm",
+    "tempo",
+    "bass",
+    "chorus line",
+];
+
+/// Camera product names: the seven brands of Table 3 plus eight more
+/// (the paper counts 15 products).
+pub const CAMERA_PRODUCTS: &[&str] = &[
+    "Canon", "Nikon", "Sony", "Olympus", "Kodak", "Fuji", "Minolta", "Pentax", "Casio",
+    "Panasonic", "Leica", "Ricoh", "Samsung", "Sigma", "Vivitar",
+];
+
+/// Synthetic music artists/albums (review subjects).
+pub const MUSIC_ARTISTS: &[&str] = &[
+    "Silverline",
+    "The Blue Notes",
+    "Aurora Quartet",
+    "Redwood Choir",
+    "Eastgate Trio",
+    "The Night Owls",
+    "Marble Arch",
+    "Golden Hour",
+    "Violet Sky",
+    "Northern Echo",
+];
+
+/// Synthetic petroleum companies (masked like Fig. 4's "Product A..U").
+pub const PETRO_COMPANIES: &[&str] = &[
+    "Petrocorp",
+    "Gulfex",
+    "NorthSea Energy",
+    "Crestline Oil",
+    "Baltic Petroleum",
+    "Redrock Fuels",
+    "Atlas Drilling",
+    "Meridian Gas",
+];
+
+/// Synthetic pharmaceutical products.
+pub const PHARMA_PRODUCTS: &[&str] = &[
+    "Veloxin",
+    "Cardiplex",
+    "Neurovan",
+    "Osteolan",
+    "Dermacil",
+    "Respira",
+    "Gastrelin",
+    "Immunex Forte",
+];
+
+/// Positive sentiment adjectives used by templates (all in the lexicon).
+pub const POS_ADJ: &[&str] = &[
+    "excellent",
+    "superb",
+    "outstanding",
+    "impressive",
+    "remarkable",
+    "sharp",
+    "vibrant",
+    "reliable",
+    "sturdy",
+    "responsive",
+    "intuitive",
+    "elegant",
+    "smooth",
+    "crisp",
+    "wonderful",
+];
+
+/// Negative sentiment adjectives used by templates (all in the lexicon).
+pub const NEG_ADJ: &[&str] = &[
+    "terrible",
+    "awful",
+    "mediocre",
+    "disappointing",
+    "sluggish",
+    "blurry",
+    "grainy",
+    "flimsy",
+    "clunky",
+    "unreliable",
+    "confusing",
+    "dull",
+    "noisy",
+    "defective",
+    "dreadful",
+];
+
+/// Zipf-like weight for rank `i` (0-based): w ∝ 1/(i+1).
+pub fn zipf_weight(i: usize) -> f64 {
+    1.0 / (i as f64 + 1.0)
+}
+
+/// Samples an index in `[0, n)` with Zipf weights using a uniform draw in
+/// `[0, 1)`.
+pub fn zipf_sample(n: usize, uniform: f64) -> usize {
+    debug_assert!(n > 0);
+    let total: f64 = (0..n).map(zipf_weight).sum();
+    let mut target = uniform * total;
+    for i in 0..n {
+        target -= zipf_weight(i);
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_top_terms_lead_the_lists() {
+        assert_eq!(CAMERA_FEATURES[0], "camera");
+        assert_eq!(CAMERA_FEATURES[1], "picture");
+        assert_eq!(MUSIC_FEATURES[0], "song");
+        assert_eq!(MUSIC_FEATURES[1], "album");
+    }
+
+    #[test]
+    fn fifteen_camera_products() {
+        assert_eq!(CAMERA_PRODUCTS.len(), 15);
+        assert_eq!(CAMERA_PRODUCTS[0], "Canon");
+    }
+
+    #[test]
+    fn zipf_sampling_is_head_heavy() {
+        let n = 10;
+        let first = (0..1000)
+            .filter(|k| zipf_sample(n, *k as f64 / 1000.0) == 0)
+            .count();
+        let last = (0..1000)
+            .filter(|k| zipf_sample(n, *k as f64 / 1000.0) == n - 1)
+            .count();
+        assert!(first > 5 * last.max(1), "first={first} last={last}");
+    }
+
+    #[test]
+    fn zipf_sample_in_bounds() {
+        for u in [0.0, 0.25, 0.5, 0.999] {
+            assert!(zipf_sample(5, u) < 5);
+        }
+        assert_eq!(zipf_sample(1, 0.7), 0);
+    }
+
+    #[test]
+    fn template_adjectives_are_sentiment_lexicon_words() {
+        // keep vocab in sync with the embedded lexicon
+        use wf_types::Polarity;
+        let raw = include_str!("../../lexicon/data/sentiment.tsv");
+        let has = |word: &str, pol: &str| {
+            raw.lines()
+                .any(|l| l.starts_with(&format!("{word}\tJJ\t{pol}")))
+        };
+        for w in POS_ADJ {
+            assert!(has(w, "+"), "{w} missing from lexicon");
+        }
+        for w in NEG_ADJ {
+            assert!(has(w, "-"), "{w} missing from lexicon");
+        }
+        let _ = Polarity::Positive;
+    }
+}

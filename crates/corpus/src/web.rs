@@ -1,0 +1,371 @@
+//! General web-document and news corpora (petroleum and pharmaceutical
+//! domains) for the Table 5 evaluation.
+//!
+//! Unlike reviews, "sentiment expressions are typically very sparse" here,
+//! and the majority of sentiment-bearing sentences are the paper's
+//! difficult I class: ambiguous out of context (case i), not describing
+//! the subject (case ii), or carrying sentiment words without expressing
+//! sentiment (case iii).
+
+use crate::gold::{CaseClass, Corpus, Domain, GeneratedDoc, GoldMention};
+use crate::review::background_doc;
+use crate::vocab::{NEG_ADJ, PETRO_COMPANIES, PHARMA_PRODUCTS, POS_ADJ};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use wf_types::Polarity;
+
+/// Mix of evaluation sentences in general web documents. The remainder
+/// after `clear + case_i + case_ii + case_iii` is plain-neutral filler
+/// mentioning the subject without any sentiment words.
+#[derive(Debug, Clone, Copy)]
+pub struct WebMix {
+    /// Clear sentiment at the subject.
+    pub clear: f64,
+    /// Ambiguous out of context (gold sentiment, surface misleading).
+    pub case_i: f64,
+    /// Sentiment about something else (gold neutral).
+    pub case_ii: f64,
+    /// Sentiment words, no sentiment (gold neutral).
+    pub case_iii: f64,
+}
+
+impl Default for WebMix {
+    fn default() -> Self {
+        // I class = case_i + case_ii + case_iii ≈ 60% of sentiment-word
+        // sentences, the lower edge of the paper's 60–90% band
+        WebMix {
+            clear: 0.40,
+            case_i: 0.06,
+            case_ii: 0.34,
+            case_iii: 0.20,
+        }
+    }
+}
+
+/// Web corpus generation parameters.
+#[derive(Debug, Clone)]
+pub struct WebConfig {
+    pub n_docs: usize,
+    /// Subject-bearing evaluation sentences per document.
+    pub eval_sentences: usize,
+    /// Filler sentences per document (no subjects).
+    pub filler_sentences: usize,
+    pub mix: WebMix,
+}
+
+impl WebConfig {
+    pub fn standard() -> Self {
+        WebConfig {
+            n_docs: 300,
+            eval_sentences: 5,
+            filler_sentences: 6,
+            mix: WebMix::default(),
+        }
+    }
+
+    pub fn small() -> Self {
+        WebConfig {
+            n_docs: 25,
+            eval_sentences: 4,
+            filler_sentences: 3,
+            mix: WebMix::default(),
+        }
+    }
+}
+
+/// Generates the petroleum-domain web corpus.
+pub fn petroleum_web(seed: u64, config: &WebConfig) -> Corpus {
+    web_corpus(seed, config, Domain::PetroleumWeb, PETRO_COMPANIES)
+}
+
+/// Generates the pharmaceutical-domain web corpus.
+pub fn pharma_web(seed: u64, config: &WebConfig) -> Corpus {
+    web_corpus(seed, config, Domain::PharmaWeb, PHARMA_PRODUCTS)
+}
+
+/// Generates the petroleum news-article corpus.
+pub fn petroleum_news(seed: u64, config: &WebConfig) -> Corpus {
+    web_corpus(seed, config, Domain::PetroleumNews, PETRO_COMPANIES)
+}
+
+fn web_corpus(seed: u64, config: &WebConfig, domain: Domain, subjects: &[&str]) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d_plus = (0..config.n_docs)
+        .map(|_| web_doc(&mut rng, config, domain, subjects))
+        .collect();
+    let d_minus = (0..config.n_docs)
+        .map(|_| background_doc(&mut rng))
+        .collect();
+    Corpus { d_plus, d_minus }
+}
+
+fn web_doc(
+    rng: &mut StdRng,
+    config: &WebConfig,
+    domain: Domain,
+    subjects: &[&str],
+) -> GeneratedDoc {
+    let mut sentences = Vec::new();
+    let mut mentions = Vec::new();
+    for _ in 0..config.filler_sentences {
+        sentences.push(filler_sentence(rng, domain));
+    }
+    for _ in 0..config.eval_sentences {
+        let subject = subjects[rng.random_range(0..subjects.len())];
+        let pick = rng.random_range(0..100);
+        let u: f64 = rng.random();
+        let m = config.mix;
+        let (sentence, polarity, case) = if u < m.clear {
+            clear_sentence(domain, subject, rng, pick)
+        } else if u < m.clear + m.case_i {
+            case_i_sentence(subject, pick)
+        } else if u < m.clear + m.case_i + m.case_ii {
+            case_ii_sentence(subject, pick)
+        } else if u < m.clear + m.case_i + m.case_ii + m.case_iii {
+            case_iii_sentence(subject, pick)
+        } else {
+            plain_sentence(domain, subject, pick)
+        };
+        let idx = sentences.len();
+        sentences.push(sentence);
+        mentions.push(GoldMention {
+            sentence: idx,
+            subject: subject.to_string(),
+            polarity,
+            case,
+        });
+    }
+    GeneratedDoc {
+        domain,
+        sentences,
+        doc_label: None,
+        mentions,
+    }
+}
+
+fn filler_sentence(rng: &mut StdRng, domain: Domain) -> String {
+    const PETRO: &[&str] = &[
+        "Crude prices moved slightly on Tuesday.",
+        "The pipeline project enters its second year.",
+        "Analysts expect steady demand for diesel this quarter.",
+        "The refinery processes about two hundred thousand barrels a day.",
+        "Exploration budgets remain a topic of debate.",
+    ];
+    const PHARMA: &[&str] = &[
+        "The clinical trial enrolled four hundred patients.",
+        "Regulators published new labeling guidance this spring.",
+        "The committee reviews dosage data every quarter.",
+        "Prescription volumes held steady over the month.",
+        "The conference covered three treatment areas.",
+    ];
+    let pool = match domain {
+        Domain::PharmaWeb => PHARMA,
+        _ => PETRO,
+    };
+    pool[rng.random_range(0..pool.len())].to_string()
+}
+
+/// Clear domain-appropriate sentiment at the subject.
+fn clear_sentence(
+    domain: Domain,
+    subject: &str,
+    rng: &mut StdRng,
+    pick: usize,
+) -> (String, Polarity, CaseClass) {
+    let positive = rng.random_bool(0.5);
+    let pa = POS_ADJ[pick % POS_ADJ.len()];
+    let na = NEG_ADJ[pick % NEG_ADJ.len()];
+    let pharma = matches!(domain, Domain::PharmaWeb);
+    let sentence = if positive {
+        let variants = if pharma {
+            [
+                format!("{subject} delivered {pa} trial results."),
+                format!("Doctors praise {subject}."),
+                format!("{subject} is {pa} for most patients."),
+                format!("Patients are impressed by {subject}."),
+            ]
+        } else {
+            [
+                format!("{subject} delivered {pa} quarterly results."),
+                format!("Analysts praise {subject}."),
+                format!("{subject} is {pa} at controlling costs."),
+                format!("Investors are impressed by {subject}."),
+            ]
+        };
+        variants[pick % variants.len()].clone()
+    } else {
+        let variants = if pharma {
+            [
+                format!("{subject} caused {na} side effects in the study."),
+                format!("Regulators call {subject} {na} and risky."),
+                format!("{subject} is {na} for elderly patients."),
+                format!("Patients are disappointed by {subject}."),
+            ]
+        } else {
+            [
+                format!("{subject} polluted the coastline again."),
+                format!("Regulators call {subject} {na} and risky."),
+                format!("{subject} is {na} at meeting safety rules."),
+                format!("Investors are disappointed by {subject}."),
+            ]
+        };
+        variants[pick % variants.len()].clone()
+    };
+    (
+        sentence,
+        if positive {
+            Polarity::Positive
+        } else {
+            Polarity::Negative
+        },
+        CaseClass::Clear,
+    )
+}
+
+/// Case i: ambiguous out of context (ironic or hedged; gold negative).
+fn case_i_sentence(subject: &str, pick: usize) -> (String, Polarity, CaseClass) {
+    let variants = [
+        format!("Of course {subject} is doing wonderfully, as its lawyers keep insisting."),
+        format!("{subject} is great at announcing delays."),
+        format!("Naturally {subject} calls the spill report excellent news for transparency."),
+    ];
+    (
+        variants[pick % variants.len()].clone(),
+        Polarity::Negative,
+        CaseClass::CaseI,
+    )
+}
+
+/// Case ii: the sentiment describes something other than the subject.
+fn case_ii_sentence(subject: &str, pick: usize) -> (String, Polarity, CaseClass) {
+    let pa = POS_ADJ[pick % POS_ADJ.len()];
+    let na = NEG_ADJ[pick % NEG_ADJ.len()];
+    let variants = [
+        format!("A spokesman for {subject} described the {na} storm damage."),
+        format!("The {pa} harbor view surrounds the {subject} headquarters."),
+        format!("Workers near the {subject} plant praised the {pa} local bakery."),
+        format!("The report about {subject} arrived during a {na} news week."),
+        format!("An analyst covering {subject} wrote a {pa} book about markets."),
+    ];
+    (
+        variants[pick % variants.len()].clone(),
+        Polarity::Neutral,
+        CaseClass::CaseII,
+    )
+}
+
+/// Case iii: sentiment words used non-evaluatively.
+fn case_iii_sentence(subject: &str, pick: usize) -> (String, Polarity, CaseClass) {
+    let variants = [
+        format!("The good news is that {subject} will report results on Tuesday."),
+        format!("For better or worse, {subject} will file the papers next week."),
+        format!("{subject} named its new well Excellent Prospect Seven."),
+        format!("The fine print in the {subject} filing runs to forty pages."),
+    ];
+    (
+        variants[pick % variants.len()].clone(),
+        Polarity::Neutral,
+        CaseClass::CaseIII,
+    )
+}
+
+/// Plain-neutral subject sentence, no sentiment words.
+fn plain_sentence(domain: Domain, subject: &str, pick: usize) -> (String, Polarity, CaseClass) {
+    let pharma = matches!(domain, Domain::PharmaWeb);
+    let sentence = if pharma {
+        let variants = [
+            format!("{subject} entered a second trial phase in June."),
+            format!("{subject} comes in two dosage forms."),
+            format!("The {subject} label lists three ingredients."),
+            format!("{subject} ships to pharmacies nationwide."),
+        ];
+        variants[pick % variants.len()].clone()
+    } else {
+        let variants = [
+            format!("{subject} operates three refineries in the region."),
+            format!("{subject} filed its quarterly report on Monday."),
+            format!("The {subject} pipeline runs four hundred miles north."),
+            format!("{subject} employs about two thousand workers."),
+        ];
+        variants[pick % variants.len()].clone()
+    };
+    (sentence, Polarity::Neutral, CaseClass::NeutralPlain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = petroleum_web(42, &WebConfig::small());
+        let b = petroleum_web(42, &WebConfig::small());
+        assert_eq!(a.d_plus, b.d_plus);
+    }
+
+    #[test]
+    fn all_three_corpora_generate() {
+        for corpus in [
+            petroleum_web(1, &WebConfig::small()),
+            pharma_web(1, &WebConfig::small()),
+            petroleum_news(1, &WebConfig::small()),
+        ] {
+            assert_eq!(corpus.d_plus.len(), 25);
+            for doc in &corpus.d_plus {
+                assert_eq!(doc.mentions.len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn i_class_band_matches_paper() {
+        // among mentions whose sentences contain sentiment words, the
+        // I class share must land in the paper's 60–90% band
+        let corpus = petroleum_web(7, &WebConfig::standard());
+        let mut i_class = 0usize;
+        let mut sentiment_word_cases = 0usize;
+        for doc in &corpus.d_plus {
+            for m in &doc.mentions {
+                match m.case {
+                    CaseClass::Clear | CaseClass::CaseI | CaseClass::CaseII | CaseClass::CaseIII => {
+                        sentiment_word_cases += 1;
+                        if m.case.is_i_class() {
+                            i_class += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let ratio = i_class as f64 / sentiment_word_cases as f64;
+        assert!((0.50..0.90).contains(&ratio), "I-class ratio {ratio}");
+    }
+
+    #[test]
+    fn gold_labels_match_case_semantics() {
+        let corpus = pharma_web(3, &WebConfig::small());
+        for doc in &corpus.d_plus {
+            for m in &doc.mentions {
+                match m.case {
+                    CaseClass::CaseII | CaseClass::CaseIII | CaseClass::NeutralPlain => {
+                        assert_eq!(m.polarity, Polarity::Neutral)
+                    }
+                    CaseClass::Clear | CaseClass::CaseI => {
+                        assert!(m.polarity.is_sentiment())
+                    }
+                    other => panic!("unexpected case in web corpus: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subjects_appear_in_their_sentences() {
+        let corpus = petroleum_news(9, &WebConfig::small());
+        for doc in &corpus.d_plus {
+            for m in &doc.mentions {
+                assert!(doc.sentences[m.sentence].contains(&m.subject));
+            }
+        }
+    }
+}

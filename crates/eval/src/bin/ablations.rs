@@ -1,0 +1,55 @@
+//! Rule-ablation study: the contribution of each relationship-analysis
+//! rule, measured on the Table 4 review evaluation.
+
+use wf_eval::experiments::{analyzer_ablations, feature_extraction_ablations, ExperimentScale};
+use wf_eval::metrics::pct;
+use wf_eval::report::render_table;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::paper()
+    };
+    let r = analyzer_ablations(&scale);
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.label.clone(),
+                pct(row.scores.precision),
+                pct(row.scores.recall),
+                pct(row.scores.accuracy),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Ablation: relationship-analysis rules (product review datasets)",
+            &["Variant", "Precision", "Recall", "Accuracy"],
+            &rows,
+        )
+    );
+
+    let fx_rows: Vec<Vec<String>> = feature_extraction_ablations(&scale)
+        .iter()
+        .map(|r| {
+            vec![
+                r.heuristic.as_str().to_string(),
+                format!("{:?}", r.metric),
+                pct(r.precision_at_20),
+                r.candidates.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Ablation: feature extraction design space (camera corpus)",
+            &["Heuristic", "Metric", "P@20", "Candidates"],
+            &fx_rows,
+        )
+    );
+}

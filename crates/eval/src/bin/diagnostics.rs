@@ -1,0 +1,33 @@
+//! Error analysis: the miner's accuracy per construction class on the
+//! review evaluation — the breakdown behind Table 4.
+
+use wf_corpus::camera_reviews;
+use wf_eval::diagnostics::{breakdown_rows, case_breakdown};
+use wf_eval::experiments::ExperimentScale;
+use wf_eval::harness::run_sentiment_miner;
+use wf_eval::report::render_table;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::paper()
+    };
+    let corpus = camera_reviews(scale.seed, &scale.camera);
+    let preds = run_sentiment_miner(&corpus);
+    let breakdown = case_breakdown(&preds);
+    println!(
+        "{}",
+        render_table(
+            "Sentiment miner accuracy per construction class (camera reviews)",
+            &["class", "accuracy", "n"],
+            &breakdown_rows(&breakdown),
+        )
+    );
+    println!(
+        "reading: sarcasm (gold-opposite surface) and exotic (no lexicon\n\
+         words) are the systematic misses the paper attributes to\n\
+         statistical/structural blind spots; neutral-distractor accuracy is\n\
+         what separates the miner from the collocation baseline."
+    );
+}

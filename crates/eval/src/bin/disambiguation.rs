@@ -1,0 +1,21 @@
+//! The SUN/Sunday disambiguation study on an ambiguous brand name.
+
+use wf_eval::experiments::disambiguation_study;
+use wf_eval::metrics::pct;
+
+fn main() {
+    let r = disambiguation_study(20050405, 120, 180);
+    println!("Disambiguation study: ambiguous brand \"Apex\" (camera vs summit)\n");
+    println!("on-topic spot fraction:        {}", pct(r.on_topic_fraction));
+    println!("accept-all baseline accuracy:  {}", pct(r.baseline_accuracy));
+    println!("disambiguator verdict accuracy:{}", pct(r.verdict_accuracy));
+    println!();
+    println!(
+        "spurious sentiment records from off-topic pages: {} -> {} after filtering",
+        r.spurious_without, r.spurious_with
+    );
+    println!(
+        "on-topic sentiment records kept: {}/{}",
+        r.kept_on_topic, r.total_on_topic
+    );
+}

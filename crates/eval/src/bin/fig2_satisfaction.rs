@@ -1,0 +1,25 @@
+//! Regenerates the Figure 2 inset chart: "Digital Camera Customer
+//! Satisfaction" — % of a product's pages with positive sentiment, per
+//! feature (picture quality, battery, flash).
+
+use wf_eval::experiments::{fig2, ExperimentScale};
+use wf_eval::report::render_bar_chart;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::paper()
+    };
+    let r = fig2(&scale);
+    println!("Figure 2 (inset). Digital Camera Customer Satisfaction");
+    println!("% of pages with positive sentiment\n");
+    for (fi, feature) in r.features.iter().enumerate() {
+        let series: Vec<(String, f64)> = r
+            .products
+            .iter()
+            .map(|(p, pcts)| (p.clone(), pcts[fi]))
+            .collect();
+        println!("{}", render_bar_chart(&format!("[{feature}]"), &series, 40));
+    }
+}

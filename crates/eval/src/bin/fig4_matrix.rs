@@ -1,0 +1,34 @@
+//! Regenerates Figure 4: the GUI's product × sentiment matrix on the
+//! pharmaceutical domain, product names masked as the paper does.
+
+use wf_eval::experiments::{fig4, ExperimentScale};
+use wf_eval::report::render_table;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::paper()
+    };
+    let r = fig4(&scale);
+    let rows: Vec<Vec<String>> = r
+        .rows
+        .iter()
+        .map(|(name, pos, neg, neu)| {
+            vec![
+                name.clone(),
+                pos.to_string(),
+                neg.to_string(),
+                neu.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 4. Sentiment mining result matrix (pharmaceutical web, names masked)",
+            &["Product", "positive", "negative", "neutral"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 5: the Web interface listing of sentiment-bearing
+//! sentences for a given product, subject spots marked with XML tags.
+
+use wf_eval::experiments::{fig5, ExperimentScale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale::paper()
+    };
+    let r = fig5(&scale);
+    println!(
+        "Figure 5. Sentiment-bearing sentences for {} ({} shown)\n",
+        r.subject,
+        r.sentences.len().min(20)
+    );
+    for (polarity, text) in r.sentences.iter().take(20) {
+        println!("[{polarity}] {text}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Experiment scale presets.
+
+use wf_corpus::{ReviewConfig, WebConfig};
+
+/// Corpus sizes and seed for an experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentScale {
+    pub seed: u64,
+    pub camera: ReviewConfig,
+    pub music: ReviewConfig,
+    pub web: WebConfig,
+    /// Cluster nodes for the platform experiments.
+    pub cluster_nodes: usize,
+    /// Held-out fraction for ReviewSeer document evaluation.
+    pub holdout: f64,
+}
+
+impl ExperimentScale {
+    /// Paper-scale collections (485/1838 camera, 250/2389 music, 300-doc
+    /// web corpora).
+    pub fn paper() -> Self {
+        ExperimentScale {
+            seed: 20050405, // ICDE 2005, Tokyo
+            camera: ReviewConfig::camera(),
+            music: ReviewConfig::music(),
+            web: WebConfig::standard(),
+            cluster_nodes: 16,
+            holdout: 0.25,
+        }
+    }
+
+    /// Reduced scale for tests and quick runs.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            seed: 20050405,
+            camera: ReviewConfig {
+                n_plus: 60,
+                n_minus: 200,
+                ..ReviewConfig::camera()
+            },
+            music: ReviewConfig {
+                n_plus: 40,
+                n_minus: 200,
+                ..ReviewConfig::music()
+            },
+            web: WebConfig {
+                n_docs: 60,
+                ..WebConfig::standard()
+            },
+            cluster_nodes: 4,
+            holdout: 0.25,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_collection_sizes() {
+        let s = ExperimentScale::paper();
+        assert_eq!(s.camera.n_plus, 485);
+        assert_eq!(s.camera.n_minus, 1838);
+        assert_eq!(s.music.n_plus, 250);
+        assert_eq!(s.music.n_minus, 2389);
+    }
+
+    #[test]
+    fn quick_scale_is_smaller() {
+        let q = ExperimentScale::quick();
+        assert!(q.camera.n_plus < ExperimentScale::paper().camera.n_plus);
+    }
+}

@@ -1,0 +1,229 @@
+//! Prediction harnesses: run each system over a gold corpus and produce
+//! scored predictions per mention.
+
+use crate::metrics::Prediction;
+use wf_baselines::{CollocationClassifier, ReviewSeerClassifier};
+use wf_corpus::{Corpus, GeneratedDoc};
+use wf_sentiment::{mention_polarities, AnalyzerConfig, SentimentMiner, SubjectList};
+use wf_types::Polarity;
+
+/// Builds the subject list used to evaluate a corpus: all subjects its
+/// gold mentions reference.
+pub fn subjects_of(corpus: &Corpus) -> SubjectList {
+    let mut names: Vec<String> = corpus
+        .d_plus
+        .iter()
+        .flat_map(|d| d.mentions.iter().map(|m| m.subject.clone()))
+        .collect();
+    names.sort();
+    names.dedup();
+    let mut builder = SubjectList::builder();
+    for name in &names {
+        builder = builder.subject(name, [name.clone()]);
+    }
+    builder.build()
+}
+
+/// Runs the sentiment miner over every gold mention of the corpus.
+pub fn run_sentiment_miner(corpus: &Corpus) -> Vec<Prediction> {
+    run_sentiment_miner_with(corpus, AnalyzerConfig::default())
+}
+
+/// Runs the sentiment miner with selected relationship rules disabled.
+pub fn run_sentiment_miner_with(corpus: &Corpus, config: AnalyzerConfig) -> Vec<Prediction> {
+    let subjects = subjects_of(corpus);
+    let spotter = wf_spotter::Spotter::new(&subjects);
+    let miner = SentimentMiner::with_config(config);
+    let mut predictions = Vec::new();
+    for doc in &corpus.d_plus {
+        predictions.extend(miner_predictions_for_doc(&miner, &subjects, &spotter, doc));
+    }
+    predictions
+}
+
+fn miner_predictions_for_doc(
+    miner: &SentimentMiner,
+    subjects: &SubjectList,
+    spotter: &wf_spotter::Spotter,
+    doc: &GeneratedDoc,
+) -> Vec<Prediction> {
+    let mut predictions = Vec::new();
+    // analyze each distinct sentence once
+    let mut cache: Vec<Option<Vec<(String, Polarity)>>> = vec![None; doc.sentences.len()];
+    for mention in &doc.mentions {
+        let idx = mention.sentence;
+        if cache[idx].is_none() {
+            let records = miner.analyze_with_spotter(&doc.sentences[idx], subjects, spotter);
+            cache[idx] = Some(
+                mention_polarities(&records)
+                    .into_iter()
+                    .map(|(subject, _, polarity)| (subject, polarity))
+                    .collect(),
+            );
+        }
+        let per_subject = cache[idx].as_ref().expect("just filled");
+        let predicted = per_subject
+            .iter()
+            .find(|(s, _)| *s == mention.subject)
+            .map(|(_, p)| *p)
+            .unwrap_or(Polarity::Neutral);
+        predictions.push(Prediction {
+            gold: mention.polarity,
+            predicted,
+            case: mention.case,
+        });
+    }
+    predictions
+}
+
+/// Runs the collocation baseline over every gold mention.
+pub fn run_collocation(corpus: &Corpus) -> Vec<Prediction> {
+    let clf = CollocationClassifier::new();
+    let mut predictions = Vec::new();
+    for doc in &corpus.d_plus {
+        let mut cache: Vec<Option<Polarity>> = vec![None; doc.sentences.len()];
+        for mention in &doc.mentions {
+            let idx = mention.sentence;
+            let predicted =
+                *cache[idx].get_or_insert_with(|| clf.classify_sentence(&doc.sentences[idx]));
+            predictions.push(Prediction {
+                gold: mention.polarity,
+                predicted,
+                case: mention.case,
+            });
+        }
+    }
+    predictions
+}
+
+/// Trains a ReviewSeer-style classifier on review documents (document
+/// labels), excluding a held-out tail of each collection.
+pub fn train_reviewseer(training: &[&Corpus], holdout_fraction: f64) -> ReviewSeerClassifier {
+    let mut docs: Vec<(String, Polarity)> = Vec::new();
+    for corpus in training {
+        let cut = train_cut(corpus.d_plus.len(), holdout_fraction);
+        for doc in &corpus.d_plus[..cut] {
+            if let Some(label) = doc.doc_label {
+                docs.push((doc.text(), label));
+            }
+        }
+    }
+    ReviewSeerClassifier::train(&docs)
+}
+
+/// The number of leading documents used for training.
+pub fn train_cut(n: usize, holdout_fraction: f64) -> usize {
+    ((n as f64) * (1.0 - holdout_fraction)).floor() as usize
+}
+
+/// Document-level ReviewSeer accuracy on the held-out tail of a review
+/// corpus (what ReviewSeer's 88.4% measures).
+pub fn reviewseer_document_accuracy(
+    clf: &ReviewSeerClassifier,
+    corpus: &Corpus,
+    holdout_fraction: f64,
+) -> f64 {
+    let cut = train_cut(corpus.d_plus.len(), holdout_fraction);
+    let held_out = &corpus.d_plus[cut..];
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for doc in held_out {
+        let Some(label) = doc.doc_label else { continue };
+        total += 1;
+        if clf.classify(&doc.text()) == label {
+            correct += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+/// Sentence-level ReviewSeer predictions over a corpus's gold mentions
+/// (how the paper applies it to general web documents).
+pub fn run_reviewseer_sentences(clf: &ReviewSeerClassifier, corpus: &Corpus) -> Vec<Prediction> {
+    let mut predictions = Vec::new();
+    for doc in &corpus.d_plus {
+        for mention in &doc.mentions {
+            predictions.push(Prediction {
+                gold: mention.polarity,
+                predicted: clf.classify(&doc.sentences[mention.sentence]),
+                case: mention.case,
+            });
+        }
+    }
+    predictions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::score;
+    use wf_corpus::{camera_reviews, petroleum_web, ReviewConfig, WebConfig};
+
+    #[test]
+    fn subjects_cover_all_mentions() {
+        let corpus = camera_reviews(1, &ReviewConfig::small());
+        let subjects = subjects_of(&corpus);
+        for doc in &corpus.d_plus {
+            for m in &doc.mentions {
+                assert!(subjects.id_of(&m.subject).is_some(), "{}", m.subject);
+            }
+        }
+    }
+
+    #[test]
+    fn miner_predictions_align_with_mentions() {
+        let corpus = camera_reviews(2, &ReviewConfig::small());
+        let preds = run_sentiment_miner(&corpus);
+        let mentions: usize = corpus.d_plus.iter().map(|d| d.mentions.len()).sum();
+        assert_eq!(preds.len(), mentions);
+    }
+
+    #[test]
+    fn miner_beats_collocation_on_precision() {
+        let corpus = camera_reviews(3, &ReviewConfig::small());
+        let sm = score(&run_sentiment_miner(&corpus));
+        let colloc = score(&run_collocation(&corpus));
+        assert!(
+            sm.precision > colloc.precision,
+            "SM {} vs collocation {}",
+            sm.precision,
+            colloc.precision
+        );
+    }
+
+    #[test]
+    fn reviewseer_learns_review_documents() {
+        // use a large collection: Naive Bayes document accuracy is noisy
+        // on small held-out splits
+        let config = ReviewConfig {
+            n_plus: 240,
+            ..ReviewConfig::small()
+        };
+        let corpus = camera_reviews(4, &config);
+        let clf = train_reviewseer(&[&corpus], 0.25);
+        let acc = reviewseer_document_accuracy(&clf, &corpus, 0.25);
+        assert!(acc > 0.7, "document accuracy {acc}");
+    }
+
+    #[test]
+    fn reviewseer_collapses_on_web_sentences() {
+        let reviews = camera_reviews(5, &ReviewConfig::small());
+        let clf = train_reviewseer(&[&reviews], 0.25);
+        let web = petroleum_web(5, &WebConfig::small());
+        let s = score(&run_reviewseer_sentences(&clf, &web));
+        // most web mentions are gold-neutral; a classifier with no neutral
+        // class cannot exceed the sentiment fraction
+        assert!(s.accuracy < 0.6, "web accuracy {}", s.accuracy);
+    }
+
+    #[test]
+    fn train_cut_boundaries() {
+        assert_eq!(train_cut(100, 0.25), 75);
+        assert_eq!(train_cut(0, 0.25), 0);
+        assert_eq!(train_cut(10, 0.0), 10);
+    }
+}

@@ -1,0 +1,17 @@
+//! Evaluation: metrics, prediction harnesses, experiment runners and
+//! report rendering for every table and figure in the paper.
+//!
+//! Each experiment has a library runner in [`experiments`] and a binary
+//! (`cargo run -p wf-eval --bin table4`) that prints the paper-style
+//! rows next to the measured values. `all_experiments` runs everything
+//! and regenerates the data behind `EXPERIMENTS.md`.
+
+pub mod diagnostics;
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+
+pub use diagnostics::{breakdown_rows, case_breakdown, CaseBreakdown};
+pub use experiments::ExperimentScale;
+pub use metrics::{pct, score, score_without_i_class, Prediction, Scores};

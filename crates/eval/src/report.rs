@@ -1,0 +1,105 @@
+//! Plain-text report rendering: aligned tables and horizontal bar charts,
+//! used by the per-experiment binaries to print paper-style output.
+
+/// Renders an aligned text table. `rows` includes the body only; pass the
+/// header separately.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i >= widths.len() {
+                widths.push(cell.len());
+            } else {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a horizontal bar chart of labeled percentages (0..=100).
+pub fn render_bar_chart(title: &str, series: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let label_w = series.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in series {
+        let filled = ((value / 100.0) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{:<label_w$}  {:>5.1}%  {}{}\n",
+            label,
+            value,
+            "#".repeat(filled.min(width)),
+            " ".repeat(width.saturating_sub(filled)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = render_table(
+            "T",
+            &["name", "value"],
+            &[
+                vec!["short".into(), "1".into()],
+                vec!["a-much-longer-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[3].starts_with("short"));
+        // the value column starts at the same offset in both body rows
+        let off_a = lines[3].find('1').unwrap();
+        let off_b = lines[4].find("22").unwrap();
+        assert_eq!(off_a, off_b);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let out = render_bar_chart(
+            "C",
+            &[("full".into(), 100.0), ("half".into(), 50.0), ("none".into(), 0.0)],
+            10,
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[1].matches('#').count(), 10);
+        assert_eq!(lines[2].matches('#').count(), 5);
+        assert_eq!(lines[3].matches('#').count(), 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = render_table("T", &[], &[]);
+        assert!(t.starts_with("T"));
+        let c = render_bar_chart("C", &[], 10);
+        assert_eq!(c, "C\n");
+    }
+}

@@ -1,0 +1,171 @@
+//! The bBNP (beginning definite Base Noun Phrase) candidate heuristic.
+//!
+//! Per the paper: "bBNP [...] extracts definite base noun phrases at the
+//! beginning of sentences followed by a verb phrase. A definite base noun
+//! phrase is a noun phrase of the following patterns preceded by the
+//! definite article the: NN / NN NN / JJ NN / NN NN NN / JJ NN NN /
+//! JJ JJ NN". The heuristic exploits that "when the focus shifts from one
+//! feature to another, the new feature is often expressed using a definite
+//! noun phrase at the beginning of the next sentence" — "the battery"
+//! suffices instead of "the battery of the digital camera".
+
+use wf_nlp::{AnalyzedSentence, ChunkKind, PosTag};
+
+/// The six admissible tag patterns after "the". Plural NNS counts as NN
+/// (Table 2 of the paper lists plural feature terms like "lyrics").
+const PATTERNS: &[&[TagClass]] = &[
+    &[TagClass::N],
+    &[TagClass::N, TagClass::N],
+    &[TagClass::J, TagClass::N],
+    &[TagClass::N, TagClass::N, TagClass::N],
+    &[TagClass::J, TagClass::N, TagClass::N],
+    &[TagClass::J, TagClass::J, TagClass::N],
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TagClass {
+    N,
+    J,
+}
+
+fn classify(tag: PosTag) -> Option<TagClass> {
+    if tag.is_common_noun() {
+        Some(TagClass::N)
+    } else if tag == PosTag::JJ {
+        Some(TagClass::J)
+    } else {
+        None
+    }
+}
+
+/// Extracts the bBNP candidate from one analyzed sentence, if the sentence
+/// opens with `the <pattern>` immediately followed by a verb phrase.
+/// The returned term is lower-cased without the determiner
+/// ("The picture quality is superb." → "picture quality").
+pub fn extract_bbnp(sentence: &AnalyzedSentence) -> Option<String> {
+    let first = sentence.chunks.first()?;
+    if first.kind != ChunkKind::NP || first.start != 0 {
+        return None;
+    }
+    // must start with the definite article
+    if sentence.tokens[first.start].lower() != "the" {
+        return None;
+    }
+    // the tokens after "the" must match one of the six patterns exactly
+    let body: Vec<TagClass> = (first.start + 1..first.end)
+        .map(|i| classify(sentence.tags[i]))
+        .collect::<Option<Vec<_>>>()?;
+    if !PATTERNS.contains(&body.as_slice()) {
+        return None;
+    }
+    // followed by a verb phrase (the next chunk)
+    let next = sentence.chunks.get(1)?;
+    if next.kind != ChunkKind::VP {
+        return None;
+    }
+    let term = sentence.tokens[first.start + 1..first.end]
+        .iter()
+        .map(|t| t.lower())
+        .collect::<Vec<_>>()
+        .join(" ");
+    Some(term)
+}
+
+/// Extracts all bBNP candidates from a document's analyzed sentences.
+pub fn extract_bbnps(sentences: &[AnalyzedSentence]) -> Vec<String> {
+    sentences.iter().filter_map(extract_bbnp).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_nlp::Pipeline;
+
+    fn bbnp_of(text: &str) -> Option<String> {
+        let p = Pipeline::new();
+        let sents = p.analyze(text);
+        extract_bbnp(&sents[0])
+    }
+
+    #[test]
+    fn single_noun_pattern() {
+        assert_eq!(bbnp_of("The battery lasts all day."), Some("battery".into()));
+    }
+
+    #[test]
+    fn noun_noun_pattern() {
+        assert_eq!(
+            bbnp_of("The picture quality is superb."),
+            Some("picture quality".into())
+        );
+    }
+
+    #[test]
+    fn adjective_noun_is_accepted() {
+        assert_eq!(
+            bbnp_of("The optical viewfinder works well."),
+            Some("optical viewfinder".into())
+        );
+    }
+
+    #[test]
+    fn three_noun_pattern() {
+        assert_eq!(
+            bbnp_of("The memory card slot feels loose."),
+            Some("memory card slot".into())
+        );
+    }
+
+    #[test]
+    fn indefinite_article_rejected() {
+        assert_eq!(bbnp_of("A battery lasts all day."), None);
+    }
+
+    #[test]
+    fn mid_sentence_definite_np_rejected() {
+        assert_eq!(bbnp_of("I think the battery is weak."), None);
+    }
+
+    #[test]
+    fn must_be_followed_by_verb_phrase() {
+        // sentence fragment with no VP after the NP
+        assert_eq!(bbnp_of("The battery!"), None);
+    }
+
+    #[test]
+    fn pronoun_start_rejected() {
+        assert_eq!(bbnp_of("It takes great pictures."), None);
+    }
+
+    #[test]
+    fn plural_head_accepted() {
+        assert_eq!(bbnp_of("The lyrics are catchy."), Some("lyrics".into()));
+    }
+
+    #[test]
+    fn proper_noun_head_rejected() {
+        // bBNP is about common-noun feature terms, not names
+        assert_eq!(bbnp_of("The Sony is great."), None);
+    }
+
+    #[test]
+    fn too_long_np_rejected() {
+        // four content tokens exceeds every pattern
+        assert_eq!(
+            bbnp_of("The digital camera memory card slot broke."),
+            None
+        );
+    }
+
+    #[test]
+    fn extract_all_from_document() {
+        let p = Pipeline::new();
+        let sents = p.analyze(
+            "The battery lasts long. I like it. The picture quality is stunning.",
+        );
+        assert_eq!(
+            extract_bbnps(&sents),
+            vec!["battery".to_string(), "picture quality".to_string()]
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! The feature extractor: bBNP candidates + likelihood-ratio selection.
+//!
+//! Combines the two pieces the paper found best-performing ("the likelihood
+//! ratio test on terms extracted with the bBNP heuristic", dubbed bBNP-L):
+//! candidates come from topic documents D+, counts come from both D+ and a
+//! background collection D−, and candidates are ranked by the Dunning
+//! statistic.
+
+use crate::bbnp::extract_bbnps;
+use crate::heuristics::{extract_candidates, CandidateHeuristic};
+use crate::likelihood::{likelihood_ratio, Counts};
+use std::collections::{HashMap, HashSet};
+use wf_nlp::Pipeline;
+
+/// Ranking metric for candidate selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionMetric {
+    /// Dunning's −2·log λ against the background collection (the paper's
+    /// best performer, "bBNP-L" when paired with the bBNP heuristic).
+    LikelihoodRatio,
+    /// Raw document frequency in D+ (the naive alternative; promotes
+    /// generic terms that also saturate the background).
+    Frequency,
+}
+
+/// A scored feature term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredFeature {
+    /// Lower-cased feature term ("picture quality").
+    pub term: String,
+    /// The −2·log λ statistic.
+    pub score: f64,
+    /// The 2×2 document counts behind the score.
+    pub counts: Counts,
+}
+
+/// How to cut the ranked candidate list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Selection {
+    /// All candidates whose statistic exceeds a χ²(1) critical value
+    /// (e.g. [`crate::likelihood::CHI2_95`]).
+    Confidence(f64),
+    /// The top N candidates by score.
+    TopN(usize),
+}
+
+/// The feature extractor.
+///
+/// ```
+/// use wf_features::FeatureExtractor;
+///
+/// let fx = FeatureExtractor::new();
+/// let candidates = fx.candidates("The picture quality is superb.");
+/// assert_eq!(candidates, vec!["picture quality".to_string()]);
+/// ```
+pub struct FeatureExtractor {
+    pipeline: Pipeline,
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FeatureExtractor {
+    pub fn new() -> Self {
+        FeatureExtractor {
+            pipeline: Pipeline::new(),
+        }
+    }
+
+    /// bBNP candidates of one document (with duplicates, in order).
+    pub fn candidates(&self, text: &str) -> Vec<String> {
+        extract_bbnps(&self.pipeline.analyze(text))
+    }
+
+    /// Candidates under an arbitrary heuristic.
+    pub fn candidates_with(&self, text: &str, heuristic: CandidateHeuristic) -> Vec<String> {
+        self.pipeline
+            .analyze(text)
+            .iter()
+            .flat_map(|s| extract_candidates(s, heuristic))
+            .collect()
+    }
+
+    /// Ranks all candidates found in `d_plus` by likelihood ratio against
+    /// the background `d_minus`. Returns features sorted by descending
+    /// score (ties broken alphabetically for determinism).
+    pub fn rank<S: AsRef<str>>(&self, d_plus: &[S], d_minus: &[S]) -> Vec<ScoredFeature> {
+        self.rank_with(
+            d_plus,
+            d_minus,
+            CandidateHeuristic::BBNP,
+            SelectionMetric::LikelihoodRatio,
+        )
+    }
+
+    /// Ranks with an explicit heuristic × metric combination (the design
+    /// space the paper's companion work compared).
+    pub fn rank_with<S: AsRef<str>>(
+        &self,
+        d_plus: &[S],
+        d_minus: &[S],
+        heuristic: CandidateHeuristic,
+        metric: SelectionMetric,
+    ) -> Vec<ScoredFeature> {
+        // candidate set and per-document presence in D+
+        let mut present_plus: HashMap<String, u64> = HashMap::new();
+        let plus_docs: Vec<HashSet<String>> = d_plus
+            .iter()
+            .map(|doc| {
+                self.candidates_with(doc.as_ref(), heuristic)
+                    .into_iter()
+                    .collect::<HashSet<_>>()
+            })
+            .collect();
+        for doc in &plus_docs {
+            for term in doc {
+                *present_plus.entry(term.clone()).or_insert(0) += 1;
+            }
+        }
+        if present_plus.is_empty() {
+            return Vec::new();
+        }
+        // presence in D−: cheap substring containment scan (a term "occurs"
+        // in a background document when its surface form appears; the
+        // background side needs no bBNP structure per the paper's counts)
+        let minus_lowered: Vec<String> = d_minus
+            .iter()
+            .map(|d| d.as_ref().to_lowercase())
+            .collect();
+        let n_plus = d_plus.len() as u64;
+        let n_minus = d_minus.len() as u64;
+        let mut scored: Vec<ScoredFeature> = present_plus
+            .into_iter()
+            .map(|(term, in_plus)| {
+                let in_minus = minus_lowered
+                    .iter()
+                    .filter(|doc| contains_term(doc, &term))
+                    .count() as u64;
+                let counts = Counts::from_presence(in_plus, in_minus, n_plus, n_minus);
+                let score = match metric {
+                    SelectionMetric::LikelihoodRatio => likelihood_ratio(counts),
+                    SelectionMetric::Frequency => in_plus as f64,
+                };
+                ScoredFeature { score, term, counts }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.term.cmp(&b.term))
+        });
+        scored
+    }
+
+    /// Ranks and cuts with the given selection rule.
+    pub fn select<S: AsRef<str>>(
+        &self,
+        d_plus: &[S],
+        d_minus: &[S],
+        selection: Selection,
+    ) -> Vec<ScoredFeature> {
+        let ranked = self.rank(d_plus, d_minus);
+        match selection {
+            Selection::Confidence(threshold) => ranked
+                .into_iter()
+                .filter(|f| f.score > threshold)
+                .collect(),
+            Selection::TopN(n) => ranked.into_iter().take(n).collect(),
+        }
+    }
+}
+
+/// Word-boundary containment check for a (possibly multi-word) term in a
+/// lower-cased document.
+fn contains_term(doc_lowered: &str, term: &str) -> bool {
+    let bytes = doc_lowered.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = doc_lowered[from..].find(term) {
+        let start = from + pos;
+        let end = start + term.len();
+        let before_ok = start == 0 || !bytes[start - 1].is_ascii_alphanumeric();
+        let after_ok = end >= bytes.len() || !bytes[end].is_ascii_alphanumeric();
+        if before_ok && after_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::likelihood::CHI2_95;
+
+    fn camera_docs() -> Vec<String> {
+        vec![
+            "The battery lasts all day. The picture quality is superb.".to_string(),
+            "The picture quality impresses everyone. The flash works well.".to_string(),
+            "The battery drains quickly. The zoom feels smooth.".to_string(),
+            "The picture quality is outstanding here.".to_string(),
+        ]
+    }
+
+    fn background_docs() -> Vec<String> {
+        vec![
+            "The government announced a new policy today.".to_string(),
+            "The weather was pleasant for the game.".to_string(),
+            "Stocks fell sharply after the report.".to_string(),
+            "The team won the championship.".to_string(),
+            "A new restaurant opened downtown.".to_string(),
+            "The movie was long and the theater was full.".to_string(),
+        ]
+    }
+
+    #[test]
+    fn ranks_topical_features_first() {
+        let fx = FeatureExtractor::new();
+        let ranked = fx.rank(&camera_docs(), &background_docs());
+        assert!(!ranked.is_empty());
+        let terms: Vec<&str> = ranked.iter().map(|f| f.term.as_str()).collect();
+        assert!(terms.contains(&"picture quality"), "{terms:?}");
+        assert!(terms.contains(&"battery"), "{terms:?}");
+        // most frequent topical candidate ranks at the top
+        assert_eq!(ranked[0].term, "picture quality");
+    }
+
+    #[test]
+    fn scores_descend() {
+        let fx = FeatureExtractor::new();
+        let ranked = fx.rank(&camera_docs(), &background_docs());
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn confidence_selection_filters() {
+        let fx = FeatureExtractor::new();
+        let all = fx.rank(&camera_docs(), &background_docs());
+        let selected = fx.select(
+            &camera_docs(),
+            &background_docs(),
+            Selection::Confidence(CHI2_95),
+        );
+        assert!(selected.len() <= all.len());
+        assert!(selected.iter().all(|f| f.score > CHI2_95));
+    }
+
+    #[test]
+    fn top_n_selection_cuts() {
+        let fx = FeatureExtractor::new();
+        let top2 = fx.select(&camera_docs(), &background_docs(), Selection::TopN(2));
+        assert_eq!(top2.len(), 2);
+    }
+
+    #[test]
+    fn empty_collections() {
+        let fx = FeatureExtractor::new();
+        let empty: Vec<String> = Vec::new();
+        assert!(fx.rank(&empty, &background_docs()).is_empty());
+        // no background: still ranks, scores depend only on D+ spread
+        let ranked = fx.rank(&camera_docs(), &empty);
+        assert!(!ranked.is_empty());
+        for f in &ranked {
+            assert!(f.score.is_finite());
+        }
+    }
+
+    #[test]
+    fn background_occurrence_depresses_score() {
+        let fx = FeatureExtractor::new();
+        let d_plus = vec![
+            "The battery lasts long.".to_string(),
+            "The battery charges fast.".to_string(),
+            "The battery holds up.".to_string(),
+        ];
+        let clean_bg: Vec<String> =
+            (0..20).map(|i| format!("Unrelated document number {i}.")).collect();
+        let noisy_bg: Vec<String> = (0..20)
+            .map(|i| format!("Document {i} mentions a battery somewhere."))
+            .collect();
+        let clean = fx.rank(&d_plus, &clean_bg);
+        let noisy = fx.rank(&d_plus, &noisy_bg);
+        let s_clean = clean.iter().find(|f| f.term == "battery").unwrap().score;
+        let s_noisy = noisy.iter().find(|f| f.term == "battery").unwrap().score;
+        assert!(s_clean > s_noisy, "{s_clean} vs {s_noisy}");
+    }
+
+    #[test]
+    fn contains_term_boundaries() {
+        assert!(contains_term("the battery died", "battery"));
+        assert!(!contains_term("the batteryx died", "battery"));
+        assert!(contains_term("picture quality matters", "picture quality"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Candidate feature-term extraction heuristics.
+//!
+//! The paper's companion work (Yi et al., ICDM 2003) evaluated several
+//! candidate heuristics and selection algorithms and found "the likelihood
+//! ratio test on terms extracted with the bBNP heuristic" best. This
+//! module implements the heuristic family so the comparison can be
+//! reproduced:
+//!
+//! - **BNP**: every base noun phrase anywhere in the document;
+//! - **dBNP**: definite base noun phrases (preceded by "the") anywhere;
+//! - **bBNP**: definite base noun phrases at the *beginning* of a
+//!   sentence, followed by a verb phrase (the strictest filter).
+
+use crate::bbnp::extract_bbnp;
+use wf_nlp::{AnalyzedSentence, ChunkKind, PosTag};
+
+/// Candidate extraction heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CandidateHeuristic {
+    /// All base noun phrases.
+    BNP,
+    /// Definite base noun phrases.
+    DBNP,
+    /// Beginning definite base noun phrases followed by a verb phrase.
+    BBNP,
+}
+
+impl CandidateHeuristic {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CandidateHeuristic::BNP => "BNP",
+            CandidateHeuristic::DBNP => "dBNP",
+            CandidateHeuristic::BBNP => "bBNP",
+        }
+    }
+}
+
+/// Extracts candidates from one analyzed sentence under the heuristic.
+pub fn extract_candidates(
+    sentence: &AnalyzedSentence,
+    heuristic: CandidateHeuristic,
+) -> Vec<String> {
+    match heuristic {
+        CandidateHeuristic::BBNP => extract_bbnp(sentence).into_iter().collect(),
+        CandidateHeuristic::DBNP => base_noun_phrases(sentence, true),
+        CandidateHeuristic::BNP => base_noun_phrases(sentence, false),
+    }
+}
+
+/// Common-noun base NPs (normalized, determiner stripped), optionally
+/// restricted to definite ones.
+fn base_noun_phrases(sentence: &AnalyzedSentence, definite_only: bool) -> Vec<String> {
+    let mut out = Vec::new();
+    for chunk in &sentence.chunks {
+        if chunk.kind != ChunkKind::NP {
+            continue;
+        }
+        let mut start = chunk.start;
+        let mut is_definite = false;
+        if sentence.tags[start] == PosTag::DT {
+            is_definite = sentence.tokens[start].lower() == "the";
+            start += 1;
+        }
+        if definite_only && !is_definite {
+            continue;
+        }
+        if start >= chunk.end {
+            continue;
+        }
+        // base NP body: only JJ/NN tokens qualify (mirrors the bBNP
+        // pattern alphabet, without the position/length constraints)
+        let body_ok = (start..chunk.end).all(|i| {
+            sentence.tags[i] == PosTag::JJ || sentence.tags[i].is_common_noun()
+        });
+        let has_noun = (start..chunk.end).any(|i| sentence.tags[i].is_common_noun());
+        if !body_ok || !has_noun || chunk.end - start > 3 {
+            continue;
+        }
+        let term = sentence.tokens[start..chunk.end]
+            .iter()
+            .map(|t| t.lower())
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push(term);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wf_nlp::Pipeline;
+
+    fn candidates(text: &str, h: CandidateHeuristic) -> Vec<String> {
+        let p = Pipeline::new();
+        let sents = p.analyze(text);
+        sents
+            .iter()
+            .flat_map(|s| extract_candidates(s, h))
+            .collect()
+    }
+
+    #[test]
+    fn bbnp_is_strictest() {
+        let text = "I like the battery. The picture quality is superb near a lens.";
+        let bnp = candidates(text, CandidateHeuristic::BNP);
+        let dbnp = candidates(text, CandidateHeuristic::DBNP);
+        let bbnp = candidates(text, CandidateHeuristic::BBNP);
+        assert!(bnp.len() >= dbnp.len());
+        assert!(dbnp.len() >= bbnp.len());
+        assert_eq!(bbnp, vec!["picture quality"]);
+    }
+
+    #[test]
+    fn dbnp_requires_definite_article() {
+        let text = "A battery died. The battery charged.";
+        let dbnp = candidates(text, CandidateHeuristic::DBNP);
+        assert_eq!(dbnp, vec!["battery"]);
+        let bnp = candidates(text, CandidateHeuristic::BNP);
+        assert_eq!(bnp, vec!["battery", "battery"]);
+    }
+
+    #[test]
+    fn mid_sentence_definite_np_counts_for_dbnp_not_bbnp() {
+        let text = "I finally opened the manual yesterday.";
+        assert_eq!(
+            candidates(text, CandidateHeuristic::DBNP),
+            vec!["manual"]
+        );
+        assert!(candidates(text, CandidateHeuristic::BBNP).is_empty());
+    }
+
+    #[test]
+    fn proper_nouns_excluded_everywhere() {
+        let text = "The Canon arrived.";
+        for h in [
+            CandidateHeuristic::BNP,
+            CandidateHeuristic::DBNP,
+            CandidateHeuristic::BBNP,
+        ] {
+            assert!(candidates(text, h).is_empty(), "{h:?}");
+        }
+    }
+
+    #[test]
+    fn long_nps_excluded() {
+        let text = "The digital camera memory card slot broke.";
+        assert!(candidates(text, CandidateHeuristic::DBNP).is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! Topic-feature term extraction (the paper's Section 4.1).
+//!
+//! A *feature term* of a topic stands in a part-of or attribute-of
+//! relationship with the topic (lens, battery, picture quality for a
+//! digital camera). This crate implements the best-performing combination
+//! the paper reports — the bBNP candidate heuristic with Dunning
+//! likelihood-ratio selection ("bBNP-L"):
+//!
+//! - [`bbnp`]: definite base noun phrases at sentence beginnings followed
+//!   by a verb phrase;
+//! - [`likelihood`]: the −2·log λ statistic over D+/D− document counts;
+//! - [`extractor`]: the combined ranker/selector.
+
+pub mod bbnp;
+pub mod extractor;
+pub mod heuristics;
+pub mod likelihood;
+
+pub use bbnp::{extract_bbnp, extract_bbnps};
+pub use extractor::{FeatureExtractor, ScoredFeature, Selection, SelectionMetric};
+pub use heuristics::CandidateHeuristic;
+pub use likelihood::{likelihood_ratio, Counts, CHI2_95, CHI2_99, CHI2_999};

@@ -1,0 +1,183 @@
+//! Dunning likelihood-ratio test for feature-term selection.
+//!
+//! Following the paper (and Dunning 1993): for a candidate base noun phrase
+//! with document counts over a topic collection D+ and a background
+//! collection D−, the statistic −2·log λ is asymptotically χ²(1)
+//! distributed, and "the higher the likelihood ratio, the more likely the
+//! bnp is relevant to the topic".
+
+/// 2×2 document counts for one candidate term (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    /// Documents in D+ containing the candidate.
+    pub c11: u64,
+    /// Documents in D− containing the candidate.
+    pub c12: u64,
+    /// Documents in D+ *not* containing the candidate.
+    pub c21: u64,
+    /// Documents in D− *not* containing the candidate.
+    pub c22: u64,
+}
+
+impl Counts {
+    /// Builds counts from collection sizes and per-collection presence.
+    pub fn from_presence(present_plus: u64, present_minus: u64, n_plus: u64, n_minus: u64) -> Self {
+        assert!(present_plus <= n_plus, "presence exceeds |D+|");
+        assert!(present_minus <= n_minus, "presence exceeds |D-|");
+        Counts {
+            c11: present_plus,
+            c12: present_minus,
+            c21: n_plus - present_plus,
+            c22: n_minus - present_minus,
+        }
+    }
+
+    /// r1 = C11 / (C11 + C12): of documents containing the candidate, the
+    /// fraction that are on-topic.
+    pub fn r1(&self) -> f64 {
+        ratio(self.c11, self.c11 + self.c12)
+    }
+
+    /// r2 = C21 / (C21 + C22): of documents not containing the candidate,
+    /// the fraction that are on-topic.
+    pub fn r2(&self) -> f64 {
+        ratio(self.c21, self.c21 + self.c22)
+    }
+
+    /// r = (C11 + C21) / N: the overall on-topic fraction.
+    pub fn r(&self) -> f64 {
+        ratio(self.c11 + self.c21, self.c11 + self.c12 + self.c21 + self.c22)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// `x · ln(p)` with the convention `0 · ln(0) = 0`.
+fn xlog(x: u64, p: f64) -> f64 {
+    if x == 0 {
+        0.0
+    } else {
+        debug_assert!(p > 0.0, "nonzero count with zero probability");
+        x as f64 * p.ln()
+    }
+}
+
+/// The paper's −2·log λ statistic.
+///
+/// Zero when r2 ≥ r1 (the candidate is not positively associated with the
+/// topic); otherwise
+/// `2·[logL(r1, r2) − logL(r, r)] ≥ 0`, asymptotically χ²(1).
+///
+/// ```
+/// use wf_features::{likelihood_ratio, Counts, CHI2_95};
+///
+/// // a term present in 90/100 topic documents and 2/1000 background ones
+/// let counts = Counts::from_presence(90, 2, 100, 1000);
+/// assert!(likelihood_ratio(counts) > CHI2_95);
+/// ```
+pub fn likelihood_ratio(counts: Counts) -> f64 {
+    let (r1, r2, r) = (counts.r1(), counts.r2(), counts.r());
+    if r2 >= r1 {
+        return 0.0;
+    }
+    let Counts { c11, c12, c21, c22 } = counts;
+    let log_alt = xlog(c11, r1) + xlog(c12, 1.0 - r1) + xlog(c21, r2) + xlog(c22, 1.0 - r2);
+    let log_null = xlog(c11 + c21, r) + xlog(c12 + c22, 1.0 - r);
+    // log_null also needs the complements paired with each row's trials:
+    // logL(r, r) = (C11+C21)·ln r + (C12+C22)·ln(1−r)
+    2.0 * (log_alt - log_null)
+}
+
+/// χ²(1) critical value at 95% confidence.
+pub const CHI2_95: f64 = 3.841;
+/// χ²(1) critical value at 99% confidence.
+pub const CHI2_99: f64 = 6.635;
+/// χ²(1) critical value at 99.9% confidence.
+pub const CHI2_999: f64 = 10.828;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strongly_topical_term_scores_high() {
+        // in 90 of 100 on-topic docs, 2 of 1000 off-topic docs
+        let c = Counts::from_presence(90, 2, 100, 1000);
+        let lr = likelihood_ratio(c);
+        assert!(lr > CHI2_999, "lr = {lr}");
+    }
+
+    #[test]
+    fn uniform_term_scores_zero_or_tiny() {
+        // present in 50% of both collections → r1 ≈ r (no signal)
+        let c = Counts::from_presence(50, 500, 100, 1000);
+        let lr = likelihood_ratio(c);
+        assert!(lr < 0.5, "lr = {lr}");
+    }
+
+    #[test]
+    fn anti_topical_term_scores_zero() {
+        // present mostly in off-topic docs → r2 > r1 → clamped to 0
+        let c = Counts::from_presence(1, 800, 100, 1000);
+        assert_eq!(likelihood_ratio(c), 0.0);
+    }
+
+    #[test]
+    fn statistic_is_nonnegative() {
+        for (a, b, np, nm) in [
+            (10u64, 0u64, 10u64, 10u64),
+            (5, 5, 10, 10),
+            (0, 0, 10, 10),
+            (10, 10, 10, 10),
+            (1, 1, 100, 1),
+            (7, 3, 9, 11),
+        ] {
+            let c = Counts::from_presence(a.min(np), b.min(nm), np, nm);
+            let lr = likelihood_ratio(c);
+            assert!(lr >= 0.0, "negative lr {lr} for {c:?}");
+            assert!(lr.is_finite(), "non-finite lr for {c:?}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_topical_presence() {
+        // more on-topic presence (same off-topic) → higher score
+        let mut prev = -1.0;
+        for present in [10u64, 30, 50, 70, 90] {
+            let lr = likelihood_ratio(Counts::from_presence(present, 5, 100, 1000));
+            assert!(lr > prev, "lr {lr} not increasing at {present}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn degenerate_empty_collections() {
+        let c = Counts::from_presence(0, 0, 0, 0);
+        assert_eq!(likelihood_ratio(c), 0.0);
+    }
+
+    #[test]
+    fn ratios_match_definitions() {
+        let c = Counts {
+            c11: 3,
+            c12: 1,
+            c21: 2,
+            c22: 4,
+        };
+        assert!((c.r1() - 0.75).abs() < 1e-12);
+        assert!((c.r2() - 2.0 / 6.0).abs() < 1e-12);
+        assert!((c.r() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "presence exceeds")]
+    fn presence_cannot_exceed_collection() {
+        let _ = Counts::from_presence(11, 0, 10, 10);
+    }
+}

@@ -1,0 +1,22 @@
+//! Parse inspector: prints the tagged tokens, chunks and clause analysis
+//! for a sentence — the quickest way to see what the shallow parser does.
+//!
+//! Run with: `cargo run -p wf-nlp --example dbg "Your sentence here."`
+
+fn main() {
+    let text = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "This camera takes excellent pictures.".into());
+    let tokens = wf_nlp::tokenizer::tokenize(&text);
+    let tags = wf_nlp::pos::PosTagger::new().tag_sentence(&tokens);
+    for (t, g) in tokens.iter().zip(&tags) {
+        print!("{}/{} ", t.text, g);
+    }
+    println!();
+    let chunks = wf_nlp::chunk::chunk(&tokens, &tags);
+    for c in &chunks {
+        println!("{:?} {:?} head={}", c.kind, c.text(&tokens), tokens[c.head].text);
+    }
+    let analysis = wf_nlp::clause::analyze_clauses(&tokens, &tags, &chunks);
+    println!("{:#?}", analysis.clauses);
+}

@@ -1,0 +1,426 @@
+//! Shallow phrase chunker (the Talent-parser substitute).
+//!
+//! Groups a tagged token stream into non-overlapping base phrases: noun
+//! phrases (NP), verb phrases/groups (VP), prepositional phrases (PP, a
+//! preposition plus its NP object) and adjective phrases (ADJP). These are
+//! exactly the sentence components the sentiment pattern database refers to
+//! (SP, OP, CP, PP), and NP chunks feed the bBNP feature-extraction
+//! heuristic.
+
+use crate::tags::PosTag;
+use crate::tokenizer::Token;
+
+/// Kind of a base phrase chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChunkKind {
+    /// Noun phrase (optionally starting with a determiner/possessive).
+    NP,
+    /// Verb group: auxiliaries, negation adverbs, main verb, trailing
+    /// adverbs.
+    VP,
+    /// Prepositional phrase: `IN` + following NP (the NP tokens are part of
+    /// the PP chunk; `object` records where it starts).
+    PP,
+    /// Adjective phrase (predicative position: "are [very vibrant]").
+    ADJP,
+    /// Anything not covered (punctuation, conjunctions, stray tokens).
+    Other,
+}
+
+/// A chunk: a token range `[start, end)` within one sentence, with a head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    pub kind: ChunkKind,
+    /// Index (into the sentence's token slice) of the first token.
+    pub start: usize,
+    /// One past the last token.
+    pub end: usize,
+    /// Index of the head token: last noun of an NP, main verb of a VP,
+    /// last adjective of an ADJP, the preposition of a PP.
+    pub head: usize,
+    /// For PP chunks: index where the embedded object NP starts, if any.
+    pub object: Option<usize>,
+}
+
+impl Chunk {
+    /// Number of tokens in the chunk.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The chunk's tokens borrowed from the sentence slice.
+    pub fn tokens<'a>(&self, sentence: &'a [Token]) -> &'a [Token] {
+        &sentence[self.start..self.end]
+    }
+
+    /// Surface text of the chunk, joined with single spaces.
+    pub fn text(&self, sentence: &[Token]) -> String {
+        sentence[self.start..self.end]
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// True when `tag` can premodify a noun inside an NP.
+fn is_np_premodifier(tag: PosTag) -> bool {
+    tag.is_adjective() || matches!(tag, PosTag::CD | PosTag::VBN | PosTag::VBG)
+}
+
+/// Chunks one tagged sentence. `tokens` and `tags` must be equal length.
+///
+/// The grammar, applied greedily left to right:
+///
+/// ```text
+/// NP   := (DT | PRP$ | PDT DT)? (RB? PREMOD)* NOUN+  |  PRP  |  EX
+/// VP   := (MD | RB)* VERB+ RB*            (at least one verb)
+/// PP   := IN NP?
+/// ADJP := RB* (JJ|JJR|JJS)+               (only outside an NP)
+/// ```
+pub fn chunk(tokens: &[Token], tags: &[PosTag]) -> Vec<Chunk> {
+    assert_eq!(tokens.len(), tags.len(), "tokens/tags length mismatch");
+    let mut chunks = Vec::new();
+    let mut i = 0;
+    let n = tokens.len();
+    while i < n {
+        let tag = tags[i];
+        // Pronoun / existential-there NP
+        if matches!(tag, PosTag::PRP | PosTag::EX) {
+            chunks.push(Chunk {
+                kind: ChunkKind::NP,
+                start: i,
+                end: i + 1,
+                head: i,
+                object: None,
+            });
+            i += 1;
+            continue;
+        }
+        // Subordinating conjunctions open a new clause rather than a PP;
+        // the clause analyzer splits on them.
+        if tag == PosTag::IN && is_subordinator(&tokens[i].lower()) {
+            chunks.push(Chunk {
+                kind: ChunkKind::Other,
+                start: i,
+                end: i + 1,
+                head: i,
+                object: None,
+            });
+            i += 1;
+            continue;
+        }
+        // PP: preposition + NP
+        if tag == PosTag::IN {
+            let prep = i;
+            if let Some(np) = match_np(tags, i + 1) {
+                chunks.push(Chunk {
+                    kind: ChunkKind::PP,
+                    start: prep,
+                    end: np.1,
+                    head: prep,
+                    object: Some(np.0),
+                });
+                i = np.1;
+            } else {
+                chunks.push(Chunk {
+                    kind: ChunkKind::PP,
+                    start: prep,
+                    end: prep + 1,
+                    head: prep,
+                    object: None,
+                });
+                i += 1;
+            }
+            continue;
+        }
+        // NP
+        if let Some((np_start, np_end, head)) = match_np_full(tags, i) {
+            chunks.push(Chunk {
+                kind: ChunkKind::NP,
+                start: np_start,
+                end: np_end,
+                head,
+                object: None,
+            });
+            i = np_end;
+            continue;
+        }
+        // VP: modal/adverb prefix then verbs
+        if tag.is_verb() || tag == PosTag::MD || (tag.is_adverb() && starts_vp(tags, i)) {
+            let start = i;
+            let mut j = i;
+            // prefix of modals and adverbs
+            while j < n && (tags[j] == PosTag::MD || tags[j].is_adverb()) {
+                j += 1;
+            }
+            let verb_start = j;
+            while j < n && (tags[j].is_verb() || tags[j].is_adverb() || tags[j] == PosTag::TO) {
+                // only continue through TO if a verb follows ("seems to work")
+                if tags[j] == PosTag::TO && !(j + 1 < n && tags[j + 1].is_verb()) {
+                    break;
+                }
+                j += 1;
+            }
+            // trim trailing adverbs kept inside the VP (they belong: "works
+            // well"), but a trailing TO never ends a VP
+            if j > verb_start {
+                // head: last verb token in [start, j)
+                let head = (start..j)
+                    .rev()
+                    .find(|&k| tags[k].is_verb())
+                    .expect("VP contains a verb");
+                chunks.push(Chunk {
+                    kind: ChunkKind::VP,
+                    start,
+                    end: j,
+                    head,
+                    object: None,
+                });
+                i = j;
+                continue;
+            }
+            // no verb after the adverb/modal prefix: fall through
+        }
+        // ADJP (predicative)
+        if tag.is_adjective() || (tag.is_adverb() && i + 1 < n && tags[i + 1].is_adjective()) {
+            let start = i;
+            let mut j = i;
+            while j < n && tags[j].is_adverb() {
+                j += 1;
+            }
+            let mut head = j;
+            while j < n && tags[j].is_adjective() {
+                head = j;
+                j += 1;
+            }
+            if head < j {
+                chunks.push(Chunk {
+                    kind: ChunkKind::ADJP,
+                    start,
+                    end: j,
+                    head,
+                    object: None,
+                });
+                i = j;
+                continue;
+            }
+        }
+        // Other: single token
+        chunks.push(Chunk {
+            kind: ChunkKind::Other,
+            start: i,
+            end: i + 1,
+            head: i,
+            object: None,
+        });
+        i += 1;
+    }
+    chunks
+}
+
+/// Subordinating conjunctions that begin a dependent clause. "that" and
+/// the wh-words are handled separately; "unlike"/"like"/"as" stay
+/// prepositional because the contrast rule consumes them as PPs.
+pub fn is_subordinator(lower: &str) -> bool {
+    matches!(
+        lower,
+        "although" | "though" | "because" | "while" | "whereas" | "unless" | "if" | "since"
+            | "whether"
+    )
+}
+
+/// True when the adverb at `i` is the start of a verb group (i.e. a verb or
+/// modal follows within the adverb run) — e.g. "certainly offers".
+fn starts_vp(tags: &[PosTag], i: usize) -> bool {
+    let mut j = i;
+    while j < tags.len() && tags[j].is_adverb() {
+        j += 1;
+    }
+    j < tags.len() && (tags[j].is_verb() || tags[j] == PosTag::MD)
+}
+
+/// Matches an NP starting exactly at `i`; returns `(np_start, np_end)`.
+fn match_np(tags: &[PosTag], i: usize) -> Option<(usize, usize)> {
+    match_np_full(tags, i).map(|(s, e, _)| (s, e))
+}
+
+/// Matches an NP starting exactly at `i`; returns `(start, end, head)`.
+fn match_np_full(tags: &[PosTag], i: usize) -> Option<(usize, usize, usize)> {
+    let n = tags.len();
+    if i >= n {
+        return None;
+    }
+    if matches!(tags[i], PosTag::PRP | PosTag::EX) {
+        return Some((i, i + 1, i));
+    }
+    let mut j = i;
+    // optional predeterminer + determiner / possessive
+    if j < n && tags[j] == PosTag::PDT {
+        j += 1;
+    }
+    if j < n && matches!(tags[j], PosTag::DT | PosTag::PRPS) {
+        j += 1;
+    }
+    // premodifiers (each optionally preceded by a degree adverb: "a very
+    // good camera"); possessive nouns ("the camera's lens") also premodify
+    let mut saw_noun = false;
+    let mut head = j;
+    loop {
+        if j < n && tags[j].is_adverb() && j + 1 < n && is_np_premodifier(tags[j + 1]) {
+            j += 2;
+            continue;
+        }
+        if j < n && is_np_premodifier(tags[j]) {
+            j += 1;
+            continue;
+        }
+        if j < n && tags[j].is_noun() {
+            head = j;
+            saw_noun = true;
+            j += 1;
+            // possessive marker continues the NP: "camera 's lens"
+            if j < n && tags[j] == PosTag::POS {
+                j += 1;
+            }
+            continue;
+        }
+        break;
+    }
+    if saw_noun && j > i {
+        Some((i, j, head))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pos::PosTagger;
+    use crate::tokenizer::tokenize;
+
+    /// Tokenize + tag + chunk one sentence; returns (kind, text) pairs.
+    fn chunks_of(text: &str) -> Vec<(ChunkKind, String)> {
+        let tokens = tokenize(text);
+        let tagger = PosTagger::new();
+        let tags = tagger.tag_sentence(&tokens);
+        chunk(&tokens, &tags)
+            .into_iter()
+            .map(|c| (c.kind, c.text(&tokens)))
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_svo() {
+        let cs = chunks_of("This camera takes excellent pictures.");
+        assert_eq!(cs[0], (ChunkKind::NP, "This camera".to_string()));
+        assert_eq!(cs[1], (ChunkKind::VP, "takes".to_string()));
+        assert_eq!(cs[2], (ChunkKind::NP, "excellent pictures".to_string()));
+    }
+
+    #[test]
+    fn copula_with_predicative_adjective() {
+        let cs = chunks_of("The colors are vibrant.");
+        assert_eq!(cs[0], (ChunkKind::NP, "The colors".to_string()));
+        assert_eq!(cs[1], (ChunkKind::VP, "are".to_string()));
+        assert_eq!(cs[2], (ChunkKind::ADJP, "vibrant".to_string()));
+    }
+
+    #[test]
+    fn passive_with_pp() {
+        let cs = chunks_of("I am impressed by the picture quality.");
+        assert_eq!(cs[0], (ChunkKind::NP, "I".to_string()));
+        assert_eq!(cs[1], (ChunkKind::VP, "am impressed".to_string()));
+        assert_eq!(
+            cs[2],
+            (ChunkKind::PP, "by the picture quality".to_string())
+        );
+    }
+
+    #[test]
+    fn pp_object_offset() {
+        let text = "I am impressed by the picture quality.";
+        let tokens = tokenize(text);
+        let tags = PosTagger::new().tag_sentence(&tokens);
+        let cs = chunk(&tokens, &tags);
+        let pp = cs.iter().find(|c| c.kind == ChunkKind::PP).unwrap();
+        assert_eq!(tokens[pp.head].text, "by");
+        let obj = pp.object.unwrap();
+        assert_eq!(tokens[obj].text, "the");
+    }
+
+    #[test]
+    fn negated_verb_group_is_one_vp() {
+        let cs = chunks_of("The camera does not require an adapter.");
+        assert!(cs.contains(&(ChunkKind::VP, "does not require".to_string())));
+    }
+
+    #[test]
+    fn chunks_partition_the_sentence() {
+        for text in [
+            "The Memory Stick support in the NR70 series is well implemented.",
+            "Unlike the T series, the NR70 does not require an add-on adapter.",
+            "The company offers mediocre services.",
+        ] {
+            let tokens = tokenize(text);
+            let tags = PosTagger::new().tag_sentence(&tokens);
+            let cs = chunk(&tokens, &tags);
+            let mut pos = 0;
+            for c in &cs {
+                assert_eq!(c.start, pos, "gap before chunk in {text:?}");
+                assert!(c.head >= c.start && c.head < c.end);
+                pos = c.end;
+            }
+            assert_eq!(pos, tokens.len());
+        }
+    }
+
+    #[test]
+    fn np_with_degree_adverb() {
+        let cs = chunks_of("It is a very good camera.");
+        assert!(cs.contains(&(ChunkKind::NP, "a very good camera".to_string())));
+    }
+
+    #[test]
+    fn possessive_np_stays_together() {
+        let cs = chunks_of("The camera's lens is sharp.");
+        assert_eq!(cs[0], (ChunkKind::NP, "The camera 's lens".to_string()));
+    }
+
+    #[test]
+    fn np_head_is_last_noun() {
+        let text = "The picture quality is superb.";
+        let tokens = tokenize(text);
+        let tags = PosTagger::new().tag_sentence(&tokens);
+        let cs = chunk(&tokens, &tags);
+        let np = &cs[0];
+        assert_eq!(np.kind, ChunkKind::NP);
+        assert_eq!(tokens[np.head].text, "quality");
+    }
+
+    #[test]
+    fn infinitive_continues_verb_group() {
+        let cs = chunks_of("The product fails to meet our expectations.");
+        assert!(cs
+            .iter()
+            .any(|(k, t)| *k == ChunkKind::VP && t.contains("fails to meet")));
+    }
+
+    #[test]
+    fn conjunction_is_other() {
+        let cs = chunks_of("The lens and the battery are great.");
+        assert!(cs.contains(&(ChunkKind::Other, "and".to_string())));
+    }
+
+    #[test]
+    fn proper_noun_sequence_is_np() {
+        let cs = chunks_of("Sony PDA owners love the Memory Stick expansion.");
+        assert!(cs[0].0 == ChunkKind::NP);
+        assert!(cs[0].1.contains("Sony"));
+    }
+}

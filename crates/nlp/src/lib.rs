@@ -1,0 +1,192 @@
+//! English NLP substrate for the WebFountain sentiment miner.
+//!
+//! The paper's pipeline depends on four language-processing miners — a
+//! tokenizer, the Ratnaparkhi POS tagger, the Talent shallow parser, and a
+//! capitalization-based named entity spotter. This crate re-implements all
+//! of them from scratch:
+//!
+//! - [`tokenizer`]: offset-preserving tokenization,
+//! - [`sentence`]: sentence splitting,
+//! - [`pos`]: dictionary + contextual-rule POS tagging (Penn Treebank tags),
+//! - [`lemma`]: rule-based lemmatization (predicate lookup key),
+//! - [`chunk`]: NP/VP/PP/ADJP shallow chunking,
+//! - [`clause`]: clause decomposition into SP/OP/CP/PP components,
+//! - [`ner`]: capitalized-noun-phrase named entity spotting with split
+//!   heuristics.
+//!
+//! [`Pipeline`] bundles the stages for one-call analysis of raw text.
+
+pub mod chunk;
+pub mod clause;
+pub mod dict;
+pub mod lemma;
+pub mod ner;
+pub mod pos;
+pub mod sentence;
+pub mod tags;
+pub mod tokenizer;
+
+pub use chunk::{Chunk, ChunkKind};
+pub use clause::{Clause, Predicate, SentenceAnalysis};
+pub use ner::NamedEntity;
+pub use pos::PosTagger;
+pub use sentence::Sentence;
+pub use tags::PosTag;
+pub use tokenizer::{Token, TokenKind};
+
+/// A fully analyzed sentence: tokens (sentence-local), tags, chunks and
+/// clause structure.
+#[derive(Debug, Clone)]
+pub struct AnalyzedSentence {
+    /// Byte span of the sentence in the source document.
+    pub span: wf_types::Span,
+    /// The sentence's tokens (indices below are into this vector).
+    pub tokens: Vec<Token>,
+    /// One Penn Treebank tag per token.
+    pub tags: Vec<PosTag>,
+    /// Base-phrase chunks over the tokens.
+    pub chunks: Vec<Chunk>,
+    /// Clause decomposition.
+    pub analysis: SentenceAnalysis,
+}
+
+impl AnalyzedSentence {
+    /// Surface text of a chunk by index.
+    pub fn chunk_text(&self, chunk_index: usize) -> String {
+        self.chunks[chunk_index].text(&self.tokens)
+    }
+
+    /// Lower-cased lemma of the token at `index`.
+    pub fn lemma(&self, index: usize) -> String {
+        lemma::lemmatize(&self.tokens[index].lower(), self.tags[index])
+    }
+}
+
+/// End-to-end text analysis pipeline: tokenize → split → tag → chunk →
+/// clause-analyze.
+pub struct Pipeline {
+    tagger: PosTagger,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pipeline {
+    pub fn new() -> Self {
+        Pipeline {
+            tagger: PosTagger::new(),
+        }
+    }
+
+    /// Analyzes raw text into per-sentence structures.
+    pub fn analyze(&self, text: &str) -> Vec<AnalyzedSentence> {
+        let tokens = tokenizer::tokenize(text);
+        let sentences = sentence::split_sentences(&tokens);
+        sentences
+            .iter()
+            .map(|s| {
+                let toks: Vec<Token> = s.tokens(&tokens).to_vec();
+                let tags = self.tagger.tag_sentence(&toks);
+                let chunks = chunk::chunk(&toks, &tags);
+                let analysis = clause::analyze_clauses(&toks, &tags, &chunks);
+                AnalyzedSentence {
+                    span: s.span,
+                    tokens: toks,
+                    tags,
+                    chunks,
+                    analysis,
+                }
+            })
+            .collect()
+    }
+
+    /// Analyzes a single sentence that is already isolated (no splitting).
+    pub fn analyze_sentence(&self, text: &str) -> AnalyzedSentence {
+        let toks = tokenizer::tokenize(text);
+        let tags = self.tagger.tag_sentence(&toks);
+        let chunks = chunk::chunk(&toks, &tags);
+        let analysis = clause::analyze_clauses(&toks, &tags, &chunks);
+        let span = if toks.is_empty() {
+            wf_types::Span::new(0, 0)
+        } else {
+            wf_types::Span::new(toks[0].span.start, toks[toks.len() - 1].span.end)
+        };
+        AnalyzedSentence {
+            span,
+            tokens: toks,
+            tags,
+            chunks,
+            analysis,
+        }
+    }
+
+    /// Detects named entities across all sentences of `text`.
+    pub fn named_entities(&self, text: &str) -> Vec<NamedEntity> {
+        let tokens = tokenizer::tokenize(text);
+        let sentences = sentence::split_sentences(&tokens);
+        let mut out = Vec::new();
+        for s in &sentences {
+            out.extend(ner::spot_entities(&tokens, s));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_analyzes_multi_sentence_text() {
+        let p = Pipeline::new();
+        let analyzed = p.analyze("The camera is great. The battery drains quickly.");
+        assert_eq!(analyzed.len(), 2);
+        assert_eq!(
+            analyzed[0].analysis.clauses[0]
+                .predicate
+                .as_ref()
+                .unwrap()
+                .lemma,
+            "be"
+        );
+        assert_eq!(
+            analyzed[1].analysis.clauses[0]
+                .predicate
+                .as_ref()
+                .unwrap()
+                .lemma,
+            "drain"
+        );
+    }
+
+    #[test]
+    fn analyze_sentence_handles_empty_input() {
+        let p = Pipeline::new();
+        let a = p.analyze_sentence("");
+        assert!(a.tokens.is_empty());
+        assert!(a.chunks.is_empty());
+    }
+
+    #[test]
+    fn named_entities_via_pipeline() {
+        let p = Pipeline::new();
+        let es = p.named_entities("Canon and Nikon compete. Sony watches.");
+        let names: Vec<&str> = es.iter().map(|e| e.text.as_str()).collect();
+        assert!(names.contains(&"Canon"));
+        assert!(names.contains(&"Nikon"));
+        assert!(names.contains(&"Sony"));
+    }
+
+    #[test]
+    fn lemma_helper_uses_tags() {
+        let p = Pipeline::new();
+        let a = p.analyze_sentence("This camera takes excellent pictures.");
+        let takes = a.tokens.iter().position(|t| t.text == "takes").unwrap();
+        assert_eq!(a.lemma(takes), "take");
+        let pics = a.tokens.iter().position(|t| t.text == "pictures").unwrap();
+        assert_eq!(a.lemma(pics), "picture");
+    }
+}

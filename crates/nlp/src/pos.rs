@@ -1,0 +1,386 @@
+//! Part-of-speech tagger.
+//!
+//! The paper uses the Ratnaparkhi maximum-entropy tagger; as a substitute we
+//! implement a dictionary + suffix-guess + contextual-rule tagger in the
+//! style of Brill (1995). The initial tag is the dictionary's most likely
+//! tag (or a suffix-based guess for unknown words); a fixed sequence of
+//! contextual repair rules then fixes the classic ambiguities that matter to
+//! this pipeline (noun/verb, VBD/VBN, "that", base verbs after TO/MD).
+//!
+//! A repair rule may only move a known word to a tag its dictionary entry
+//! allows, which keeps the rules safe to apply unconditionally.
+
+use crate::dict::TagDictionary;
+use crate::tags::PosTag;
+use crate::tokenizer::{Token, TokenKind};
+
+/// Dictionary-driven rule-based POS tagger.
+pub struct PosTagger {
+    dict: &'static TagDictionary,
+}
+
+impl Default for PosTagger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PosTagger {
+    /// Creates a tagger over the global tag dictionary.
+    pub fn new() -> Self {
+        PosTagger {
+            dict: TagDictionary::global(),
+        }
+    }
+
+    /// Tags one sentence worth of tokens.
+    pub fn tag_sentence(&self, tokens: &[Token]) -> Vec<PosTag> {
+        let mut tags: Vec<PosTag> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| self.initial_tag(t, i == 0))
+            .collect();
+        self.apply_contextual_rules(tokens, &mut tags);
+        tags
+    }
+
+    /// Initial tag assignment from surface form and dictionary.
+    fn initial_tag(&self, token: &Token, sentence_initial: bool) -> PosTag {
+        match token.kind {
+            TokenKind::Number => return PosTag::CD,
+            TokenKind::Punct => return punct_tag(&token.text),
+            TokenKind::Word => {}
+        }
+        let lower = token.lower();
+        if let Some(tags) = self.dict.lookup(&lower) {
+            // Known word: most likely tag — but a capitalized known word in
+            // the middle of a sentence that is capitalized in the source is
+            // more likely a proper-noun use ("Apple offers...") only when
+            // the dictionary does not know it; known words keep their tag.
+            return tags[0];
+        }
+        // Unknown word: capitalization dominates.
+        if token.is_capitalized() && !sentence_initial {
+            return PosTag::NNP;
+        }
+        if sentence_initial && token.is_all_caps() && token.text.len() > 1 {
+            return PosTag::NNP;
+        }
+        guess_by_suffix(&lower)
+    }
+
+    /// Contextual repair rules, Brill-style. Applied in order, twice, so a
+    /// correction can enable a later rule on the second pass.
+    fn apply_contextual_rules(&self, tokens: &[Token], tags: &mut [PosTag]) {
+        for _pass in 0..2 {
+            for i in 0..tokens.len() {
+                let lower = tokens[i].lower();
+                let prev = previous_non_adverb(tags, i);
+                let cur = tags[i];
+
+                // R1: after a determiner / possessive / adjective / cardinal,
+                // a verb-tagged word that can be a noun is a noun.
+                if let Some(p) = prev {
+                    if matches!(p, PosTag::DT | PosTag::PRPS | PosTag::JJ | PosTag::CD)
+                        && cur.is_verb()
+                    {
+                        if self.dict.allows(&lower, PosTag::NN) && self.dict.lookup(&lower).is_some_and(|t| t.contains(&PosTag::NN)) {
+                            tags[i] = PosTag::NN;
+                            continue;
+                        }
+                        if self.dict.lookup(&lower).is_some_and(|t| t.contains(&PosTag::NNS)) {
+                            tags[i] = PosTag::NNS;
+                            continue;
+                        }
+                    }
+                }
+
+                // R2/R3: base verb after TO or a modal.
+                if let Some(p) = prev {
+                    if matches!(p, PosTag::TO | PosTag::MD)
+                        && (cur.is_verb() || cur.is_noun())
+                        && self.dict.lookup(&lower).is_some_and(|t| t.contains(&PosTag::VB))
+                    {
+                        tags[i] = PosTag::VB;
+                        continue;
+                    }
+                }
+
+                // R4: noun-tagged word ending in "s" after a noun/pronoun,
+                // followed by the start of a noun phrase, is a 3sg verb.
+                if matches!(cur, PosTag::NN | PosTag::NNS)
+                    && lower.ends_with('s')
+                    && !lower.ends_with("ss")
+                {
+                    let prev_is_subject = prev.is_some_and(|p| {
+                        matches!(p, PosTag::PRP | PosTag::NN | PosTag::NNS | PosTag::NNP)
+                    });
+                    let next_opens_np = tags.get(i + 1).is_some_and(|&n| {
+                        matches!(n, PosTag::DT | PosTag::PRPS | PosTag::CD)
+                            || n.is_adjective()
+                            || n.is_noun()
+                            || n.is_adverb()
+                    });
+                    let allowed = match self.dict.lookup(&lower) {
+                        Some(t) => t.contains(&PosTag::VBZ),
+                        None => true,
+                    };
+                    if prev_is_subject && next_opens_np && allowed {
+                        tags[i] = PosTag::VBZ;
+                        continue;
+                    }
+                }
+
+                // R5: noun-tagged word after a plural noun or pronoun that
+                // the dictionary also lists as VBP is a present-tense verb
+                // when followed by NP/adverb/preposition material.
+                if cur == PosTag::NN
+                    && self.dict.lookup(&lower).is_some_and(|t| t.contains(&PosTag::VBP))
+                {
+                    let prev_is_plural_subject = prev
+                        .is_some_and(|p| matches!(p, PosTag::PRP | PosTag::NNS | PosTag::NNPS));
+                    if prev_is_plural_subject {
+                        tags[i] = PosTag::VBP;
+                        continue;
+                    }
+                }
+
+                // R6: "that" right after a verb is a complementizer (IN).
+                if lower == "that" && prev.is_some_and(|p| p.is_verb()) {
+                    tags[i] = PosTag::IN;
+                    continue;
+                }
+
+                // R7: VBD/VBN disambiguation by auxiliary lookback.
+                if matches!(cur, PosTag::VBD | PosTag::VBN)
+                    && self.dict.allows(&lower, PosTag::VBD)
+                    && self.dict.allows(&lower, PosTag::VBN)
+                {
+                    if has_aux_before(tokens, tags, i) {
+                        tags[i] = PosTag::VBN;
+                    } else if prev.is_some_and(|p| {
+                        matches!(p, PosTag::PRP | PosTag::NNP) || p.is_common_noun()
+                    }) {
+                        tags[i] = PosTag::VBD;
+                    }
+                    continue;
+                }
+
+                // R8: possessive 's after a noun, verbal 's otherwise.
+                if (lower == "'s" || lower == "’s") && prev.is_some_and(|p| !p.is_noun()) {
+                    tags[i] = PosTag::VBZ;
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+/// The nearest preceding tag, skipping adverbs (so "does not require" sees
+/// MD→VB through the negation).
+fn previous_non_adverb(tags: &[PosTag], i: usize) -> Option<PosTag> {
+    tags[..i].iter().rev().copied().find(|t| !t.is_adverb())
+}
+
+/// True when a form of be/have (or a modal + be) appears within the three
+/// non-adverb tokens before `i` — the passive/perfect auxiliary window.
+fn has_aux_before(tokens: &[Token], tags: &[PosTag], i: usize) -> bool {
+    let mut seen = 0;
+    for j in (0..i).rev() {
+        if tags[j].is_adverb() {
+            continue;
+        }
+        let lower = tokens[j].lower();
+        if matches!(
+            lower.as_str(),
+            "be" | "am" | "is" | "are" | "was" | "were" | "been" | "being" | "have" | "has"
+                | "had" | "having" | "'ve" | "get" | "gets" | "got" | "getting"
+        ) {
+            return true;
+        }
+        seen += 1;
+        if seen >= 3 || !tags[j].is_verb() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Tag for a punctuation token.
+fn punct_tag(text: &str) -> PosTag {
+    match text {
+        "." | "!" | "?" => PosTag::Period,
+        "," => PosTag::Comma,
+        ":" | ";" | "-" | "–" | "—" => PosTag::Colon,
+        _ => PosTag::Sym,
+    }
+}
+
+/// Suffix-based tag guess for unknown lower-case words.
+fn guess_by_suffix(lower: &str) -> PosTag {
+    const NOUN_SUFFIXES: &[&str] = &[
+        "tion", "sion", "ment", "ness", "ity", "ance", "ence", "ship", "ism", "ware", "hood",
+        "age", "ery",
+    ];
+    const ADJ_SUFFIXES: &[&str] = &[
+        "ous", "ful", "ive", "able", "ible", "ish", "less", "ant", "ic", "ary",
+    ];
+    if lower.ends_with("ly") {
+        return PosTag::RB;
+    }
+    if lower.ends_with("ing") && lower.len() > 4 {
+        return PosTag::VBG;
+    }
+    if lower.ends_with("ed") && lower.len() > 3 {
+        return PosTag::VBN;
+    }
+    for s in NOUN_SUFFIXES {
+        if lower.ends_with(s) {
+            return PosTag::NN;
+        }
+    }
+    for s in ADJ_SUFFIXES {
+        if lower.ends_with(s) {
+            return PosTag::JJ;
+        }
+    }
+    if lower.ends_with("est") && lower.len() > 4 {
+        return PosTag::JJS;
+    }
+    if lower.ends_with('s') && !lower.ends_with("ss") && lower.len() > 2 {
+        return PosTag::NNS;
+    }
+    PosTag::NN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sentence::split_sentences;
+    use crate::tokenizer::tokenize;
+
+    /// Tags a single-sentence text and returns (surface, tag) pairs.
+    fn tag(text: &str) -> Vec<(String, PosTag)> {
+        let tokens = tokenize(text);
+        let sents = split_sentences(&tokens);
+        assert_eq!(sents.len(), 1, "test text must be one sentence: {text}");
+        let tagger = PosTagger::new();
+        let tags = tagger.tag_sentence(sents[0].tokens(&tokens));
+        tokens.into_iter().map(|t| t.text).zip(tags).collect()
+    }
+
+    fn tag_of(text: &str, word: &str) -> PosTag {
+        tag(text)
+            .into_iter()
+            .find(|(w, _)| w == word)
+            .unwrap_or_else(|| panic!("{word} not in {text}"))
+            .1
+    }
+
+    #[test]
+    fn paper_example_camera_takes_pictures() {
+        let tagged = tag("This camera takes excellent pictures.");
+        assert_eq!(tagged[0].1, PosTag::DT);
+        assert_eq!(tagged[1].1, PosTag::NN);
+        assert_eq!(tagged[2].1, PosTag::VBZ);
+        assert_eq!(tagged[3].1, PosTag::JJ);
+        assert_eq!(tagged[4].1, PosTag::NNS);
+    }
+
+    #[test]
+    fn copula_plus_adjective() {
+        assert_eq!(tag_of("The colors are vibrant.", "are"), PosTag::VBP);
+        assert_eq!(tag_of("The colors are vibrant.", "vibrant"), PosTag::JJ);
+    }
+
+    #[test]
+    fn passive_participle_after_be() {
+        assert_eq!(
+            tag_of("I am impressed by the picture quality.", "impressed"),
+            PosTag::VBN
+        );
+    }
+
+    #[test]
+    fn simple_past_without_aux() {
+        assert_eq!(tag_of("The lens impressed me.", "impressed"), PosTag::VBD);
+    }
+
+    #[test]
+    fn base_verb_after_modal_and_to() {
+        assert_eq!(tag_of("It can focus quickly.", "focus"), PosTag::VB);
+        assert_eq!(tag_of("I want to review it.", "review"), PosTag::VB);
+    }
+
+    #[test]
+    fn noun_after_determiner_even_if_verbish() {
+        assert_eq!(tag_of("The review was fair.", "review"), PosTag::NN);
+        assert_eq!(tag_of("Their support is great.", "support"), PosTag::NN);
+    }
+
+    #[test]
+    fn present_plural_verb_after_pronoun() {
+        assert_eq!(tag_of("They work well.", "work"), PosTag::VBP);
+    }
+
+    #[test]
+    fn negated_verb_keeps_base_form() {
+        let tagged = tag("The camera does not require an adapter.");
+        assert_eq!(tag_of("The camera does not require an adapter.", "not"), PosTag::RB);
+        let require = tagged.iter().find(|(w, _)| w == "require").unwrap();
+        assert_eq!(require.1, PosTag::VB);
+    }
+
+    #[test]
+    fn unknown_capitalized_word_is_proper_noun() {
+        assert_eq!(tag_of("The Zorblax camera is fine.", "Zorblax"), PosTag::NNP);
+    }
+
+    #[test]
+    fn unknown_suffix_guesses() {
+        assert_eq!(guess_by_suffix("frobulation"), PosTag::NN);
+        assert_eq!(guess_by_suffix("zorptastic"), PosTag::JJ);
+        assert_eq!(guess_by_suffix("blorficly"), PosTag::RB);
+        assert_eq!(guess_by_suffix("zorping"), PosTag::VBG);
+        assert_eq!(guess_by_suffix("zorped"), PosTag::VBN);
+        assert_eq!(guess_by_suffix("widgets"), PosTag::NNS);
+        assert_eq!(guess_by_suffix("blorf"), PosTag::NN);
+    }
+
+    #[test]
+    fn that_as_complementizer_after_verb() {
+        assert_eq!(
+            tag_of("I think that the camera is great.", "that"),
+            PosTag::IN
+        );
+        assert_eq!(tag_of("That camera is great.", "That"), PosTag::DT);
+    }
+
+    #[test]
+    fn numbers_are_cd() {
+        assert_eq!(tag_of("It has 72 modes.", "72"), PosTag::CD);
+    }
+
+    #[test]
+    fn possessive_clitic() {
+        assert_eq!(tag_of("The camera's lens is sharp.", "'s"), PosTag::POS);
+        assert_eq!(tag_of("It's a great camera.", "'s"), PosTag::VBZ);
+    }
+
+    #[test]
+    fn offers_is_vbz_in_context() {
+        assert_eq!(
+            tag_of("The company offers mediocre services.", "offers"),
+            PosTag::VBZ
+        );
+    }
+
+    #[test]
+    fn denominal_verb_after_singular_noun() {
+        // "lacks" is a VBZ in the dictionary via the verb list
+        assert_eq!(
+            tag_of("The camera lacks a viewfinder.", "lacks"),
+            PosTag::VBZ
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Sentence splitting over the token stream.
+//!
+//! The sentiment miner's "sentiment context generally consists of the full
+//! sentence that contains a subject spot", so sentence boundaries are the
+//! unit of analysis throughout the system.
+
+use crate::tokenizer::{Token, TokenKind};
+use wf_types::Span;
+
+/// A sentence: a contiguous range of tokens plus its covering byte span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sentence {
+    /// Index of the first token of the sentence.
+    pub start_token: usize,
+    /// One past the index of the last token.
+    pub end_token: usize,
+    /// Byte span covering the sentence in the source text.
+    pub span: Span,
+}
+
+impl Sentence {
+    /// Number of tokens in the sentence.
+    pub fn len(&self) -> usize {
+        self.end_token - self.start_token
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start_token == self.end_token
+    }
+
+    /// The sentence's tokens, borrowed from the full token stream.
+    pub fn tokens<'a>(&self, all: &'a [Token]) -> &'a [Token] {
+        &all[self.start_token..self.end_token]
+    }
+}
+
+/// Abbreviations whose trailing period does not end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "mr", "mrs", "ms", "dr", "prof", "sr", "jr", "st", "vs", "etc", "inc", "corp", "co", "ltd",
+    "e.g", "i.e", "u.s", "u.k", "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept",
+    "oct", "nov", "dec", "no", "vol", "fig", "approx", "dept", "est",
+];
+
+fn is_abbreviation(word: &str) -> bool {
+    let lower = word.to_lowercase();
+    ABBREVIATIONS.contains(&lower.as_str()) || (word.len() == 1 && word.chars().all(|c| c.is_alphabetic()))
+}
+
+/// Splits a token stream into sentences.
+///
+/// A sentence ends at `.`, `!` or `?` unless the period follows a known
+/// abbreviation or a single initial ("Prof. Wilson"). Trailing closing
+/// quotes/brackets are absorbed into the sentence.
+pub fn split_sentences(tokens: &[Token]) -> Vec<Sentence> {
+    let mut sentences = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        let ends = match tok.text.as_str() {
+            "!" | "?" => true,
+            "." => {
+                // A period ends the sentence unless the previous token is an
+                // abbreviation and the next token is not clearly a sentence
+                // opener (capitalized word far enough away is ambiguous; we
+                // follow the conservative rule: abbreviation → no break).
+                let prev_is_abbrev = i > 0
+                    && tokens[i - 1].kind == TokenKind::Word
+                    && is_abbreviation(&tokens[i - 1].text)
+                    && tokens[i - 1].span.end == tok.span.start;
+                !prev_is_abbrev
+            }
+            _ => false,
+        };
+        if ends {
+            // absorb trailing closing quotes / brackets, plus runs of
+            // terminal punctuation ("..." and "!!!" are one boundary)
+            let mut end = i + 1;
+            while end < tokens.len()
+                && matches!(
+                    tokens[end].text.as_str(),
+                    "\"" | "'" | ")" | "]" | "”" | "’" | "." | "!" | "?"
+                )
+            {
+                end += 1;
+            }
+            push_sentence(tokens, start, end, &mut sentences);
+            start = end;
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    push_sentence(tokens, start, tokens.len(), &mut sentences);
+    sentences
+}
+
+fn push_sentence(tokens: &[Token], start: usize, end: usize, out: &mut Vec<Sentence>) {
+    if start >= end {
+        return;
+    }
+    let span = Span::new(tokens[start].span.start, tokens[end - 1].span.end);
+    out.push(Sentence {
+        start_token: start,
+        end_token: end,
+        span,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn sentence_texts(text: &str) -> Vec<String> {
+        let tokens = tokenize(text);
+        split_sentences(&tokens)
+            .iter()
+            .map(|s| s.span.slice(text).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn splits_on_terminal_punctuation() {
+        let s = sentence_texts("The camera is great. The battery is weak! Is it worth it?");
+        assert_eq!(
+            s,
+            vec![
+                "The camera is great.",
+                "The battery is weak!",
+                "Is it worth it?"
+            ]
+        );
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = sentence_texts("Prof. Wilson of American University praised the camera. It sold well.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].starts_with("Prof. Wilson"));
+    }
+
+    #[test]
+    fn single_initials_do_not_split() {
+        let s = sentence_texts("J. Smith reviewed the lens. It was sharp.");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn trailing_quote_is_absorbed() {
+        let s = sentence_texts("He said \"the picture is flawless.\" Then he left.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].ends_with("\""));
+    }
+
+    #[test]
+    fn unterminated_text_is_one_sentence() {
+        let s = sentence_texts("no terminal punctuation here");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_sentences(&[]).is_empty());
+    }
+
+    #[test]
+    fn token_ranges_partition_the_stream() {
+        let text = "One. Two. Three!";
+        let tokens = tokenize(text);
+        let sents = split_sentences(&tokens);
+        let mut covered = 0;
+        for s in &sents {
+            assert_eq!(s.start_token, covered);
+            covered = s.end_token;
+        }
+        assert_eq!(covered, tokens.len());
+    }
+
+    #[test]
+    fn question_inside_quotes_splits_after_quote() {
+        let s = sentence_texts("He asked \"is it worth it?\" Nobody answered.");
+        assert_eq!(s.len(), 2, "{s:?}");
+        assert!(s[0].ends_with('"'), "{s:?}");
+    }
+
+    #[test]
+    fn ellipsis_is_not_three_sentences() {
+        // each period is boundary-eligible but empty sentences are dropped
+        let s = sentence_texts("Well... maybe.");
+        assert!(s.len() <= 2, "{s:?}");
+        assert!(s.iter().all(|x| !x.trim().is_empty()));
+    }
+
+    #[test]
+    fn exclamation_chains() {
+        let s = sentence_texts("Amazing!!! Buy it now!");
+        assert!(!s.is_empty());
+        assert!(s.iter().all(|x| !x.trim().is_empty()));
+    }
+
+    #[test]
+    fn corporate_abbreviations() {
+        let s = sentence_texts("Example Corp. announced results. Shares rose.");
+        assert_eq!(s.len(), 2, "{s:?}");
+    }
+
+    #[test]
+    fn decimal_numbers_do_not_split() {
+        let s = sentence_texts("It costs 2.4 dollars. Cheap.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("2.4"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Penn Treebank part-of-speech tag set.
+//!
+//! The paper's pipeline is defined in terms of Penn Treebank tags (Marcus et
+//! al. 1993): the bBNP feature-extraction heuristic matches `NN`/`JJ`
+//! patterns, the sentiment lexicon entries carry a required tag, and the
+//! shallow parser chunks over tag sequences.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Penn Treebank POS tag (plus a few punctuation tags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum PosTag {
+    /// Coordinating conjunction (and, or, but)
+    CC,
+    /// Cardinal number
+    CD,
+    /// Determiner (the, a, this)
+    DT,
+    /// Existential "there"
+    EX,
+    /// Foreign word
+    FW,
+    /// Preposition / subordinating conjunction
+    IN,
+    /// Adjective
+    JJ,
+    /// Comparative adjective
+    JJR,
+    /// Superlative adjective
+    JJS,
+    /// Modal (can, should)
+    MD,
+    /// Singular or mass noun
+    NN,
+    /// Plural noun
+    NNS,
+    /// Singular proper noun
+    NNP,
+    /// Plural proper noun
+    NNPS,
+    /// Predeterminer (all, both)
+    PDT,
+    /// Possessive ending ('s)
+    POS,
+    /// Personal pronoun
+    PRP,
+    /// Possessive pronoun (my, its)
+    PRPS,
+    /// Adverb
+    RB,
+    /// Comparative adverb
+    RBR,
+    /// Superlative adverb
+    RBS,
+    /// Particle (up, off in phrasal verbs)
+    RP,
+    /// "to"
+    TO,
+    /// Interjection
+    UH,
+    /// Verb, base form
+    VB,
+    /// Verb, past tense
+    VBD,
+    /// Verb, gerund / present participle
+    VBG,
+    /// Verb, past participle
+    VBN,
+    /// Verb, non-3rd person singular present
+    VBP,
+    /// Verb, 3rd person singular present
+    VBZ,
+    /// Wh-determiner (which)
+    WDT,
+    /// Wh-pronoun (who)
+    WP,
+    /// Wh-adverb (when, how)
+    WRB,
+    /// Sentence-final punctuation (. ! ?)
+    Period,
+    /// Comma
+    Comma,
+    /// Colon / semicolon / dash
+    Colon,
+    /// Quotation marks, brackets, other symbols
+    Sym,
+}
+
+impl PosTag {
+    /// True for any noun tag: NN, NNS, NNP, NNPS.
+    pub fn is_noun(self) -> bool {
+        matches!(self, PosTag::NN | PosTag::NNS | PosTag::NNP | PosTag::NNPS)
+    }
+
+    /// True for common nouns only: NN, NNS (used by the bBNP heuristic,
+    /// which matches `NN` patterns per the paper).
+    pub fn is_common_noun(self) -> bool {
+        matches!(self, PosTag::NN | PosTag::NNS)
+    }
+
+    /// True for proper nouns: NNP, NNPS.
+    pub fn is_proper_noun(self) -> bool {
+        matches!(self, PosTag::NNP | PosTag::NNPS)
+    }
+
+    /// True for any adjective tag: JJ, JJR, JJS.
+    pub fn is_adjective(self) -> bool {
+        matches!(self, PosTag::JJ | PosTag::JJR | PosTag::JJS)
+    }
+
+    /// True for any verb tag: VB, VBD, VBG, VBN, VBP, VBZ.
+    pub fn is_verb(self) -> bool {
+        matches!(
+            self,
+            PosTag::VB | PosTag::VBD | PosTag::VBG | PosTag::VBN | PosTag::VBP | PosTag::VBZ
+        )
+    }
+
+    /// True for a finite verb form that can head a main clause.
+    pub fn is_finite_verb(self) -> bool {
+        matches!(self, PosTag::VBD | PosTag::VBP | PosTag::VBZ | PosTag::MD)
+    }
+
+    /// True for any adverb tag: RB, RBR, RBS.
+    pub fn is_adverb(self) -> bool {
+        matches!(self, PosTag::RB | PosTag::RBR | PosTag::RBS)
+    }
+
+    /// True for punctuation tags.
+    pub fn is_punct(self) -> bool {
+        matches!(
+            self,
+            PosTag::Period | PosTag::Comma | PosTag::Colon | PosTag::Sym
+        )
+    }
+
+    /// Canonical Penn Treebank string for the tag.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PosTag::CC => "CC",
+            PosTag::CD => "CD",
+            PosTag::DT => "DT",
+            PosTag::EX => "EX",
+            PosTag::FW => "FW",
+            PosTag::IN => "IN",
+            PosTag::JJ => "JJ",
+            PosTag::JJR => "JJR",
+            PosTag::JJS => "JJS",
+            PosTag::MD => "MD",
+            PosTag::NN => "NN",
+            PosTag::NNS => "NNS",
+            PosTag::NNP => "NNP",
+            PosTag::NNPS => "NNPS",
+            PosTag::PDT => "PDT",
+            PosTag::POS => "POS",
+            PosTag::PRP => "PRP",
+            PosTag::PRPS => "PRP$",
+            PosTag::RB => "RB",
+            PosTag::RBR => "RBR",
+            PosTag::RBS => "RBS",
+            PosTag::RP => "RP",
+            PosTag::TO => "TO",
+            PosTag::UH => "UH",
+            PosTag::VB => "VB",
+            PosTag::VBD => "VBD",
+            PosTag::VBG => "VBG",
+            PosTag::VBN => "VBN",
+            PosTag::VBP => "VBP",
+            PosTag::VBZ => "VBZ",
+            PosTag::WDT => "WDT",
+            PosTag::WP => "WP",
+            PosTag::WRB => "WRB",
+            PosTag::Period => ".",
+            PosTag::Comma => ",",
+            PosTag::Colon => ":",
+            PosTag::Sym => "SYM",
+        }
+    }
+}
+
+impl fmt::Display for PosTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for PosTag {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(match s {
+            "CC" => PosTag::CC,
+            "CD" => PosTag::CD,
+            "DT" => PosTag::DT,
+            "EX" => PosTag::EX,
+            "FW" => PosTag::FW,
+            "IN" => PosTag::IN,
+            "JJ" => PosTag::JJ,
+            "JJR" => PosTag::JJR,
+            "JJS" => PosTag::JJS,
+            "MD" => PosTag::MD,
+            "NN" => PosTag::NN,
+            "NNS" => PosTag::NNS,
+            "NNP" => PosTag::NNP,
+            "NNPS" => PosTag::NNPS,
+            "PDT" => PosTag::PDT,
+            "POS" => PosTag::POS,
+            "PRP" => PosTag::PRP,
+            "PRP$" => PosTag::PRPS,
+            "RB" => PosTag::RB,
+            "RBR" => PosTag::RBR,
+            "RBS" => PosTag::RBS,
+            "RP" => PosTag::RP,
+            "TO" => PosTag::TO,
+            "UH" => PosTag::UH,
+            "VB" => PosTag::VB,
+            "VBD" => PosTag::VBD,
+            "VBG" => PosTag::VBG,
+            "VBN" => PosTag::VBN,
+            "VBP" => PosTag::VBP,
+            "VBZ" => PosTag::VBZ,
+            "WDT" => PosTag::WDT,
+            "WP" => PosTag::WP,
+            "WRB" => PosTag::WRB,
+            "." => PosTag::Period,
+            "," => PosTag::Comma,
+            ":" => PosTag::Colon,
+            "SYM" => PosTag::Sym,
+            other => return Err(format!("unknown POS tag: {other:?}")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: &[PosTag] = &[
+        PosTag::CC,
+        PosTag::CD,
+        PosTag::DT,
+        PosTag::EX,
+        PosTag::FW,
+        PosTag::IN,
+        PosTag::JJ,
+        PosTag::JJR,
+        PosTag::JJS,
+        PosTag::MD,
+        PosTag::NN,
+        PosTag::NNS,
+        PosTag::NNP,
+        PosTag::NNPS,
+        PosTag::PDT,
+        PosTag::POS,
+        PosTag::PRP,
+        PosTag::PRPS,
+        PosTag::RB,
+        PosTag::RBR,
+        PosTag::RBS,
+        PosTag::RP,
+        PosTag::TO,
+        PosTag::UH,
+        PosTag::VB,
+        PosTag::VBD,
+        PosTag::VBG,
+        PosTag::VBN,
+        PosTag::VBP,
+        PosTag::VBZ,
+        PosTag::WDT,
+        PosTag::WP,
+        PosTag::WRB,
+        PosTag::Period,
+        PosTag::Comma,
+        PosTag::Colon,
+        PosTag::Sym,
+    ];
+
+    #[test]
+    fn string_round_trip_for_every_tag() {
+        for &tag in ALL {
+            assert_eq!(tag.as_str().parse::<PosTag>().unwrap(), tag);
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert!("XYZ".parse::<PosTag>().is_err());
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(PosTag::NN.is_noun());
+        assert!(PosTag::NNP.is_noun());
+        assert!(PosTag::NN.is_common_noun());
+        assert!(!PosTag::NNP.is_common_noun());
+        assert!(PosTag::NNP.is_proper_noun());
+        assert!(PosTag::JJR.is_adjective());
+        assert!(PosTag::VBZ.is_verb());
+        assert!(PosTag::VBZ.is_finite_verb());
+        assert!(!PosTag::VBN.is_finite_verb());
+        assert!(PosTag::RBS.is_adverb());
+        assert!(PosTag::Comma.is_punct());
+        assert!(!PosTag::NN.is_punct());
+    }
+
+    #[test]
+    fn prps_displays_with_dollar() {
+        assert_eq!(PosTag::PRPS.to_string(), "PRP$");
+    }
+}

@@ -1,0 +1,266 @@
+//! Offset-preserving English tokenizer.
+//!
+//! WebFountain's tokenizer miner "produces a stream of tokens from the input
+//! text". Ours keeps exact byte spans into the source so downstream
+//! annotations (spots, sentiments) can always be mapped back to the original
+//! entity text, which the platform's annotation model requires.
+
+use wf_types::Span;
+
+/// Lexical class of a token, decided purely from its surface form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Alphabetic word (possibly with internal hyphen or apostrophe:
+    /// "add-on", "don't" is split, but "o'clock" stays).
+    Word,
+    /// Number: digits, possibly with decimal point, comma groups, or a
+    /// trailing percent handled as a separate token.
+    Number,
+    /// Punctuation character(s).
+    Punct,
+}
+
+/// A single token with its surface text and source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Surface form, exactly as it appears in the source.
+    pub text: String,
+    /// Byte span in the source text.
+    pub span: Span,
+    /// Surface-form class.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Lower-cased surface form (allocates; used for dictionary lookups).
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// True when the first character is uppercase.
+    pub fn is_capitalized(&self) -> bool {
+        self.text.chars().next().is_some_and(|c| c.is_uppercase())
+    }
+
+    /// True when every alphabetic character is uppercase (acronyms: "IBM").
+    pub fn is_all_caps(&self) -> bool {
+        let mut saw_alpha = false;
+        for c in self.text.chars() {
+            if c.is_alphabetic() {
+                saw_alpha = true;
+                if !c.is_uppercase() {
+                    return false;
+                }
+            }
+        }
+        saw_alpha
+    }
+}
+
+/// Tokenizes `text` into words, numbers and punctuation, preserving spans.
+///
+/// Rules:
+/// - maximal runs of alphanumeric characters form words/numbers;
+/// - internal hyphens and apostrophes are kept inside a word when flanked by
+///   alphanumerics ("add-on", "entry-level"), except the clitics `'s`,
+///   `n't`, `'re`, `'ve`, `'ll`, `'d`, `'m`, which split off as their own
+///   tokens (Penn Treebank convention);
+/// - a `.` between digits stays inside a number ("2.4");
+/// - every other non-whitespace character is a single punctuation token.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let bytes = text.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = text[i..].chars().next().expect("in-bounds char");
+        if c.is_whitespace() {
+            i += c.len_utf8();
+            continue;
+        }
+        if c.is_alphanumeric() {
+            let start = i;
+            let mut end = i;
+            let mut has_alpha = false;
+            let mut has_digit = false;
+            let mut chars = text[i..].char_indices().peekable();
+            while let Some((off, ch)) = chars.next() {
+                let abs = i + off;
+                if ch.is_alphanumeric() {
+                    has_alpha |= ch.is_alphabetic();
+                    has_digit |= ch.is_ascii_digit();
+                    end = abs + ch.len_utf8();
+                } else if (ch == '-' || ch == '\'' || ch == '’')
+                    && end == abs
+                    && abs > start
+                    && chars
+                        .peek()
+                        .is_some_and(|&(_, next)| next.is_alphanumeric())
+                {
+                    // internal joiner — but check clitic split below
+                    end = abs + ch.len_utf8();
+                } else if ch == '.'
+                    && end == abs
+                    && has_digit
+                    && !has_alpha
+                    && chars.peek().is_some_and(|&(_, next)| next.is_ascii_digit())
+                {
+                    end = abs + 1;
+                } else {
+                    break;
+                }
+            }
+            // If the run ends with a dangling joiner (e.g. "well-" before a
+            // non-alphanumeric), back it off.
+            let mut surface = &text[start..end];
+            while surface.ends_with('-') || surface.ends_with('\'') || surface.ends_with('’') {
+                end -= surface.chars().next_back().expect("non-empty").len_utf8();
+                surface = &text[start..end];
+            }
+            split_clitics(text, start, end, has_alpha, &mut tokens);
+            i = end;
+        } else {
+            let end = i + c.len_utf8();
+            tokens.push(Token {
+                text: text[i..end].to_string(),
+                span: Span::new(i, end),
+                kind: TokenKind::Punct,
+            });
+            i = end;
+        }
+    }
+    tokens
+}
+
+/// Splits Penn-Treebank clitics off the end of a word run and pushes the
+/// resulting token(s).
+fn split_clitics(text: &str, start: usize, end: usize, has_alpha: bool, out: &mut Vec<Token>) {
+    let surface = &text[start..end];
+    let lower = surface.to_lowercase();
+    // clitic suffixes, longest first; n't must win over 't
+    const CLITICS: &[&str] = &["n't", "n’t", "'s", "’s", "'re", "'ve", "'ll", "'d", "'m"];
+    for clitic in CLITICS {
+        if lower.ends_with(clitic) && lower.len() > clitic.len() {
+            let split = end - clitic.len();
+            push_word(text, start, split, has_alpha, out);
+            out.push(Token {
+                text: text[split..end].to_string(),
+                span: Span::new(split, end),
+                kind: TokenKind::Word,
+            });
+            return;
+        }
+    }
+    push_word(text, start, end, has_alpha, out);
+}
+
+fn push_word(text: &str, start: usize, end: usize, has_alpha: bool, out: &mut Vec<Token>) {
+    if start == end {
+        return;
+    }
+    let kind = if has_alpha {
+        TokenKind::Word
+    } else {
+        TokenKind::Number
+    };
+    out.push(Token {
+        text: text[start..end].to_string(),
+        span: Span::new(start, end),
+        kind,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(tokens: &[Token]) -> Vec<&str> {
+        tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn simple_sentence() {
+        let toks = tokenize("This camera takes excellent pictures.");
+        assert_eq!(
+            texts(&toks),
+            vec!["This", "camera", "takes", "excellent", "pictures", "."]
+        );
+    }
+
+    #[test]
+    fn spans_reconstruct_source() {
+        let text = "The colors are vibrant!";
+        for t in tokenize(text) {
+            assert_eq!(t.span.slice(text), t.text);
+        }
+    }
+
+    #[test]
+    fn hyphenated_words_stay_joined() {
+        let toks = tokenize("an add-on adapter for entry-level users");
+        assert!(texts(&toks).contains(&"add-on"));
+        assert!(texts(&toks).contains(&"entry-level"));
+    }
+
+    #[test]
+    fn clitics_split_off() {
+        let toks = tokenize("It doesn't work; the camera's lens broke.");
+        let t = texts(&toks);
+        assert!(t.contains(&"does"));
+        assert!(t.contains(&"n't"));
+        assert!(t.contains(&"camera"));
+        assert!(t.contains(&"'s"));
+    }
+
+    #[test]
+    fn numbers_with_decimals() {
+        let toks = tokenize("2.4 GHz and 72 GB");
+        assert_eq!(toks[0].text, "2.4");
+        assert_eq!(toks[0].kind, TokenKind::Number);
+        assert_eq!(toks[3].text, "72");
+    }
+
+    #[test]
+    fn trailing_hyphen_is_not_kept() {
+        let toks = tokenize("well- made");
+        assert_eq!(texts(&toks), vec!["well", "-", "made"]);
+    }
+
+    #[test]
+    fn punctuation_is_individual_tokens() {
+        let toks = tokenize("Wow!!  (Really?)");
+        assert_eq!(texts(&toks), vec!["Wow", "!", "!", "(", "Really", "?", ")"]);
+    }
+
+    #[test]
+    fn capitalization_predicates() {
+        let toks = tokenize("IBM and Sony make Cameras");
+        assert!(toks[0].is_all_caps());
+        assert!(toks[0].is_capitalized());
+        assert!(!toks[1].is_capitalized());
+        assert!(toks[2].is_capitalized());
+        assert!(!toks[2].is_all_caps());
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn unicode_text_does_not_panic() {
+        let text = "café “quoted” — naïve";
+        let toks = tokenize(text);
+        for t in &toks {
+            assert_eq!(t.span.slice(text), t.text);
+        }
+        assert!(toks.iter().any(|t| t.text == "café"));
+    }
+
+    #[test]
+    fn alphanumeric_model_names() {
+        let toks = tokenize("the NR70 series and the T series CLIEs");
+        assert!(texts(&toks).contains(&"NR70"));
+        assert!(texts(&toks).contains(&"CLIEs"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Robustness tests on hard constructions: the pipeline must produce a
+//! sane analysis (no panics, plausible structure) on sentence shapes the
+//! unit tests don't cover.
+
+use wf_nlp::{ChunkKind, Pipeline, PosTag};
+
+fn pipeline() -> Pipeline {
+    Pipeline::new()
+}
+
+#[test]
+fn questions_parse() {
+    let a = pipeline().analyze_sentence("Is the battery life really that bad?");
+    assert!(!a.chunks.is_empty());
+    // the copula is recognized as a verb group
+    assert!(a.chunks.iter().any(|c| c.kind == ChunkKind::VP));
+}
+
+#[test]
+fn imperative_has_no_subject() {
+    let a = pipeline().analyze_sentence("Return the camera immediately.");
+    let clause = &a.analysis.clauses[0];
+    assert_eq!(clause.predicate.as_ref().unwrap().lemma, "return");
+    assert!(clause.subject.is_none());
+    assert!(clause.object.is_some());
+}
+
+#[test]
+fn coordination_of_three_clauses() {
+    let a = pipeline().analyze_sentence(
+        "The lens is sharp, the menu is confusing, and the battery drains quickly.",
+    );
+    let predicates: Vec<String> = a
+        .analysis
+        .clauses
+        .iter()
+        .filter_map(|c| c.predicate.as_ref().map(|p| p.lemma.clone()))
+        .collect();
+    assert!(predicates.contains(&"drain".to_string()), "{predicates:?}");
+    assert!(predicates.iter().filter(|p| *p == "be").count() >= 2, "{predicates:?}");
+}
+
+#[test]
+fn quoted_speech() {
+    let a = pipeline().analyze("He said \"the camera is excellent\" and left.");
+    assert!(!a.is_empty());
+    let clause_predicates: Vec<String> = a[0]
+        .analysis
+        .clauses
+        .iter()
+        .filter_map(|c| c.predicate.as_ref().map(|p| p.lemma.clone()))
+        .collect();
+    assert!(clause_predicates.contains(&"say".to_string()), "{clause_predicates:?}");
+}
+
+#[test]
+fn parenthetical_material() {
+    let a = pipeline()
+        .analyze_sentence("The camera (a gift from my brother) takes excellent pictures.");
+    let clause = a
+        .analysis
+        .clauses
+        .iter()
+        .find(|c| c.predicate.as_ref().is_some_and(|p| p.lemma == "take"));
+    assert!(clause.is_some(), "{:?}", a.analysis.clauses);
+}
+
+#[test]
+fn very_long_sentence_does_not_degrade() {
+    let long = format!(
+        "The camera, {} takes excellent pictures.",
+        "which I bought in March after reading many reviews and comparing prices, "
+            .repeat(10)
+    );
+    let a = pipeline().analyze_sentence(&long);
+    assert!(a.tokens.len() > 100);
+    assert!(!a.analysis.clauses.is_empty());
+}
+
+#[test]
+fn numbers_dates_and_units() {
+    let a = pipeline().analyze_sentence("It weighs 1.5 pounds and costs 299 dollars as of 2004.");
+    let cd_count = a.tags.iter().filter(|&&t| t == PosTag::CD).count();
+    assert!(cd_count >= 3, "{:?}", a.tags);
+}
+
+#[test]
+fn all_caps_heading() {
+    let a = pipeline().analyze_sentence("GREAT CAMERA FOR BEGINNERS");
+    assert!(!a.tokens.is_empty());
+}
+
+#[test]
+fn empty_and_punctuation_only() {
+    assert!(pipeline().analyze_sentence("").tokens.is_empty());
+    let a = pipeline().analyze_sentence("!!! ... ???");
+    assert!(a.analysis.clauses.iter().all(|c| c.predicate.is_none()));
+}
+
+#[test]
+fn unicode_quotes_and_dashes() {
+    let a = pipeline().analyze_sentence("The camera — “superb” by any measure — impressed me.");
+    assert!(a
+        .analysis
+        .clauses
+        .iter()
+        .any(|c| c.predicate.as_ref().is_some_and(|p| p.lemma == "impress")));
+}
+
+#[test]
+fn nested_possessives() {
+    let a = pipeline().analyze_sentence("My brother's camera's battery died.");
+    let clause = &a.analysis.clauses[0];
+    assert_eq!(clause.predicate.as_ref().unwrap().lemma, "die");
+}
+
+#[test]
+fn sentence_initial_adverbials() {
+    let a = pipeline().analyze_sentence("Unfortunately, the battery drains quickly.");
+    let clause = a
+        .analysis
+        .clauses
+        .iter()
+        .find(|c| c.predicate.as_ref().is_some_and(|p| p.lemma == "drain"))
+        .expect("drain clause");
+    assert!(clause.subject.is_some());
+}
+
+#[test]
+fn tagger_accuracy_on_gold_sample() {
+    // a small hand-tagged gold sample in the evaluation domains; the
+    // substitute tagger must stay above 90% token accuracy here
+    let gold: &[(&str, &[&str])] = &[
+        (
+            "The camera takes excellent pictures.",
+            &["DT", "NN", "VBZ", "JJ", "NNS", "."],
+        ),
+        (
+            "I am impressed by the picture quality.",
+            &["PRP", "VBP", "VBN", "IN", "DT", "NN", "NN", "."],
+        ),
+        (
+            "The colors are vibrant.",
+            &["DT", "NNS", "VBP", "JJ", "."],
+        ),
+        (
+            "Regulators criticize the company.",
+            &["NNS", "VBP", "DT", "NN", "."],
+        ),
+        (
+            "The battery drains quickly.",
+            &["DT", "NN", "VBZ", "RB", "."],
+        ),
+        (
+            "It can focus quickly in low light.",
+            &["PRP", "MD", "VB", "RB", "IN", "JJ", "NN", "."],
+        ),
+        (
+            "The company offers mediocre services.",
+            &["DT", "NN", "VBZ", "JJ", "NNS", "."],
+        ),
+    ];
+    let p = Pipeline::new();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (text, tags) in gold {
+        let a = p.analyze_sentence(text);
+        assert_eq!(a.tags.len(), tags.len(), "{text}");
+        for (got, want) in a.tags.iter().zip(*tags) {
+            total += 1;
+            if got.as_str() == *want {
+                correct += 1;
+            }
+        }
+    }
+    let accuracy = correct as f64 / total as f64;
+    assert!(accuracy >= 0.9, "tagger accuracy {accuracy} ({correct}/{total})");
+}
+
+#[test]
+fn lemmatizer_consistent_with_dictionary() {
+    // every inflected verb form in the embedded tag dictionary must
+    // lemmatize to a base form the dictionary also lists as VB
+    use wf_nlp::dict::TagDictionary;
+    use wf_nlp::lemma::lemmatize_verb;
+    use wf_nlp::PosTag;
+    let raw = include_str!("../data/tag_lexicon.tsv");
+    let dict = TagDictionary::global();
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for line in raw.lines() {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let (word, tags) = line.split_once('\t').expect("tsv");
+        // only unambiguous inflected verb forms: plain nouns that happen to
+        // end in -s would fail this check for good reason
+        let tag_list: Vec<&str> = tags.split(',').collect();
+        let is_inflected_verb = tag_list
+            .iter()
+            .all(|t| matches!(*t, "VBZ" | "VBD" | "VBN" | "VBG"));
+        if !is_inflected_verb {
+            continue;
+        }
+        checked += 1;
+        let lemma = lemmatize_verb(word);
+        if !dict
+            .lookup(&lemma)
+            .is_some_and(|ts| ts.contains(&PosTag::VB))
+        {
+            failures.push(format!("{word} -> {lemma}"));
+        }
+    }
+    assert!(checked > 300, "too few forms checked: {checked}");
+    assert!(
+        failures.is_empty(),
+        "{} lemmatization failures: {:?}",
+        failures.len(),
+        &failures[..failures.len().min(10)]
+    );
+}

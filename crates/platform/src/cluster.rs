@@ -1,0 +1,154 @@
+//! The cluster manager: the simulated WebFountain deployment.
+//!
+//! The real system is "a loosely coupled, shared-nothing parallel cluster"
+//! of hundreds of Linux servers. The simulation binds together a sharded
+//! [`DataStore`] (one shard per node), an [`Indexer`], and a [`ServiceBus`],
+//! and reports per-node balance statistics — enough to exercise the same
+//! dataflow (ingest → store → mine → index → query) at laptop scale.
+
+use crate::index::Indexer;
+use crate::miner::{MinerPipeline, PipelineStats};
+use crate::store::DataStore;
+use crate::vinci::ServiceBus;
+use wf_types::{NodeId, Result};
+
+/// Static description of one simulated node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeInfo {
+    pub id: NodeId,
+    /// Flavor string, for the Fig-1 style report ("x335", "x350").
+    pub model: &'static str,
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    nodes: Vec<NodeInfo>,
+    store: DataStore,
+    indexer: Indexer,
+    bus: ServiceBus,
+}
+
+/// Snapshot of cluster state for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    pub nodes: usize,
+    pub entities: usize,
+    pub per_node_entities: Vec<usize>,
+    pub indexed_docs: usize,
+    pub distinct_terms: usize,
+    pub distinct_concepts: usize,
+    pub services: Vec<String>,
+}
+
+impl Cluster {
+    /// Boots a cluster of `node_count` nodes.
+    pub fn new(node_count: usize) -> Result<Self> {
+        let store = DataStore::new(node_count)?;
+        let nodes = (0..node_count)
+            .map(|i| NodeInfo {
+                id: NodeId(i as u32),
+                // alternate the two xSeries models of the paper's cluster
+                model: if i % 2 == 0 { "x335" } else { "x350" },
+            })
+            .collect();
+        Ok(Cluster {
+            nodes,
+            store,
+            indexer: Indexer::new(),
+            bus: ServiceBus::new(),
+        })
+    }
+
+    pub fn store(&self) -> &DataStore {
+        &self.store
+    }
+
+    pub fn indexer(&self) -> &Indexer {
+        &self.indexer
+    }
+
+    pub fn bus(&self) -> &ServiceBus {
+        &self.bus
+    }
+
+    pub fn nodes(&self) -> &[NodeInfo] {
+        &self.nodes
+    }
+
+    /// Runs a miner pipeline across all nodes in parallel.
+    pub fn run_pipeline(&self, pipeline: &MinerPipeline) -> PipelineStats {
+        pipeline.run(&self.store)
+    }
+
+    /// (Re-)indexes every stored entity, including miner annotations.
+    pub fn rebuild_index(&self) {
+        self.store.for_each(|entity| self.indexer.index_entity(entity));
+    }
+
+    /// Current cluster state for reports.
+    pub fn report(&self) -> ClusterReport {
+        ClusterReport {
+            nodes: self.nodes.len(),
+            entities: self.store.len(),
+            per_node_entities: self.store.shard_sizes(),
+            indexed_docs: self.indexer.doc_count(),
+            distinct_terms: self.indexer.term_count(),
+            distinct_concepts: self.indexer.concept_count(),
+            services: self.bus.service_names(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::{Entity, SourceKind};
+    use crate::miner::EntityMiner;
+
+    struct LengthMiner;
+    impl EntityMiner for LengthMiner {
+        fn name(&self) -> &str {
+            "length"
+        }
+        fn process(&self, entity: &mut Entity) -> Result<()> {
+            entity
+                .metadata
+                .insert("length".into(), entity.text.len().to_string());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn cluster_boots_with_nodes() {
+        let cluster = Cluster::new(8).unwrap();
+        assert_eq!(cluster.nodes().len(), 8);
+        assert_eq!(cluster.nodes()[0].model, "x335");
+        assert_eq!(cluster.nodes()[1].model, "x350");
+    }
+
+    #[test]
+    fn end_to_end_ingest_mine_index_query() {
+        let cluster = Cluster::new(4).unwrap();
+        for i in 0..12 {
+            cluster.store().insert(Entity::new(
+                format!("uri://{i}"),
+                SourceKind::Web,
+                format!("document number {i} about cameras"),
+            ));
+        }
+        let pipeline = MinerPipeline::new().add(Box::new(LengthMiner));
+        let stats = cluster.run_pipeline(&pipeline);
+        assert_eq!(stats.processed, 12);
+        cluster.rebuild_index();
+        let report = cluster.report();
+        assert_eq!(report.entities, 12);
+        assert_eq!(report.indexed_docs, 12);
+        assert_eq!(report.per_node_entities.iter().sum::<usize>(), 12);
+        assert!(report.distinct_terms > 5);
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        assert!(Cluster::new(0).is_err());
+    }
+}

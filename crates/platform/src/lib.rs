@@ -1,0 +1,51 @@
+//! A laptop-scale simulation of the WebFountain text-analytics platform.
+//!
+//! WebFountain (Gruhl et al., IBM Systems Journal 2004) is the substrate
+//! the paper's sentiment miner runs on: a shared-nothing cluster that
+//! crawls, stores, mines and indexes billions of documents. This crate
+//! reproduces its component architecture in-process:
+//!
+//! - [`entity`]: XML-representable entities with miner annotations;
+//! - [`store`]: the sharded data store;
+//! - [`index`]: the indexer — text tokens, conceptual tokens, metadata;
+//!   boolean / phrase / range / regex queries ([`regex`] is a from-scratch
+//!   engine);
+//! - [`miner`]: entity-level and corpus-level miner traits plus the
+//!   parallel pipeline runner;
+//! - [`vinci`]: the Vinci-style service bus;
+//! - [`ingest`]: crawler/ingestor normalization into the store;
+//! - [`cluster`]: the cluster manager binding it all together.
+
+pub mod boilerplate;
+pub mod cluster;
+pub mod clustering;
+pub mod dedup;
+pub mod entity;
+pub mod geo;
+pub mod index;
+pub mod ingest;
+pub mod miner;
+pub mod pagerank;
+pub mod persist;
+pub mod query_parser;
+pub mod regex;
+pub mod stats;
+pub mod store;
+pub mod vinci;
+
+pub use boilerplate::{TemplateConfig, TemplateDetector};
+pub use cluster::{Cluster, ClusterReport, NodeInfo};
+pub use clustering::{cluster_documents, Clustering, ClusteringMiner};
+pub use dedup::{find_duplicates, DedupConfig, DuplicateDetector};
+pub use entity::{Annotation, Entity, SourceKind};
+pub use geo::{GeoMiner, Place};
+pub use index::{Indexer, Query};
+pub use ingest::{IngestStats, Ingestor, RawDocument};
+pub use miner::{CorpusMiner, EntityMiner, MinerPipeline, PipelineStats};
+pub use pagerank::{pagerank, PageRankConfig, PageRankMiner};
+pub use persist::{load_store, save_store};
+pub use query_parser::parse_query;
+pub use regex::Regex;
+pub use stats::{corpus_stats, CorpusStats};
+pub use store::DataStore;
+pub use vinci::{Service, ServiceBus};

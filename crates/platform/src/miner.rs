@@ -1,0 +1,261 @@
+//! The miner framework: entity-level and corpus-level miners.
+//!
+//! "There are two types of miners in WebFountain: entity-level and
+//! corpus-level (cross-entity) miners. Entity-level miners process each
+//! entity without information from neighboring entities, and typically
+//! augment processed entities with the results. [...] corpus-level miners
+//! require all or part of the entire data in store."
+//!
+//! [`MinerPipeline`] runs a chain of entity miners over every shard of a
+//! [`DataStore`], one crossbeam-scoped worker per shard — the in-process
+//! equivalent of WebFountain's per-node parallelism.
+
+use crate::entity::Entity;
+use crate::store::DataStore;
+use wf_types::{NodeId, Result};
+
+/// An entity-level miner: sees one entity at a time and augments it.
+pub trait EntityMiner: Send + Sync {
+    /// Stable miner name (used in annotations and stats).
+    fn name(&self) -> &str;
+
+    /// Processes one entity in place.
+    fn process(&self, entity: &mut Entity) -> Result<()>;
+}
+
+/// A corpus-level miner: sees the whole store.
+pub trait CorpusMiner: Send + Sync {
+    fn name(&self) -> &str;
+
+    /// Runs over the full store (read or write through the store API).
+    fn run(&self, store: &DataStore) -> Result<()>;
+}
+
+/// Per-run statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Entities processed successfully.
+    pub processed: usize,
+    /// Entities whose processing returned an error (skipped, not fatal).
+    pub failed: usize,
+}
+
+/// A chain of entity miners executed in order over each entity.
+#[derive(Default)]
+pub struct MinerPipeline {
+    miners: Vec<Box<dyn EntityMiner>>,
+}
+
+impl MinerPipeline {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a miner to the chain.
+    #[allow(clippy::should_implement_trait)] // builder-style chain, not arithmetic
+    pub fn add(mut self, miner: Box<dyn EntityMiner>) -> Self {
+        self.miners.push(miner);
+        self
+    }
+
+    /// Names of the chained miners, in order.
+    pub fn miner_names(&self) -> Vec<&str> {
+        self.miners.iter().map(|m| m.name()).collect()
+    }
+
+    /// Runs the chain over every entity of the store, one worker thread per
+    /// shard. Errors from individual entities are counted, not propagated:
+    /// a malformed page must not stall the cluster.
+    pub fn run(&self, store: &DataStore) -> PipelineStats {
+        let shard_count = store.shard_count();
+        let results: Vec<PipelineStats> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shard_count)
+                .map(|shard| {
+                    scope.spawn(move |_| self.run_shard(store, NodeId(shard as u32)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("miner worker must not panic"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+        let mut total = PipelineStats::default();
+        for r in results {
+            total.processed += r.processed;
+            total.failed += r.failed;
+        }
+        total
+    }
+
+    /// Runs the chain over one shard (sequentially within the shard).
+    fn run_shard(&self, store: &DataStore, node: NodeId) -> PipelineStats {
+        let mut stats = PipelineStats::default();
+        for id in store.shard_ids(node) {
+            let outcome = store.update(id, |entity| {
+                for miner in &self.miners {
+                    if miner.process(entity).is_err() {
+                        // mark and stop the chain for this entity
+                        entity
+                            .metadata
+                            .insert("miner-error".into(), miner.name().to_string());
+                        break;
+                    }
+                }
+            });
+            match outcome {
+                Ok(()) => {
+                    // check whether a miner flagged an error
+                    if store
+                        .get(id)
+                        .ok()
+                        .is_some_and(|e| e.metadata.contains_key("miner-error"))
+                    {
+                        stats.failed += 1;
+                    } else {
+                        stats.processed += 1;
+                    }
+                }
+                Err(_) => stats.failed += 1,
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::{Annotation, SourceKind};
+    use wf_types::{Error, Span};
+
+    struct UppercaseCounter;
+    impl EntityMiner for UppercaseCounter {
+        fn name(&self) -> &str {
+            "uppercase-counter"
+        }
+        fn process(&self, entity: &mut Entity) -> Result<()> {
+            let n = entity.text.chars().filter(|c| c.is_uppercase()).count();
+            entity
+                .metadata
+                .insert("uppercase".into(), n.to_string());
+            Ok(())
+        }
+    }
+
+    struct Tagger;
+    impl EntityMiner for Tagger {
+        fn name(&self) -> &str {
+            "tagger"
+        }
+        fn process(&self, entity: &mut Entity) -> Result<()> {
+            let len = entity.text.len();
+            entity.annotate(Annotation::new("whole-doc", Span::new(0, len)));
+            Ok(())
+        }
+    }
+
+    struct FailOnEmpty;
+    impl EntityMiner for FailOnEmpty {
+        fn name(&self) -> &str {
+            "fail-on-empty"
+        }
+        fn process(&self, entity: &mut Entity) -> Result<()> {
+            if entity.text.is_empty() {
+                Err(Error::Config("empty entity".into()))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    struct CountingCorpusMiner;
+    impl CorpusMiner for CountingCorpusMiner {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn run(&self, store: &DataStore) -> Result<()> {
+            // aggregate statistic example: total text length
+            let mut total = 0usize;
+            store.for_each(|e| total += e.text.len());
+            assert!(total > 0);
+            Ok(())
+        }
+    }
+
+    fn seeded_store(shards: usize, docs: usize) -> DataStore {
+        let store = DataStore::new(shards).unwrap();
+        for i in 0..docs {
+            store.insert(Entity::new(
+                format!("uri://{i}"),
+                SourceKind::Web,
+                format!("Document Number {i}"),
+            ));
+        }
+        store
+    }
+
+    #[test]
+    fn pipeline_processes_all_entities() {
+        let store = seeded_store(4, 20);
+        let pipeline = MinerPipeline::new()
+            .add(Box::new(UppercaseCounter))
+            .add(Box::new(Tagger));
+        let stats = pipeline.run(&store);
+        assert_eq!(stats.processed, 20);
+        assert_eq!(stats.failed, 0);
+        for id in store.ids() {
+            let e = store.get(id).unwrap();
+            assert!(e.metadata.contains_key("uppercase"));
+            assert_eq!(e.annotations_of("whole-doc").count(), 1);
+            assert_eq!(e.version, 2, "each entity updated once");
+        }
+    }
+
+    #[test]
+    fn miner_errors_are_counted_not_fatal() {
+        let store = DataStore::new(2).unwrap();
+        store.insert(Entity::new("a", SourceKind::Web, "content"));
+        store.insert(Entity::new("b", SourceKind::Web, ""));
+        store.insert(Entity::new("c", SourceKind::Web, "more"));
+        let pipeline = MinerPipeline::new().add(Box::new(FailOnEmpty));
+        let stats = pipeline.run(&store);
+        assert_eq!(stats.processed, 2);
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn chain_stops_after_failing_miner() {
+        let store = DataStore::single();
+        store.insert(Entity::new("a", SourceKind::Web, ""));
+        let pipeline = MinerPipeline::new()
+            .add(Box::new(FailOnEmpty))
+            .add(Box::new(UppercaseCounter));
+        pipeline.run(&store);
+        let e = store.get(wf_types::DocId(0)).unwrap();
+        // second miner never ran
+        assert!(!e.metadata.contains_key("uppercase"));
+        assert_eq!(e.metadata.get("miner-error").unwrap(), "fail-on-empty");
+    }
+
+    #[test]
+    fn corpus_miner_runs() {
+        let store = seeded_store(2, 5);
+        CountingCorpusMiner.run(&store).unwrap();
+    }
+
+    #[test]
+    fn miner_names_in_order() {
+        let pipeline = MinerPipeline::new()
+            .add(Box::new(UppercaseCounter))
+            .add(Box::new(Tagger));
+        assert_eq!(pipeline.miner_names(), vec!["uppercase-counter", "tagger"]);
+    }
+
+    #[test]
+    fn empty_store_is_noop() {
+        let store = DataStore::new(3).unwrap();
+        let stats = MinerPipeline::new().add(Box::new(Tagger)).run(&store);
+        assert_eq!(stats, PipelineStats::default());
+    }
+}

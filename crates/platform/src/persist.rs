@@ -1,0 +1,131 @@
+//! Data-store persistence: JSON-lines snapshots.
+//!
+//! WebFountain's store manages hundreds of terabytes across RAID arrays;
+//! our durability substitute serializes every entity as one JSON line so
+//! a mined corpus (with all annotations) survives process restarts and
+//! can be inspected with standard tooling.
+
+use crate::entity::Entity;
+use crate::store::DataStore;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use wf_types::{Error, Result};
+
+fn io_err(context: &str, err: std::io::Error) -> Error {
+    Error::Service(format!("{context}: {err}"))
+}
+
+/// Writes every entity of the store to `path`, one JSON object per line,
+/// in ascending id order. Returns the number of entities written.
+pub fn save_store(store: &DataStore, path: &Path) -> Result<usize> {
+    let file = File::create(path).map_err(|e| io_err("create snapshot", e))?;
+    let mut writer = BufWriter::new(file);
+    let mut written = 0usize;
+    for id in store.ids() {
+        let entity = store.get(id)?;
+        let line = serde_json::to_string(&entity)
+            .map_err(|e| Error::Service(format!("serialize {id}: {e}")))?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| io_err("write snapshot", e))?;
+        written += 1;
+    }
+    writer.flush().map_err(|e| io_err("flush snapshot", e))?;
+    Ok(written)
+}
+
+/// Loads a snapshot into a fresh store with `shard_count` shards.
+/// Entities keep their annotations and metadata; ids are reassigned
+/// densely in file order (the store owns id assignment).
+pub fn load_store(path: &Path, shard_count: usize) -> Result<DataStore> {
+    let store = DataStore::new(shard_count)?;
+    let file = File::open(path).map_err(|e| io_err("open snapshot", e))?;
+    let reader = BufReader::new(file);
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| io_err("read snapshot", e))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entity: Entity = serde_json::from_str(&line).map_err(|e| {
+            Error::parse(path.display().to_string(), line_no + 1, e.to_string())
+        })?;
+        store.insert(entity);
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::{Annotation, SourceKind};
+    use wf_types::{DocId, Span};
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wf-persist-{name}-{}.jsonl", std::process::id()));
+        p
+    }
+
+    fn seeded_store() -> DataStore {
+        let store = DataStore::new(2).unwrap();
+        for i in 0..10 {
+            let mut e = Entity::new(
+                format!("uri://{i}"),
+                SourceKind::Web,
+                format!("Document number {i}."),
+            )
+            .with_metadata("k", format!("v{i}"));
+            e.annotate(Annotation::new("sentiment", Span::new(0, 8)).with_attr("polarity", "+"));
+            store.insert(e);
+        }
+        store
+    }
+
+    #[test]
+    fn round_trip_preserves_entities() {
+        let store = seeded_store();
+        let path = temp_path("roundtrip");
+        let written = save_store(&store, &path).unwrap();
+        assert_eq!(written, 10);
+        let loaded = load_store(&path, 4).unwrap();
+        assert_eq!(loaded.len(), 10);
+        for i in 0..10 {
+            let orig = store.get(DocId(i)).unwrap();
+            let back = loaded.get(DocId(i)).unwrap();
+            assert_eq!(orig.text, back.text);
+            assert_eq!(orig.uri, back.uri);
+            assert_eq!(orig.metadata, back.metadata);
+            assert_eq!(orig.annotations, back.annotations);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_store(Path::new("/nonexistent/wf-snapshot.jsonl"), 1).unwrap_err();
+        assert!(err.to_string().contains("open snapshot"));
+    }
+
+    #[test]
+    fn load_rejects_corrupt_lines() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{not json}\n").unwrap();
+        let err = load_store(&path, 1).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 1, .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let store = seeded_store();
+        let path = temp_path("gaps");
+        save_store(&store, &path).unwrap();
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("\n\n");
+        std::fs::write(&path, content).unwrap();
+        assert_eq!(load_store(&path, 1).unwrap().len(), 10);
+        std::fs::remove_file(&path).ok();
+    }
+}

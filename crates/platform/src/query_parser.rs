@@ -1,0 +1,358 @@
+//! A query language for the indexer.
+//!
+//! WebFountain applications pose "boolean, range, regular expression,
+//! spherical, and other complex query types" against the indexer. This
+//! module gives those queries a textual form:
+//!
+//! ```text
+//! camera AND (battery OR "picture quality") AND NOT music
+//! meta:domain=digital-camera AND concept:sentiment:polarity=+
+//! regex:nr[0-9]+ AND camera
+//! ```
+//!
+//! Grammar (case-insensitive keywords, AND binds tighter than OR):
+//!
+//! ```text
+//! or-expr   := and-expr (OR and-expr)*
+//! and-expr  := unary (AND? unary)*        adjacent terms imply AND
+//! unary     := NOT unary | atom
+//! atom      := '(' or-expr ')' | '"' word+ '"' | meta:field=value
+//!            | concept:token | regex:pattern | word
+//! ```
+
+use crate::index::Query;
+use wf_types::{Error, Result};
+
+/// Parses a query string into the indexer's [`Query`] AST.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = lex(input)?;
+    let mut parser = QueryParser { tokens, pos: 0 };
+    let query = parser.or_expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(Error::Query(format!(
+            "unexpected trailing input near {:?}",
+            parser.tokens[parser.pos]
+        )));
+    }
+    Ok(query)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+    Phrase(Vec<String>),
+    Meta(String, String),
+    Concept(String),
+    Regex(String),
+    Word(String),
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        match c {
+            '(' => {
+                out.push(Tok::LParen);
+                chars.next();
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let start = i + 1;
+                let mut end = start;
+                for (j, d) in chars.by_ref() {
+                    if d == '"' {
+                        end = j;
+                        break;
+                    }
+                    end = j + d.len_utf8();
+                }
+                if end >= input.len() || !input[end..].starts_with('"') {
+                    // `end` points at the closing quote found above; if we
+                    // ran off the end, the phrase was unterminated
+                    if end == input.len() {
+                        return Err(Error::Query("unterminated phrase".into()));
+                    }
+                }
+                let words: Vec<String> = input[start..end]
+                    .split_whitespace()
+                    .map(|w| w.to_lowercase())
+                    .collect();
+                if words.is_empty() {
+                    return Err(Error::Query("empty phrase".into()));
+                }
+                out.push(Tok::Phrase(words));
+            }
+            _ => {
+                // bare token up to whitespace or paren
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_whitespace() || d == '(' || d == ')' {
+                        break;
+                    }
+                    end = j + d.len_utf8();
+                    chars.next();
+                }
+                let raw = &input[start..end];
+                out.push(classify(raw)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn classify(raw: &str) -> Result<Tok> {
+    match raw.to_ascii_uppercase().as_str() {
+        "AND" => return Ok(Tok::And),
+        "OR" => return Ok(Tok::Or),
+        "NOT" => return Ok(Tok::Not),
+        _ => {}
+    }
+    if let Some(rest) = raw.strip_prefix("meta:") {
+        let (field, value) = rest
+            .split_once('=')
+            .ok_or_else(|| Error::Query(format!("meta: needs field=value, got {raw:?}")))?;
+        if field.is_empty() || value.is_empty() {
+            return Err(Error::Query(format!("empty meta field/value in {raw:?}")));
+        }
+        return Ok(Tok::Meta(field.to_string(), value.to_string()));
+    }
+    if let Some(rest) = raw.strip_prefix("concept:") {
+        if rest.is_empty() {
+            return Err(Error::Query("empty concept token".into()));
+        }
+        return Ok(Tok::Concept(rest.to_string()));
+    }
+    if let Some(rest) = raw.strip_prefix("regex:") {
+        if rest.is_empty() {
+            return Err(Error::Query("empty regex pattern".into()));
+        }
+        return Ok(Tok::Regex(rest.to_string()));
+    }
+    Ok(Tok::Word(raw.to_lowercase()))
+}
+
+struct QueryParser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl QueryParser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn or_expr(&mut self) -> Result<Query> {
+        let mut branches = vec![self.and_expr()?];
+        while self.peek() == Some(&Tok::Or) {
+            self.pos += 1;
+            branches.push(self.and_expr()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Query::Or(branches)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Query> {
+        let mut parts = vec![self.unary()?];
+        loop {
+            match self.peek() {
+                Some(Tok::And) => {
+                    self.pos += 1;
+                    parts.push(self.unary()?);
+                }
+                // adjacency implies AND: `camera battery`
+                Some(Tok::Or) | Some(Tok::RParen) | None => break,
+                Some(_) => parts.push(self.unary()?),
+            }
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one part")
+        } else {
+            Query::And(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Query> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.pos += 1;
+                Ok(Query::Not(Box::new(self.unary()?)))
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Query> {
+        let tok = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| Error::Query("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(match tok {
+            Tok::LParen => {
+                let inner = self.or_expr()?;
+                if self.peek() != Some(&Tok::RParen) {
+                    return Err(Error::Query("unclosed parenthesis".into()));
+                }
+                self.pos += 1;
+                inner
+            }
+            Tok::Phrase(words) => Query::Phrase(words),
+            Tok::Meta(field, value) => Query::MetaEquals(field, value),
+            Tok::Concept(token) => Query::Concept(token),
+            Tok::Regex(pattern) => Query::Regex(pattern),
+            Tok::Word(word) => Query::Term(word),
+            other => {
+                return Err(Error::Query(format!("unexpected token {other:?}")));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_term() {
+        assert_eq!(parse_query("camera").unwrap(), Query::Term("camera".into()));
+    }
+
+    #[test]
+    fn implicit_and() {
+        assert_eq!(
+            parse_query("camera battery").unwrap(),
+            Query::And(vec![
+                Query::Term("camera".into()),
+                Query::Term("battery".into())
+            ])
+        );
+    }
+
+    #[test]
+    fn precedence_and_over_or() {
+        let q = parse_query("a AND b OR c").unwrap();
+        assert_eq!(
+            q,
+            Query::Or(vec![
+                Query::And(vec![Query::Term("a".into()), Query::Term("b".into())]),
+                Query::Term("c".into()),
+            ])
+        );
+    }
+
+    #[test]
+    fn parentheses_override() {
+        let q = parse_query("a AND (b OR c)").unwrap();
+        assert_eq!(
+            q,
+            Query::And(vec![
+                Query::Term("a".into()),
+                Query::Or(vec![Query::Term("b".into()), Query::Term("c".into())]),
+            ])
+        );
+    }
+
+    #[test]
+    fn not_and_nested_not() {
+        assert_eq!(
+            parse_query("NOT music").unwrap(),
+            Query::Not(Box::new(Query::Term("music".into())))
+        );
+        assert_eq!(
+            parse_query("NOT NOT music").unwrap(),
+            Query::Not(Box::new(Query::Not(Box::new(Query::Term("music".into())))))
+        );
+    }
+
+    #[test]
+    fn phrases() {
+        assert_eq!(
+            parse_query("\"picture quality\"").unwrap(),
+            Query::Phrase(vec!["picture".into(), "quality".into()])
+        );
+    }
+
+    #[test]
+    fn meta_concept_regex_atoms() {
+        assert_eq!(
+            parse_query("meta:domain=camera").unwrap(),
+            Query::MetaEquals("domain".into(), "camera".into())
+        );
+        assert_eq!(
+            parse_query("concept:sentiment:polarity=+").unwrap(),
+            Query::Concept("sentiment:polarity=+".into())
+        );
+        assert_eq!(
+            parse_query("regex:nr[0-9]+").unwrap(),
+            Query::Regex("nr[0-9]+".into())
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let q = parse_query("a and b or not c").unwrap();
+        assert_eq!(
+            q,
+            Query::Or(vec![
+                Query::And(vec![Query::Term("a".into()), Query::Term("b".into())]),
+                Query::Not(Box::new(Query::Term("c".into()))),
+            ])
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("(a OR b").is_err());
+        assert!(parse_query("a )").is_err());
+        assert!(parse_query("\"unterminated").is_err());
+        assert!(parse_query("meta:nofield").is_err());
+        assert!(parse_query("concept:").is_err());
+        assert!(parse_query("AND").is_err());
+    }
+
+    #[test]
+    fn end_to_end_against_index() {
+        use crate::entity::{Annotation, Entity, SourceKind};
+        use crate::index::Indexer;
+        use wf_types::{DocId, Span};
+        let indexer = Indexer::new();
+        let docs = [
+            ("the camera has a great battery", "camera", true),
+            ("the camera overheats", "camera", false),
+            ("a song with a great chorus", "music", false),
+        ];
+        for (i, (text, domain, positive)) in docs.iter().enumerate() {
+            let mut e = Entity::new(format!("u{i}"), SourceKind::Web, *text)
+                .with_metadata("domain", *domain);
+            e.id = DocId(i as u64);
+            if *positive {
+                e.annotate(Annotation::new("sentiment", Span::new(0, 5)).with_attr("polarity", "+"));
+            }
+            indexer.index_entity(&e);
+        }
+        let q = parse_query("camera AND meta:domain=camera AND NOT overheats").unwrap();
+        assert_eq!(indexer.query(&q).unwrap(), vec![DocId(0)]);
+        let q = parse_query("\"great battery\" OR \"great chorus\"").unwrap();
+        assert_eq!(indexer.query(&q).unwrap(), vec![DocId(0), DocId(2)]);
+        let q = parse_query("concept:sentiment:polarity=+").unwrap();
+        assert_eq!(indexer.query(&q).unwrap(), vec![DocId(0)]);
+    }
+}

@@ -1,0 +1,261 @@
+//! The data store: sharded entity storage.
+//!
+//! "The data store stores, modifies, and retrieves entities." WebFountain's
+//! store spans a shared-nothing cluster; ours shards entities across
+//! in-process partitions (one per simulated node) guarded by `parking_lot`
+//! RwLocks, so miners can process shards in parallel without contention.
+
+use crate::entity::Entity;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use wf_types::{DocId, Error, NodeId, Result};
+
+/// One shard: the entities owned by one simulated cluster node.
+#[derive(Debug, Default)]
+struct Shard {
+    entities: RwLock<BTreeMap<DocId, Entity>>,
+}
+
+/// Sharded entity store.
+#[derive(Debug)]
+pub struct DataStore {
+    shards: Vec<Shard>,
+    next_id: AtomicU64,
+}
+
+impl DataStore {
+    /// Creates a store with `shard_count` shards (≥ 1).
+    pub fn new(shard_count: usize) -> Result<Self> {
+        if shard_count == 0 {
+            return Err(Error::Config("store needs at least one shard".into()));
+        }
+        Ok(DataStore {
+            shards: (0..shard_count).map(|_| Shard::default()).collect(),
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    /// Single-shard store for tests and small runs.
+    pub fn single() -> Self {
+        Self::new(1).expect("one shard is valid")
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The node (shard) owning a document id.
+    pub fn node_of(&self, id: DocId) -> NodeId {
+        NodeId((id.as_u64() % self.shards.len() as u64) as u32)
+    }
+
+    fn shard_of(&self, id: DocId) -> &Shard {
+        &self.shards[(id.as_u64() % self.shards.len() as u64) as usize]
+    }
+
+    /// Ingests an entity: assigns the next id, stores it, returns the id.
+    pub fn insert(&self, mut entity: Entity) -> DocId {
+        let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        entity.id = id;
+        entity.version = 1;
+        self.shard_of(id).entities.write().insert(id, entity);
+        id
+    }
+
+    /// Retrieves a clone of an entity.
+    pub fn get(&self, id: DocId) -> Result<Entity> {
+        self.shard_of(id)
+            .entities
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(id.to_string()))
+    }
+
+    /// Applies a mutation to an entity in place, bumping its version.
+    pub fn update<F: FnOnce(&mut Entity)>(&self, id: DocId, f: F) -> Result<()> {
+        let mut guard = self.shard_of(id).entities.write();
+        let entity = guard
+            .get_mut(&id)
+            .ok_or_else(|| Error::NotFound(id.to_string()))?;
+        f(entity);
+        entity.version += 1;
+        Ok(())
+    }
+
+    /// Deletes an entity; returns it if present.
+    pub fn delete(&self, id: DocId) -> Option<Entity> {
+        self.shard_of(id).entities.write().remove(&id)
+    }
+
+    /// Total number of stored entities.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.entities.read().len())
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All ids, ascending.
+    pub fn ids(&self) -> Vec<DocId> {
+        let mut out: Vec<DocId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.entities.read().keys().copied().collect::<Vec<_>>())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Ids owned by one shard, ascending (parallel miners iterate these).
+    pub fn shard_ids(&self, node: NodeId) -> Vec<DocId> {
+        self.shards
+            .get(node.0 as usize)
+            .map(|s| s.entities.read().keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Runs `f` over a read-only snapshot reference of every entity, in id
+    /// order within each shard. Avoids cloning the whole store.
+    pub fn for_each<F: FnMut(&Entity)>(&self, mut f: F) {
+        for shard in &self.shards {
+            let guard = shard.entities.read();
+            for entity in guard.values() {
+                f(entity);
+            }
+        }
+    }
+
+    /// Per-shard entity counts (cluster balance diagnostics).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.entities.read().len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::SourceKind;
+
+    fn entity(text: &str) -> Entity {
+        Entity::new("uri://test", SourceKind::Web, text)
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let store = DataStore::single();
+        let a = store.insert(entity("a"));
+        let b = store.insert(entity("b"));
+        assert_eq!(a, DocId(0));
+        assert_eq!(b, DocId(1));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn get_returns_stored_entity() {
+        let store = DataStore::single();
+        let id = store.insert(entity("hello"));
+        let e = store.get(id).unwrap();
+        assert_eq!(e.text, "hello");
+        assert_eq!(e.version, 1);
+    }
+
+    #[test]
+    fn get_missing_is_not_found() {
+        let store = DataStore::single();
+        assert!(matches!(store.get(DocId(42)), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn update_bumps_version() {
+        let store = DataStore::single();
+        let id = store.insert(entity("v1"));
+        store.update(id, |e| e.text = "v2".into()).unwrap();
+        let e = store.get(id).unwrap();
+        assert_eq!(e.text, "v2");
+        assert_eq!(e.version, 2);
+    }
+
+    #[test]
+    fn delete_removes() {
+        let store = DataStore::single();
+        let id = store.insert(entity("bye"));
+        assert!(store.delete(id).is_some());
+        assert!(store.delete(id).is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn sharding_distributes_by_id() {
+        let store = DataStore::new(4).unwrap();
+        for i in 0..100 {
+            store.insert(entity(&format!("doc {i}")));
+        }
+        let sizes = store.shard_sizes();
+        assert_eq!(sizes.len(), 4);
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert!(sizes.iter().all(|&s| s == 25), "{sizes:?}");
+    }
+
+    #[test]
+    fn shard_ids_partition_ids() {
+        let store = DataStore::new(3).unwrap();
+        for i in 0..10 {
+            store.insert(entity(&format!("{i}")));
+        }
+        let mut all: Vec<DocId> = (0..3)
+            .flat_map(|n| store.shard_ids(NodeId(n)))
+            .collect();
+        all.sort();
+        assert_eq!(all, store.ids());
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(DataStore::new(0).is_err());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let store = DataStore::new(2).unwrap();
+        for i in 0..7 {
+            store.insert(entity(&format!("{i}")));
+        }
+        let mut seen = 0;
+        store.for_each(|_| seen += 1);
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn concurrent_inserts_are_unique() {
+        use std::sync::Arc;
+        let store = Arc::new(DataStore::new(4).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                (0..50)
+                    .map(|i| store.insert(Entity::new(
+                        format!("uri://{t}/{i}"),
+                        SourceKind::Web,
+                        "x",
+                    )))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut ids: Vec<DocId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 400);
+        assert_eq!(store.len(), 400);
+    }
+}

@@ -1,0 +1,174 @@
+//! Vinci: the lightweight service bus.
+//!
+//! "The nodes in the cluster communicate using a Web-service style,
+//! lightweight, high-speed communication protocol called Vinci, a
+//! derivative of SOAP." Our in-process equivalent keeps the essential
+//! property — components are loosely coupled behind named services
+//! exchanging structured documents — using `serde_json::Value` envelopes
+//! and a registry, with per-service call statistics.
+
+use parking_lot::RwLock;
+use serde_json::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wf_types::{Error, Result};
+
+/// A service: handles structured requests.
+pub trait Service: Send + Sync {
+    fn handle(&self, request: &Value) -> Result<Value>;
+}
+
+/// Blanket impl so plain closures can register as services.
+impl<F> Service for F
+where
+    F: Fn(&Value) -> Result<Value> + Send + Sync,
+{
+    fn handle(&self, request: &Value) -> Result<Value> {
+        self(request)
+    }
+}
+
+#[derive(Default)]
+struct ServiceEntry {
+    service: Option<Arc<dyn Service>>,
+    calls: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// The service registry / bus.
+#[derive(Default)]
+pub struct ServiceBus {
+    services: RwLock<HashMap<String, Arc<ServiceEntry>>>,
+}
+
+impl ServiceBus {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a service under a name.
+    pub fn register(&self, name: impl Into<String>, service: Arc<dyn Service>) {
+        let entry = Arc::new(ServiceEntry {
+            service: Some(service),
+            calls: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        self.services.write().insert(name.into(), entry);
+    }
+
+    /// Calls a service by name.
+    pub fn call(&self, name: &str, request: &Value) -> Result<Value> {
+        let entry = self
+            .services
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::Service(format!("no such service: {name}")))?;
+        entry.calls.fetch_add(1, Ordering::Relaxed);
+        let service = entry
+            .service
+            .as_ref()
+            .ok_or_else(|| Error::Service(format!("service {name} unregistered")))?;
+        let result = service.handle(request);
+        if result.is_err() {
+            entry.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// True when a service is registered.
+    pub fn has(&self, name: &str) -> bool {
+        self.services.read().contains_key(name)
+    }
+
+    /// Registered service names, sorted.
+    pub fn service_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.services.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// (calls, errors) counters for a service.
+    pub fn stats(&self, name: &str) -> Option<(u64, u64)> {
+        self.services.read().get(name).map(|e| {
+            (
+                e.calls.load(Ordering::Relaxed),
+                e.errors.load(Ordering::Relaxed),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn register_and_call() {
+        let bus = ServiceBus::new();
+        bus.register(
+            "echo",
+            Arc::new(|req: &Value| Ok(json!({ "echo": req.clone() }))),
+        );
+        let reply = bus.call("echo", &json!({"msg": "hi"})).unwrap();
+        assert_eq!(reply["echo"]["msg"], "hi");
+    }
+
+    #[test]
+    fn unknown_service_errors() {
+        let bus = ServiceBus::new();
+        let err = bus.call("nope", &json!({})).unwrap_err();
+        assert!(err.to_string().contains("no such service"));
+    }
+
+    #[test]
+    fn stats_count_calls_and_errors() {
+        let bus = ServiceBus::new();
+        bus.register(
+            "flaky",
+            Arc::new(|req: &Value| {
+                if req["fail"].as_bool().unwrap_or(false) {
+                    Err(Error::Service("boom".into()))
+                } else {
+                    Ok(json!("ok"))
+                }
+            }),
+        );
+        let _ = bus.call("flaky", &json!({"fail": false}));
+        let _ = bus.call("flaky", &json!({"fail": true}));
+        let _ = bus.call("flaky", &json!({"fail": true}));
+        assert_eq!(bus.stats("flaky"), Some((3, 2)));
+        assert_eq!(bus.stats("missing"), None);
+    }
+
+    #[test]
+    fn replace_service() {
+        let bus = ServiceBus::new();
+        bus.register("svc", Arc::new(|_: &Value| Ok(json!(1))));
+        bus.register("svc", Arc::new(|_: &Value| Ok(json!(2))));
+        assert_eq!(bus.call("svc", &json!({})).unwrap(), json!(2));
+        assert_eq!(bus.service_names(), vec!["svc"]);
+    }
+
+    #[test]
+    fn concurrent_calls() {
+        let bus = Arc::new(ServiceBus::new());
+        bus.register("inc", Arc::new(|v: &Value| Ok(json!(v.as_i64().unwrap_or(0) + 1))));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let bus = Arc::clone(&bus);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let r = bus.call("inc", &json!(i)).unwrap();
+                    assert_eq!(r, json!(i + 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(bus.stats("inc").unwrap().0, 800);
+    }
+}

@@ -1,0 +1,233 @@
+//! Aspect-level sentiment aggregation.
+//!
+//! The paper's first design goal: "not only the overall opinion about a
+//! topic, but also sentiment about individual aspects of the topic is
+//! essential information [...] though one is generally happy about a
+//! digital camera, he might be dissatisfied by the short battery life."
+//!
+//! An [`AspectModel`] maps each topic to its feature terms (hand-given or
+//! produced by the feature extractor); [`aggregate`] folds per-mention
+//! sentiment records into per-topic, per-aspect summaries.
+
+use crate::record::SubjectSentiment;
+use std::collections::BTreeMap;
+use wf_types::Polarity;
+
+/// Topic → feature-term ownership.
+#[derive(Debug, Clone, Default)]
+pub struct AspectModel {
+    /// topic (canonical, lower-cased) → feature terms (lower-cased).
+    features_of: BTreeMap<String, Vec<String>>,
+}
+
+impl AspectModel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a topic with its feature terms. Feature terms may be
+    /// shared between topics (e.g. "battery" for every camera).
+    pub fn topic<I, S>(mut self, topic: &str, features: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.features_of.insert(
+            topic.to_lowercase(),
+            features.into_iter().map(|f| f.into().to_lowercase()).collect(),
+        );
+        self
+    }
+
+    /// The topics declared, sorted.
+    pub fn topics(&self) -> Vec<&str> {
+        self.features_of.keys().map(String::as_str).collect()
+    }
+
+    /// The features of a topic.
+    pub fn features(&self, topic: &str) -> &[String] {
+        self.features_of
+            .get(&topic.to_lowercase())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// True when `term` is a feature of `topic`.
+    pub fn owns(&self, topic: &str, term: &str) -> bool {
+        self.features(topic).iter().any(|f| f == &term.to_lowercase())
+    }
+}
+
+/// Sentiment tallies for one aspect (or for the topic itself).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AspectTally {
+    pub positive: usize,
+    pub negative: usize,
+    pub neutral: usize,
+}
+
+impl AspectTally {
+    fn add(&mut self, polarity: Polarity) {
+        match polarity {
+            Polarity::Positive => self.positive += 1,
+            Polarity::Negative => self.negative += 1,
+            Polarity::Neutral => self.neutral += 1,
+        }
+    }
+
+    /// Net sentiment score (#positive − #negative).
+    pub fn net(&self) -> i64 {
+        self.positive as i64 - self.negative as i64
+    }
+
+    /// Total sentiment-bearing mentions.
+    pub fn sentiment_mentions(&self) -> usize {
+        self.positive + self.negative
+    }
+
+    /// Fraction of sentiment-bearing mentions that are positive
+    /// (`None` when there are none).
+    pub fn satisfaction(&self) -> Option<f64> {
+        let n = self.sentiment_mentions();
+        if n == 0 {
+            None
+        } else {
+            Some(self.positive as f64 / n as f64)
+        }
+    }
+}
+
+/// Per-topic summary: direct sentiment plus per-aspect tallies.
+#[derive(Debug, Clone, Default)]
+pub struct TopicSummary {
+    /// Sentiment directed at the topic term itself.
+    pub direct: AspectTally,
+    /// Sentiment per feature term, in the model's feature order.
+    pub aspects: BTreeMap<String, AspectTally>,
+}
+
+impl TopicSummary {
+    /// Overall tally: direct + all aspects (the paper's point is that
+    /// this can be positive while one aspect is strongly negative).
+    pub fn overall(&self) -> AspectTally {
+        let mut total = self.direct;
+        for tally in self.aspects.values() {
+            total.positive += tally.positive;
+            total.negative += tally.negative;
+            total.neutral += tally.neutral;
+        }
+        total
+    }
+
+    /// Aspects sorted by ascending net sentiment — weakest first (the
+    /// "individual weaknesses ... important to know" view).
+    pub fn weakest_aspects(&self) -> Vec<(&str, AspectTally)> {
+        let mut aspects: Vec<(&str, AspectTally)> = self
+            .aspects
+            .iter()
+            .map(|(name, tally)| (name.as_str(), *tally))
+            .collect();
+        aspects.sort_by_key(|(_, t)| t.net());
+        aspects
+    }
+}
+
+/// Folds sentiment records into per-topic summaries under an aspect
+/// model. Records about a topic count as `direct`; records about one of
+/// the topic's features count under that aspect.
+pub fn aggregate(model: &AspectModel, records: &[SubjectSentiment]) -> BTreeMap<String, TopicSummary> {
+    let mut out: BTreeMap<String, TopicSummary> = BTreeMap::new();
+    for topic in model.topics() {
+        out.insert(topic.to_string(), TopicSummary::default());
+    }
+    for record in records {
+        let subject = record.subject.to_lowercase();
+        for topic in model.topics() {
+            let summary = out.get_mut(topic).expect("pre-inserted");
+            if subject == topic {
+                summary.direct.add(record.polarity);
+            } else if model.owns(topic, &subject) {
+                summary
+                    .aspects
+                    .entry(subject.clone())
+                    .or_default()
+                    .add(record.polarity);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miner::SentimentMiner;
+    use wf_spotter::SubjectList;
+
+    fn model() -> AspectModel {
+        AspectModel::new().topic("camera", ["battery", "picture quality", "flash"])
+    }
+
+    fn records(text: &str) -> Vec<SubjectSentiment> {
+        let subjects = SubjectList::builder()
+            .subject("camera", ["camera"])
+            .subject("battery", ["battery", "battery life"])
+            .subject("picture quality", ["picture quality"])
+            .subject("flash", ["flash"])
+            .build();
+        SentimentMiner::with_default_resources().analyze_text(text, &subjects)
+    }
+
+    #[test]
+    fn paper_scenario_happy_overall_unhappy_battery() {
+        let text = "This camera takes excellent pictures. The picture quality is \
+                    superb. The flash works well. The battery drains quickly and \
+                    the battery disappointed me.";
+        let summaries = aggregate(&model(), &records(text));
+        let camera = &summaries["camera"];
+        assert!(camera.overall().net() > 0, "overall should be positive");
+        let battery = camera.aspects.get("battery").expect("battery aspect");
+        assert!(battery.net() < 0, "battery aspect should be negative");
+        let weakest = camera.weakest_aspects();
+        assert_eq!(weakest.first().map(|(n, _)| *n), Some("battery"));
+    }
+
+    #[test]
+    fn direct_vs_aspect_separation() {
+        let text = "The camera is excellent. The flash is terrible.";
+        let summaries = aggregate(&model(), &records(text));
+        let camera = &summaries["camera"];
+        assert_eq!(camera.direct.positive, 1);
+        assert_eq!(camera.direct.negative, 0);
+        assert_eq!(camera.aspects["flash"].negative, 1);
+    }
+
+    #[test]
+    fn satisfaction_fraction() {
+        let mut tally = AspectTally::default();
+        tally.add(Polarity::Positive);
+        tally.add(Polarity::Positive);
+        tally.add(Polarity::Negative);
+        tally.add(Polarity::Neutral);
+        assert_eq!(tally.satisfaction(), Some(2.0 / 3.0));
+        assert_eq!(AspectTally::default().satisfaction(), None);
+    }
+
+    #[test]
+    fn unknown_subjects_are_ignored() {
+        let summaries = aggregate(&model(), &records("The menu is confusing."));
+        assert!(summaries["camera"].aspects.is_empty());
+        assert_eq!(summaries["camera"].direct, AspectTally::default());
+    }
+
+    #[test]
+    fn shared_features_count_for_every_owner() {
+        let model = AspectModel::new()
+            .topic("canon", ["battery"])
+            .topic("nikon", ["battery"]);
+        let recs = records("The battery is terrible.");
+        let summaries = aggregate(&model, &recs);
+        assert_eq!(summaries["canon"].aspects["battery"].negative, 1);
+        assert_eq!(summaries["nikon"].aspects["battery"].negative, 1);
+    }
+}

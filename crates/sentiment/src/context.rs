@@ -1,0 +1,114 @@
+//! Sentiment context formation.
+//!
+//! "A small sentiment context for each subject term spot is constructed and
+//! the sentiment miner runs on the context. A sentiment context generally
+//! consists of the full sentence that contains a subject spot and possibly
+//! some surrounding text of the sentence determined by the sentiment
+//! context window formation rule. The subject spot is marked by an XML tag
+//! and passed to the sentiment analyzer."
+
+use wf_types::Span;
+
+/// How much surrounding text joins the spot's sentence in the context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContextWindowRule {
+    /// Sentences before the spot's sentence to include.
+    pub sentences_before: usize,
+    /// Sentences after the spot's sentence to include.
+    pub sentences_after: usize,
+}
+
+/// A formed sentiment context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentimentContext {
+    /// Byte span of the context in the source document.
+    pub span: Span,
+    /// Byte span of the subject spot.
+    pub spot: Span,
+    /// The context text with the spot marked by `<subject>` XML tags.
+    pub marked_text: String,
+}
+
+/// Forms the sentiment context for one spot given the document text, the
+/// spans of all sentences (ascending), and the spot span.
+/// Returns `None` when the spot is not inside any sentence.
+pub fn form_context(
+    text: &str,
+    sentence_spans: &[Span],
+    spot: Span,
+    rule: ContextWindowRule,
+) -> Option<SentimentContext> {
+    let idx = sentence_spans
+        .iter()
+        .position(|s| s.contains(spot) || s.contains_offset(spot.start))?;
+    let first = idx.saturating_sub(rule.sentences_before);
+    let last = (idx + rule.sentences_after).min(sentence_spans.len() - 1);
+    let span = Span::new(sentence_spans[first].start, sentence_spans[last].end);
+    let mut marked_text = String::with_capacity(span.len() + 20);
+    marked_text.push_str(&text[span.start..spot.start]);
+    marked_text.push_str("<subject>");
+    marked_text.push_str(spot.slice(text));
+    marked_text.push_str("</subject>");
+    marked_text.push_str(&text[spot.end..span.end]);
+    Some(SentimentContext {
+        span,
+        spot,
+        marked_text,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEXT: &str = "First sentence here. The NR70 takes great pictures. Last one.";
+
+    fn sentences() -> Vec<Span> {
+        vec![Span::new(0, 20), Span::new(21, 51), Span::new(52, 61)]
+    }
+
+    fn nr70_spot() -> Span {
+        let start = TEXT.find("NR70").unwrap();
+        Span::new(start, start + 4)
+    }
+
+    #[test]
+    fn default_rule_is_single_sentence() {
+        let ctx = form_context(TEXT, &sentences(), nr70_spot(), ContextWindowRule::default())
+            .unwrap();
+        assert_eq!(ctx.span, Span::new(21, 51));
+        assert_eq!(
+            ctx.marked_text,
+            "The <subject>NR70</subject> takes great pictures."
+        );
+    }
+
+    #[test]
+    fn window_extends_to_neighbors() {
+        let rule = ContextWindowRule {
+            sentences_before: 1,
+            sentences_after: 1,
+        };
+        let ctx = form_context(TEXT, &sentences(), nr70_spot(), rule).unwrap();
+        assert_eq!(ctx.span, Span::new(0, 61));
+        assert!(ctx.marked_text.starts_with("First sentence"));
+        assert!(ctx.marked_text.ends_with("Last one."));
+    }
+
+    #[test]
+    fn window_clamps_at_document_edges() {
+        let rule = ContextWindowRule {
+            sentences_before: 10,
+            sentences_after: 10,
+        };
+        let ctx = form_context(TEXT, &sentences(), nr70_spot(), rule).unwrap();
+        assert_eq!(ctx.span, Span::new(0, 61));
+    }
+
+    #[test]
+    fn spot_outside_sentences_is_none() {
+        let spans = vec![Span::new(0, 5)];
+        assert!(form_context(TEXT, &spans, Span::new(30, 34), ContextWindowRule::default())
+            .is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! The sentiment miner — the paper's primary contribution.
+//!
+//! "Instead of classifying the sentiment of an entire document about a
+//! subject, our sentiment miner determines sentiment of each subject
+//! reference using natural language processing techniques." The miner
+//! consists of subject spotting, optional topic-specific feature
+//! extraction, sentiment extraction for each sentiment-bearing phrase, and
+//! sentiment assignment to the appropriate topic.
+//!
+//! - [`phrase`]: sentiment of a phrase from lexicon terms + negation;
+//! - [`analyzer`]: pattern matching and semantic relationship analysis;
+//! - [`context`]: sentiment context window formation;
+//! - [`miner`]: the [`SentimentMiner`] facade (modes A and B);
+//! - [`record`]: output records;
+//! - [`platform_miners`]: WebFountain integration (entity miners, the
+//!   sentiment index and its query service).
+
+pub mod analyzer;
+pub mod aspects;
+pub mod context;
+pub mod miner;
+pub mod phrase;
+pub mod platform_miners;
+pub mod record;
+pub mod trends;
+
+pub use analyzer::{AnalyzerConfig, Evidence, SentimentAnalyzer, SentimentAssignment};
+pub use aspects::{aggregate, AspectModel, AspectTally, TopicSummary};
+pub use context::{form_context, ContextWindowRule, SentimentContext};
+pub use miner::{mention_polarities, SentimentMiner};
+pub use platform_miners::{
+    AdhocSentimentMiner, SentimentEntityMiner, SentimentHit, SentimentQueryService, SpotterMiner,
+};
+pub use record::{dominant_polarity, EvidenceKind, SubjectSentiment};
+pub use trends::{sentiment_trends, TrendDirection, TrendPoint, TrendSeries};
+// re-export so downstream users need only this crate for mode A
+pub use wf_spotter::{SubjectList, SubjectListBuilder};

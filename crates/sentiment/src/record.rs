@@ -1,0 +1,113 @@
+//! Output records of the sentiment miner.
+
+use serde::{Deserialize, Serialize};
+use wf_types::{Polarity, Span, SynsetId};
+
+/// How strongly a record's evidence binds the sentiment to the subject.
+/// Lower is stronger; used to pick the dominant record for a mention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Hash)]
+pub enum EvidenceKind {
+    /// A sentiment pattern of the predicate matched (relationship analysis).
+    Pattern,
+    /// Existential clause rule.
+    Existential,
+    /// Contrastive leading PP.
+    Contrast,
+    /// Attributive adjectives inside the subject NP.
+    Attributive,
+    /// Subject mentioned, no sentiment found (neutral mention).
+    None,
+}
+
+/// One (subject, sentiment) extraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubjectSentiment {
+    /// Canonical subject name (from the subject list, or the named entity
+    /// surface form in query-time mode).
+    pub subject: String,
+    /// Synonym set, when the subject came from a predefined list.
+    pub synset: Option<SynsetId>,
+    /// Extracted polarity (Neutral = mention without sentiment).
+    pub polarity: Polarity,
+    /// Byte span of the containing sentence in the source text.
+    pub sentence_span: Span,
+    /// Byte span of the subject spot.
+    pub spot_span: Span,
+    /// Evidence class.
+    pub evidence: EvidenceKind,
+    /// Human-readable evidence detail ("pattern take/OP→SP").
+    pub detail: String,
+}
+
+impl SubjectSentiment {
+    /// True when the record carries sentiment.
+    pub fn is_sentiment(&self) -> bool {
+        self.polarity.is_sentiment()
+    }
+}
+
+/// Combines all records for one (sentence, subject) mention into the
+/// mention's dominant polarity: strongest evidence wins; at equal evidence
+/// strength, conflicting polarities cancel to Neutral.
+pub fn dominant_polarity(records: &[&SubjectSentiment]) -> Polarity {
+    let best = records
+        .iter()
+        .filter(|r| r.is_sentiment())
+        .map(|r| r.evidence)
+        .min();
+    let Some(best) = best else {
+        return Polarity::Neutral;
+    };
+    let score: i32 = records
+        .iter()
+        .filter(|r| r.evidence == best)
+        .map(|r| r.polarity.score())
+        .sum();
+    Polarity::from_score(score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(polarity: Polarity, evidence: EvidenceKind) -> SubjectSentiment {
+        SubjectSentiment {
+            subject: "x".into(),
+            synset: None,
+            polarity,
+            sentence_span: Span::new(0, 10),
+            spot_span: Span::new(0, 1),
+            evidence,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn pattern_evidence_beats_attributive() {
+        let a = rec(Polarity::Negative, EvidenceKind::Pattern);
+        let b = rec(Polarity::Positive, EvidenceKind::Attributive);
+        assert_eq!(dominant_polarity(&[&a, &b]), Polarity::Negative);
+    }
+
+    #[test]
+    fn equal_evidence_conflicts_cancel() {
+        let a = rec(Polarity::Negative, EvidenceKind::Pattern);
+        let b = rec(Polarity::Positive, EvidenceKind::Pattern);
+        assert_eq!(dominant_polarity(&[&a, &b]), Polarity::Neutral);
+    }
+
+    #[test]
+    fn all_neutral_is_neutral() {
+        let a = rec(Polarity::Neutral, EvidenceKind::None);
+        assert_eq!(dominant_polarity(&[&a]), Polarity::Neutral);
+        assert_eq!(dominant_polarity(&[]), Polarity::Neutral);
+    }
+
+    #[test]
+    fn majority_within_same_evidence() {
+        let a = rec(Polarity::Positive, EvidenceKind::Pattern);
+        let b = rec(Polarity::Positive, EvidenceKind::Pattern);
+        let c = rec(Polarity::Negative, EvidenceKind::Pattern);
+        assert_eq!(dominant_polarity(&[&a, &b, &c]), Polarity::Positive);
+    }
+}

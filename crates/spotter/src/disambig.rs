@@ -1,0 +1,337 @@
+//! The disambiguator: decides whether a spot really refers to the intended
+//! subject.
+//!
+//! Per the paper (after Amitay et al., CIKM 2003): disambiguation "can be
+//! achieved by relying on the presence or absence of additional terms that
+//! appear in the context of a subject. It utilizes user-defined sets of
+//! terms that are positively (or negatively) related to the topic [...] For
+//! each spot, it computes a score for a local context surrounding the spot,
+//! and a global context (the full document). The score is based on the
+//! on-topic and off-topic terms found, their TF·IDF scores, and their types
+//! (single term or lexical affinity). If the global context score passes a
+//! threshold, all spots on the page are considered on-topic. Otherwise it
+//! checks whether the combined local context and global context score
+//! passes another threshold."
+
+use crate::spotter::Spot;
+use std::collections::HashMap;
+use wf_types::Span;
+
+/// Per-topic disambiguation term sets.
+#[derive(Debug, Clone, Default)]
+pub struct TopicContext {
+    /// Terms positively related to the topic (lower-cased).
+    pub on_topic: Vec<String>,
+    /// Terms negatively related (indicating the off-topic reading).
+    pub off_topic: Vec<String>,
+    /// Lexical affinities: pairs of terms whose co-occurrence within the
+    /// affinity window is stronger evidence than either term alone.
+    pub affinities: Vec<(String, String)>,
+}
+
+/// Thresholds and window sizes for the two-stage decision.
+#[derive(Debug, Clone, Copy)]
+pub struct DisambiguatorConfig {
+    /// Global (whole-document) score threshold θ_g.
+    pub global_threshold: f64,
+    /// Combined local+global threshold θ_l.
+    pub local_threshold: f64,
+    /// Local context half-width in bytes around the spot.
+    pub local_window: usize,
+    /// Affinity co-occurrence window in bytes.
+    pub affinity_window: usize,
+    /// Weight multiplier for affinity hits vs single terms.
+    pub affinity_weight: f64,
+}
+
+impl Default for DisambiguatorConfig {
+    fn default() -> Self {
+        DisambiguatorConfig {
+            global_threshold: 2.0,
+            local_threshold: 1.0,
+            local_window: 200,
+            affinity_window: 80,
+            affinity_weight: 2.0,
+        }
+    }
+}
+
+/// Inverse document frequencies for score weighting. Unknown terms default
+/// to IDF 1.0 (every term equally informative), so the disambiguator works
+/// without corpus statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Idf {
+    values: HashMap<String, f64>,
+}
+
+impl Idf {
+    /// Builds IDF from document frequencies: `idf = ln(n_docs / df)`.
+    pub fn from_document_frequencies(df: &HashMap<String, usize>, n_docs: usize) -> Self {
+        let n = n_docs.max(1) as f64;
+        let values = df
+            .iter()
+            .map(|(t, &d)| (t.clone(), (n / d.max(1) as f64).ln().max(0.0)))
+            .collect();
+        Idf { values }
+    }
+
+    /// IDF of a lower-cased term (1.0 when unknown).
+    pub fn get(&self, term: &str) -> f64 {
+        self.values.get(term).copied().unwrap_or(1.0)
+    }
+
+    /// Inserts or overrides a term's IDF.
+    pub fn set(&mut self, term: impl Into<String>, idf: f64) {
+        self.values.insert(term.into(), idf);
+    }
+}
+
+/// The disambiguator for one topic.
+#[derive(Debug, Clone)]
+pub struct Disambiguator {
+    context: TopicContext,
+    config: DisambiguatorConfig,
+    idf: Idf,
+}
+
+/// Verdict for one spot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpotVerdict {
+    /// The spot refers to the intended subject.
+    OnTopic,
+    /// The spot is about something else ("SUN" as in Sunday).
+    OffTopic,
+}
+
+impl Disambiguator {
+    pub fn new(context: TopicContext, config: DisambiguatorConfig, idf: Idf) -> Self {
+        Disambiguator {
+            context,
+            config,
+            idf,
+        }
+    }
+
+    /// Convenience constructor with default thresholds and flat IDF.
+    pub fn with_context(context: TopicContext) -> Self {
+        Self::new(context, DisambiguatorConfig::default(), Idf::default())
+    }
+
+    /// Scores a region of the document: TF·IDF-weighted on-topic hits minus
+    /// off-topic hits, with affinity pairs boosted.
+    fn score_region(&self, lowered: &str, region: Span) -> f64 {
+        let slice = &lowered[region.start.min(lowered.len())..region.end.min(lowered.len())];
+        let mut score = 0.0;
+        for term in &self.context.on_topic {
+            let tf = count_occurrences(slice, term);
+            score += tf as f64 * self.idf.get(term);
+        }
+        for term in &self.context.off_topic {
+            let tf = count_occurrences(slice, term);
+            score -= tf as f64 * self.idf.get(term);
+        }
+        for (a, b) in &self.context.affinities {
+            if within_affinity_window(slice, a, b, self.config.affinity_window) {
+                let w = self.idf.get(a).max(self.idf.get(b));
+                score += self.config.affinity_weight * w;
+            }
+        }
+        score
+    }
+
+    /// Applies the paper's two-stage rule to all spots of one document.
+    pub fn disambiguate(&self, text: &str, spots: &[Spot]) -> Vec<SpotVerdict> {
+        let lowered = text.to_ascii_lowercase();
+        let global = Span::new(0, lowered.len());
+        let global_score = self.score_region(&lowered, global);
+        if global_score >= self.config.global_threshold {
+            return vec![SpotVerdict::OnTopic; spots.len()];
+        }
+        spots
+            .iter()
+            .map(|spot| {
+                let start = spot.span.start.saturating_sub(self.config.local_window);
+                let end = (spot.span.end + self.config.local_window).min(lowered.len());
+                // clamp to char boundaries conservatively (ASCII lowering
+                // preserves boundaries; for non-ASCII find nearest)
+                let start = floor_char_boundary(&lowered, start);
+                let end = ceil_char_boundary(&lowered, end);
+                let local_score = self.score_region(&lowered, Span::new(start, end));
+                if local_score + global_score >= self.config.local_threshold {
+                    SpotVerdict::OnTopic
+                } else {
+                    SpotVerdict::OffTopic
+                }
+            })
+            .collect()
+    }
+}
+
+fn floor_char_boundary(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+fn ceil_char_boundary(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while i < s.len() && !s.is_char_boundary(i) {
+        i += 1;
+    }
+    i
+}
+
+/// Counts word-boundary-respecting occurrences of `term` in `slice`.
+fn count_occurrences(slice: &str, term: &str) -> usize {
+    if term.is_empty() {
+        return 0;
+    }
+    let bytes = slice.as_bytes();
+    let mut count = 0;
+    let mut from = 0;
+    while let Some(pos) = slice[from..].find(term) {
+        let start = from + pos;
+        let end = start + term.len();
+        let before_ok = start == 0 || !bytes[start - 1].is_ascii_alphanumeric();
+        let after_ok = end >= bytes.len() || !bytes[end].is_ascii_alphanumeric();
+        if before_ok && after_ok {
+            count += 1;
+        }
+        from = start + 1;
+    }
+    count
+}
+
+/// True when `a` and `b` both occur with their nearest occurrences within
+/// `window` bytes of each other.
+fn within_affinity_window(slice: &str, a: &str, b: &str, window: usize) -> bool {
+    let pos_a: Vec<usize> = find_positions(slice, a);
+    let pos_b: Vec<usize> = find_positions(slice, b);
+    for &pa in &pos_a {
+        for &pb in &pos_b {
+            if pa.abs_diff(pb) <= window {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn find_positions(slice: &str, term: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    if term.is_empty() {
+        return out;
+    }
+    let mut from = 0;
+    while let Some(pos) = slice[from..].find(term) {
+        out.push(from + pos);
+        from = from + pos + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spotter::{Spotter, SubjectList};
+
+    fn sun_disambiguator() -> Disambiguator {
+        Disambiguator::with_context(TopicContext {
+            on_topic: vec![
+                "microsystems".into(),
+                "java".into(),
+                "server".into(),
+                "software".into(),
+                "workstation".into(),
+            ],
+            off_topic: vec!["sunday".into(), "sunshine".into(), "weather".into(), "sky".into()],
+            affinities: vec![("sun".into(), "microsystems".into())],
+        })
+    }
+
+    fn spots_for(text: &str) -> Vec<Spot> {
+        let subjects = SubjectList::builder().subject("SUN", ["SUN"]).build();
+        Spotter::new(&subjects).spot(text)
+    }
+
+    #[test]
+    fn on_topic_document_passes_global() {
+        let text = "SUN Microsystems shipped new Java server software. \
+                    The SUN workstation line grew.";
+        let spots = spots_for(text);
+        assert_eq!(spots.len(), 2);
+        let verdicts = sun_disambiguator().disambiguate(text, &spots);
+        assert!(verdicts.iter().all(|v| *v == SpotVerdict::OnTopic));
+    }
+
+    #[test]
+    fn off_topic_document_rejects_spots() {
+        let text = "The sun was bright and the weather was perfect for a picnic under the sky.";
+        let spots = spots_for(text);
+        assert!(!spots.is_empty());
+        let verdicts = sun_disambiguator().disambiguate(text, &spots);
+        assert!(verdicts.iter().all(|v| *v == SpotVerdict::OffTopic));
+    }
+
+    #[test]
+    fn mixed_document_uses_local_context() {
+        // Global score below θ_g (one on-topic term, one off-topic), so the
+        // per-spot local rule decides.
+        let text = "SUN server news came today. \
+                    Meanwhile the weather report mentioned bright sun all sunday.";
+        let spots = spots_for(text);
+        assert_eq!(spots.len(), 2);
+        // the document's global score is negative (more off-topic than
+        // on-topic terms), so the combined threshold must sit at zero for
+        // one strong local hit to outweigh it
+        let cfg = DisambiguatorConfig {
+            local_window: 25,
+            local_threshold: 0.0,
+            ..DisambiguatorConfig::default()
+        };
+        let d = Disambiguator::new(
+            sun_disambiguator().context.clone(),
+            cfg,
+            Idf::default(),
+        );
+        let verdicts = d.disambiguate(text, &spots);
+        assert_eq!(verdicts[0], SpotVerdict::OnTopic, "{verdicts:?}");
+        assert_eq!(verdicts[1], SpotVerdict::OffTopic, "{verdicts:?}");
+    }
+
+    #[test]
+    fn idf_weighting_boosts_rare_terms() {
+        let mut df = HashMap::new();
+        df.insert("java".to_string(), 10usize);
+        df.insert("the".to_string(), 1000usize);
+        let idf = Idf::from_document_frequencies(&df, 1000);
+        assert!(idf.get("java") > idf.get("the"));
+        assert_eq!(idf.get("unknown-term"), 1.0);
+    }
+
+    #[test]
+    fn affinity_window_detection() {
+        assert!(within_affinity_window("sun microsystems", "sun", "microsystems", 20));
+        assert!(!within_affinity_window(
+            &format!("sun {} microsystems", "x".repeat(100)),
+            "sun",
+            "microsystems",
+            20
+        ));
+    }
+
+    #[test]
+    fn count_occurrences_respects_boundaries() {
+        assert_eq!(count_occurrences("sun sunday sun", "sun"), 2);
+        assert_eq!(count_occurrences("", "sun"), 0);
+        assert_eq!(count_occurrences("sun", ""), 0);
+    }
+
+    #[test]
+    fn empty_spots_yield_empty_verdicts() {
+        let d = sun_disambiguator();
+        assert!(d.disambiguate("whatever text", &[]).is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! Subject spotting and disambiguation.
+//!
+//! Implements two WebFountain miners the sentiment miner depends on:
+//!
+//! - [`spotter`]: the general-purpose term spotter — occurrences of
+//!   arbitrary subject terms/phrases, grouped into user-configurable
+//!   synonym sets, found in one pass with a from-scratch Aho–Corasick
+//!   automaton ([`automaton`]);
+//! - [`disambig`]: the disambiguator — decides per spot whether the match
+//!   refers to the intended subject, using TF·IDF-scored on-topic/off-topic
+//!   context terms and lexical affinities with the paper's two-threshold
+//!   global/local rule.
+
+pub mod automaton;
+pub mod disambig;
+pub mod spotter;
+
+pub use automaton::{AhoCorasick, AhoCorasickBuilder, Match, PatternId};
+pub use disambig::{Disambiguator, DisambiguatorConfig, Idf, SpotVerdict, TopicContext};
+pub use spotter::{Spot, Spotter, SubjectList, SubjectListBuilder, Synset};

@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Workspace-wide error type.
+///
+/// The system is a library first; every fallible public operation returns
+/// `wf_types::Result` so callers get a single error surface across the
+/// platform, NLP and mining crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A resource file (lexicon, pattern database, tag dictionary) failed to
+    /// parse. Carries the resource name, 1-based line number and a message.
+    Parse {
+        resource: String,
+        line: usize,
+        message: String,
+    },
+    /// An entity lookup missed in the data store.
+    NotFound(String),
+    /// A component was configured inconsistently (e.g. empty subject list
+    /// handed to the spotter, zero-node cluster).
+    Config(String),
+    /// A Vinci service call failed: no such service or handler error.
+    Service(String),
+    /// A query against the indexer was malformed.
+    Query(String),
+}
+
+impl Error {
+    pub fn parse(resource: impl Into<String>, line: usize, message: impl Into<String>) -> Self {
+        Error::Parse {
+            resource: resource.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse {
+                resource,
+                line,
+                message,
+            } => write!(f, "parse error in {resource}:{line}: {message}"),
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::Service(msg) => write!(f, "service error: {msg}"),
+            Error::Query(msg) => write!(f, "query error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_displays_location() {
+        let err = Error::parse("sentiment.tsv", 12, "bad polarity");
+        assert_eq!(
+            err.to_string(),
+            "parse error in sentiment.tsv:12: bad polarity"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_std_error<E: std::error::Error>(_: &E) {}
+        assert_std_error(&Error::NotFound("doc:1".into()));
+    }
+}

@@ -1,0 +1,71 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an entity (document) in the WebFountain data store.
+///
+/// WebFountain calls stored units "entities"; a web page, a news article and
+/// a bulletin-board post are all entities. Ids are dense u64s assigned by the
+/// store at ingest time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DocId(pub u64);
+
+impl DocId {
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc:{}", self.0)
+    }
+}
+
+/// Identifier of a synonym set.
+///
+/// The spotter groups subject-term variants ("IBM", "International Business
+/// Machines") into user-configurable synonym sets and annotates each spot
+/// with the set id, so analytics can count all variants of a subject
+/// together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SynsetId(pub u32);
+
+impl SynsetId {
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SynsetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syn:{}", self.0)
+    }
+}
+
+/// Identifier of a node in the simulated WebFountain cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_ids_order_by_value() {
+        assert!(DocId(1) < DocId(2));
+        assert_eq!(DocId(7).as_u64(), 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(DocId(3).to_string(), "doc:3");
+        assert_eq!(SynsetId(9).to_string(), "syn:9");
+        assert_eq!(NodeId(0).to_string(), "node:0");
+    }
+}

@@ -1,0 +1,15 @@
+//! Shared primitive types for the WebFountain sentiment-mining reproduction.
+//!
+//! Every other crate in the workspace depends on this one. It deliberately
+//! contains only small, dependency-light value types: text spans, sentiment
+//! polarities, document identifiers, and the common error type.
+
+mod error;
+mod ids;
+mod polarity;
+mod span;
+
+pub use error::{Error, Result};
+pub use ids::{DocId, NodeId, SynsetId};
+pub use polarity::Polarity;
+pub use span::Span;

@@ -1,0 +1,140 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Neg;
+
+/// Sentiment polarity of a term, phrase or (subject, sentiment) assignment.
+///
+/// The paper treats sentiment as an orientation deviating from the neutral
+/// state: positive (`+`), negative (`-`), or neutral when no sentiment is
+/// expressed about the subject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Polarity {
+    Positive,
+    Negative,
+    #[default]
+    Neutral,
+}
+
+impl Polarity {
+    /// Parses the paper's one-character notation: `+`, `-` (or `0`/`n` for
+    /// neutral, which the paper leaves implicit).
+    pub fn parse(s: &str) -> Option<Polarity> {
+        match s.trim() {
+            "+" | "positive" | "pos" => Some(Polarity::Positive),
+            "-" | "negative" | "neg" => Some(Polarity::Negative),
+            "0" | "n" | "neutral" => Some(Polarity::Neutral),
+            _ => None,
+        }
+    }
+
+    /// Reverses the polarity, as negating adverbs do. Neutral is a fixed
+    /// point: "not" applied to a sentiment-free phrase stays sentiment-free.
+    pub fn reversed(self) -> Polarity {
+        match self {
+            Polarity::Positive => Polarity::Negative,
+            Polarity::Negative => Polarity::Positive,
+            Polarity::Neutral => Polarity::Neutral,
+        }
+    }
+
+    /// Conditionally reverses: used when a sentiment pattern's source carries
+    /// the `~` inversion marker or a negation is in scope.
+    pub fn reversed_if(self, flip: bool) -> Polarity {
+        if flip {
+            self.reversed()
+        } else {
+            self
+        }
+    }
+
+    /// Numeric score used when summing term polarities over a phrase:
+    /// +1 / -1 / 0.
+    pub fn score(self) -> i32 {
+        match self {
+            Polarity::Positive => 1,
+            Polarity::Negative => -1,
+            Polarity::Neutral => 0,
+        }
+    }
+
+    /// Converts a summed score back into a polarity by its sign.
+    pub fn from_score(score: i32) -> Polarity {
+        match score.cmp(&0) {
+            std::cmp::Ordering::Greater => Polarity::Positive,
+            std::cmp::Ordering::Less => Polarity::Negative,
+            std::cmp::Ordering::Equal => Polarity::Neutral,
+        }
+    }
+
+    /// True for positive or negative (i.e. sentiment-bearing) polarity.
+    pub fn is_sentiment(self) -> bool {
+        self != Polarity::Neutral
+    }
+}
+
+impl Neg for Polarity {
+    type Output = Polarity;
+    fn neg(self) -> Polarity {
+        self.reversed()
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Polarity::Positive => "+",
+            Polarity::Negative => "-",
+            Polarity::Neutral => "0",
+        };
+        f.write_str(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_notations() {
+        assert_eq!(Polarity::parse("+"), Some(Polarity::Positive));
+        assert_eq!(Polarity::parse("-"), Some(Polarity::Negative));
+        assert_eq!(Polarity::parse("0"), Some(Polarity::Neutral));
+        assert_eq!(Polarity::parse("positive"), Some(Polarity::Positive));
+        assert_eq!(Polarity::parse(" neg "), Some(Polarity::Negative));
+        assert_eq!(Polarity::parse("?"), None);
+    }
+
+    #[test]
+    fn reversal_is_involutive() {
+        for p in [Polarity::Positive, Polarity::Negative, Polarity::Neutral] {
+            assert_eq!(p.reversed().reversed(), p);
+        }
+    }
+
+    #[test]
+    fn neutral_is_fixed_under_reversal() {
+        assert_eq!(Polarity::Neutral.reversed(), Polarity::Neutral);
+    }
+
+    #[test]
+    fn score_round_trip() {
+        for p in [Polarity::Positive, Polarity::Negative, Polarity::Neutral] {
+            assert_eq!(Polarity::from_score(p.score()), p);
+        }
+        assert_eq!(Polarity::from_score(5), Polarity::Positive);
+        assert_eq!(Polarity::from_score(-3), Polarity::Negative);
+    }
+
+    #[test]
+    fn neg_operator_matches_reversed() {
+        assert_eq!(-Polarity::Positive, Polarity::Negative);
+        assert_eq!(-Polarity::Negative, Polarity::Positive);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(Polarity::Positive.to_string(), "+");
+        assert_eq!(Polarity::Negative.to_string(), "-");
+        assert_eq!(Polarity::Neutral.to_string(), "0");
+    }
+}

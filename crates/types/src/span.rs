@@ -1,0 +1,118 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source text.
+///
+/// Spans are the universal currency for locating tokens, phrases, spots and
+/// annotations inside an entity's text. They always refer to byte offsets of
+/// the original UTF-8 text, never character counts, so slicing with a span is
+/// O(1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Span {
+    /// Byte offset of the first byte covered by the span.
+    pub start: usize,
+    /// Byte offset one past the last byte covered by the span.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a new span. Panics in debug builds if `start > end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "span start {start} > end {end}");
+        Span { start, end }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True when `self` fully contains `other`.
+    pub fn contains(&self, other: Span) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// True when the byte offset `pos` falls inside the span.
+    pub fn contains_offset(&self, pos: usize) -> bool {
+        self.start <= pos && pos < self.end
+    }
+
+    /// True when the two spans share at least one byte.
+    pub fn overlaps(&self, other: Span) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn cover(&self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Slices `text` with this span. Panics if the span is out of bounds or
+    /// not on UTF-8 boundaries, mirroring standard slice behaviour.
+    pub fn slice<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.start..self.end]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Span::new(2, 7).len(), 5);
+        assert!(!Span::new(2, 7).is_empty());
+        assert!(Span::new(3, 3).is_empty());
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Span::new(0, 10);
+        assert!(outer.contains(Span::new(0, 10)));
+        assert!(outer.contains(Span::new(3, 7)));
+        assert!(!outer.contains(Span::new(3, 11)));
+        assert!(outer.contains_offset(0));
+        assert!(outer.contains_offset(9));
+        assert!(!outer.contains_offset(10));
+    }
+
+    #[test]
+    fn overlap() {
+        assert!(Span::new(0, 5).overlaps(Span::new(4, 9)));
+        assert!(!Span::new(0, 5).overlaps(Span::new(5, 9)));
+        assert!(Span::new(2, 3).overlaps(Span::new(0, 10)));
+    }
+
+    #[test]
+    fn cover_is_smallest_enclosing() {
+        assert_eq!(Span::new(2, 5).cover(Span::new(7, 9)), Span::new(2, 9));
+        assert_eq!(Span::new(7, 9).cover(Span::new(2, 5)), Span::new(2, 9));
+    }
+
+    #[test]
+    fn slicing() {
+        let text = "hello world";
+        assert_eq!(Span::new(6, 11).slice(text), "world");
+    }
+
+    #[test]
+    fn ordering_is_by_start_then_end() {
+        let mut spans = vec![Span::new(5, 9), Span::new(0, 3), Span::new(0, 2)];
+        spans.sort();
+        assert_eq!(
+            spans,
+            vec![Span::new(0, 2), Span::new(0, 3), Span::new(5, 9)]
+        );
+    }
+}

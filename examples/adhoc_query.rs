@@ -1,0 +1,78 @@
+//! Ad-hoc sentiment queries (mode B): no predefined subject list.
+//!
+//! The named entity spotter discovers subjects offline, the sentiment
+//! miner annotates every entity, and the conceptual index serves
+//! real-time `(subject, polarity)` queries — the paper's Figure 3 flow
+//! feeding the Figure 5 sentence listing.
+//!
+//! Run with: `cargo run --example adhoc_query`
+
+use webfountain_sentiment::corpus::{pharma_web, WebConfig};
+use webfountain_sentiment::platform::{Cluster, Ingestor, MinerPipeline, RawDocument, SourceKind};
+use webfountain_sentiment::sentiment::{AdhocSentimentMiner, SentimentQueryService};
+use webfountain_sentiment::types::Polarity;
+
+fn main() {
+    // a pharmaceutical-domain web crawl
+    let corpus = pharma_web(
+        7,
+        &WebConfig {
+            n_docs: 120,
+            ..WebConfig::standard()
+        },
+    );
+    let cluster = Cluster::new(4).expect("cluster");
+    {
+        let mut ingest = Ingestor::new(cluster.store());
+        for (i, doc) in corpus.d_plus.iter().enumerate() {
+            ingest.ingest(RawDocument::new(
+                format!("web://pharma/{i}"),
+                SourceKind::Web,
+                doc.text(),
+            ));
+        }
+    }
+
+    // offline: discover entities, analyze, index
+    let t = std::time::Instant::now();
+    cluster.run_pipeline(&MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new())));
+    cluster.rebuild_index();
+    println!(
+        "offline pass over {} docs in {:.2}s; {} conceptual tokens indexed\n",
+        cluster.store().len(),
+        t.elapsed().as_secs_f64(),
+        cluster.indexer().concept_count()
+    );
+
+    // online: query any subject the crawl happened to mention
+    for subject in ["Veloxin", "Cardiplex", "Neurovan"] {
+        let t = std::time::Instant::now();
+        let negatives = SentimentQueryService::query(
+            cluster.indexer(),
+            cluster.store(),
+            subject,
+            Some(Polarity::Negative),
+        )
+        .expect("query");
+        let positives = SentimentQueryService::query(
+            cluster.indexer(),
+            cluster.store(),
+            subject,
+            Some(Polarity::Positive),
+        )
+        .expect("query");
+        println!(
+            "{subject}: {} positive / {} negative mentions ({:.1} us)",
+            positives.len(),
+            negatives.len(),
+            t.elapsed().as_secs_f64() * 1e6
+        );
+        for hit in negatives.iter().take(3) {
+            println!("  [-] {} ({})", hit.sentence, hit.doc);
+        }
+        for hit in positives.iter().take(3) {
+            println!("  [+] {} ({})", hit.sentence, hit.doc);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: target-level sentiment analysis in a few lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use webfountain_sentiment::prelude::*;
+
+fn main() {
+    // 1. Build a miner over the embedded sentiment lexicon and pattern
+    //    database.
+    let miner = SentimentMiner::with_default_resources();
+
+    // 2. Declare the subjects you care about, with surface variants
+    //    grouped into synonym sets.
+    let subjects = SubjectList::builder()
+        .subject("NR70", ["NR70", "NR70 series"])
+        .subject("T series CLIEs", ["T series CLIEs", "T series"])
+        .subject("Sony PDA", ["Sony PDA"])
+        .build();
+
+    // 3. Analyze text. Each subject occurrence gets its own sentiment —
+    //    this is the paper's headline example, where a document-level
+    //    classifier would label everything positive.
+    let text = "As with every Sony PDA before it, the NR70 series is equipped \
+                with Sony's own Memory Stick expansion. \
+                Unlike the more recent T series CLIEs, the NR70 does not \
+                require an add-on adapter for MP3 playback, which is \
+                certainly a welcome change.";
+
+    println!("input:\n  {text}\n");
+    println!("per-mention sentiment:");
+    let records = miner.analyze_text(text, &subjects);
+    for (subject, sentence, polarity) in
+        webfountain_sentiment::sentiment::mention_polarities(&records)
+    {
+        println!(
+            "  {subject:<16} {polarity}   (sentence at bytes {}..{})",
+            sentence.start, sentence.end
+        );
+    }
+
+    // 4. Records carry evidence you can inspect.
+    println!("\nevidence:");
+    for r in records.iter().filter(|r| r.is_sentiment()) {
+        println!("  {:<16} {}  [{}]", r.subject, r.polarity, r.detail);
+    }
+}

@@ -1,0 +1,92 @@
+//! Reputation management (mode A): the paper's motivating application.
+//!
+//! Boots a simulated WebFountain cluster, ingests a digital-camera review
+//! corpus, runs the spotter + sentiment miner pipeline across all nodes,
+//! and prints a per-product reputation dashboard with per-feature
+//! satisfaction (the Figure 2 scenario).
+//!
+//! Run with: `cargo run --example reputation_dashboard`
+
+use std::collections::BTreeMap;
+use webfountain_sentiment::corpus::{camera_reviews, ReviewConfig};
+use webfountain_sentiment::platform::{Cluster, Ingestor, MinerPipeline, RawDocument, SourceKind};
+use webfountain_sentiment::sentiment::{SentimentEntityMiner, SpotterMiner, SubjectList};
+use webfountain_sentiment::types::Polarity;
+
+fn main() {
+    // corpora: a reduced-scale camera review crawl
+    let corpus = camera_reviews(
+        42,
+        &ReviewConfig {
+            n_plus: 120,
+            n_minus: 0,
+            ..ReviewConfig::camera()
+        },
+    );
+
+    // platform: 8-node cluster
+    let cluster = Cluster::new(8).expect("cluster");
+    {
+        let mut ingest = Ingestor::new(cluster.store());
+        for (i, doc) in corpus.d_plus.iter().enumerate() {
+            ingest.ingest(
+                RawDocument::new(format!("web://reviews/{i}"), SourceKind::Web, doc.text())
+                    .with_metadata("domain", "digital-camera"),
+            );
+        }
+        println!(
+            "ingested {} review pages ({} bytes)",
+            ingest.stats().documents,
+            ingest.stats().bytes
+        );
+    }
+
+    // subjects: the tracked brands plus the features the paper charts
+    let mut subjects = SubjectList::builder();
+    for p in webfountain_sentiment::corpus::vocab::CAMERA_PRODUCTS {
+        subjects = subjects.subject(p, [p.to_string()]);
+    }
+    for f in ["picture quality", "battery", "flash"] {
+        subjects = subjects.subject(f, [f.to_string()]);
+    }
+    let subjects = subjects.build();
+
+    // mine in parallel across the cluster
+    let pipeline = MinerPipeline::new()
+        .add(Box::new(SpotterMiner::new(subjects.clone())))
+        .add(Box::new(SentimentEntityMiner::new(subjects)));
+    let stats = cluster.run_pipeline(&pipeline);
+    println!(
+        "mined {} entities ({} failed) on {} nodes\n",
+        stats.processed,
+        stats.failed,
+        cluster.nodes().len()
+    );
+
+    // aggregate reputation per subject from the sentiment annotations
+    let mut reputation: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    cluster.store().for_each(|entity| {
+        for ann in entity.annotations_of("sentiment") {
+            let subject = ann.attr("subject").unwrap_or("?").to_string();
+            let entry = reputation.entry(subject).or_insert((0, 0));
+            match ann.attr("polarity").and_then(Polarity::parse) {
+                Some(Polarity::Positive) => entry.0 += 1,
+                Some(Polarity::Negative) => entry.1 += 1,
+                _ => {}
+            }
+        }
+    });
+
+    println!("reputation dashboard (sentiment-bearing mentions):");
+    println!("{:<18} {:>4} {:>4}  net", "subject", "+", "-");
+    println!("{}", "-".repeat(36));
+    for (subject, (pos, neg)) in &reputation {
+        let net = *pos as i64 - *neg as i64;
+        let bar = if net >= 0 {
+            "+".repeat((net as usize).min(30))
+        } else {
+            "-".repeat(((-net) as usize).min(30))
+        };
+        println!("{subject:<18} {pos:>4} {neg:>4}  {bar}");
+    }
+}

@@ -1,0 +1,95 @@
+//! Market-trend tracking: the reputation application's time dimension.
+//!
+//! Ingests six months of review pages whose tone drifts (one brand
+//! improves, one declines), mines sentiment with the mode-A pipeline, and
+//! reports per-brand reputation trends.
+//!
+//! Run with: `cargo run --example trend_tracking`
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use webfountain_sentiment::platform::{Cluster, Ingestor, MinerPipeline, RawDocument, SourceKind};
+use webfountain_sentiment::sentiment::{
+    sentiment_trends, SentimentEntityMiner, SubjectList, TrendDirection,
+};
+use webfountain_sentiment::types::Polarity;
+
+/// Generates one review sentence for a brand with the given polarity.
+fn review_sentence(brand: &str, polarity: Polarity, pick: usize) -> String {
+    match polarity {
+        Polarity::Positive => [
+            format!("The {brand} takes excellent pictures."),
+            format!("The {brand} is superb."),
+            format!("I am impressed by the {brand}."),
+        ][pick % 3]
+            .clone(),
+        _ => [
+            format!("The {brand} takes blurry pictures."),
+            format!("The {brand} is terrible."),
+            format!("I am disappointed by the {brand}."),
+        ][pick % 3]
+            .clone(),
+    }
+}
+
+fn main() {
+    let months = ["2004-01", "2004-02", "2004-03", "2004-04", "2004-05", "2004-06"];
+    let mut rng = StdRng::seed_from_u64(13);
+    let cluster = Cluster::new(4).expect("cluster");
+    {
+        let mut ingest = Ingestor::new(cluster.store());
+        for (m, month) in months.iter().enumerate() {
+            // Canon's satisfaction climbs from 20% to 95%; Nikon's falls
+            let canon_p = 0.2 + 0.15 * m as f64;
+            let nikon_p = 0.9 - 0.12 * m as f64;
+            for i in 0..12 {
+                let canon_pol = if rng.random_bool(canon_p) {
+                    Polarity::Positive
+                } else {
+                    Polarity::Negative
+                };
+                let nikon_pol = if rng.random_bool(nikon_p) {
+                    Polarity::Positive
+                } else {
+                    Polarity::Negative
+                };
+                let text = format!(
+                    "{} {}",
+                    review_sentence("Canon", canon_pol, i),
+                    review_sentence("Nikon", nikon_pol, i + 1)
+                );
+                ingest.ingest(
+                    RawDocument::new(format!("web://{month}/{i}"), SourceKind::Web, text)
+                        .with_metadata("month", *month),
+                );
+            }
+        }
+    }
+
+    let subjects = SubjectList::builder()
+        .subject("Canon", ["Canon"])
+        .subject("Nikon", ["Nikon"])
+        .build();
+    cluster.run_pipeline(&MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects))));
+
+    println!("monthly satisfaction (positive share of sentiment mentions):\n");
+    for series in sentiment_trends(cluster.store(), "month") {
+        let direction = match series.direction(0.02) {
+            TrendDirection::Improving => "improving",
+            TrendDirection::Declining => "DECLINING",
+            TrendDirection::Flat => "flat",
+        };
+        print!("{:<8}", series.subject);
+        for point in &series.points {
+            match point.tally.satisfaction() {
+                Some(s) => print!(" {:>4.0}%", 100.0 * s),
+                None => print!("    -"),
+            }
+        }
+        println!(
+            "   slope {:+.3}/month → {}",
+            series.slope(),
+            direction
+        );
+    }
+}

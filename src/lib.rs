@@ -1,0 +1,38 @@
+//! # webfountain-sentiment
+//!
+//! A from-scratch Rust reproduction of *Sentiment Mining in WebFountain*
+//! (Jeonghee Yi & Wayne Niblack, ICDE 2005): target-level sentiment mining
+//! with NLP-based semantic relationship analysis, running on a simulated
+//! WebFountain text-analytics platform.
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names. Start with [`sentiment::SentimentMiner`] for the paper's core
+//! contribution, or [`platform`] for the end-to-end pipeline.
+//!
+//! ```
+//! use webfountain_sentiment::prelude::*;
+//!
+//! let miner = SentimentMiner::with_default_resources();
+//! let subjects = SubjectList::builder()
+//!     .subject("camera", ["camera", "cameras"])
+//!     .build();
+//! let results = miner.analyze_text("This camera takes excellent pictures.", &subjects);
+//! assert_eq!(results[0].polarity, Polarity::Positive);
+//! ```
+
+pub use wf_baselines as baselines;
+pub use wf_corpus as corpus;
+pub use wf_eval as eval;
+pub use wf_features as features;
+pub use wf_lexicon as lexicon;
+pub use wf_nlp as nlp;
+pub use wf_platform as platform;
+pub use wf_sentiment as sentiment;
+pub use wf_spotter as spotter;
+pub use wf_types as types;
+
+/// Most commonly used items, for glob import.
+pub mod prelude {
+    pub use wf_sentiment::{SentimentMiner, SubjectList};
+    pub use wf_types::{DocId, Polarity, Span};
+}

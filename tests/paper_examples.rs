@@ -1,0 +1,194 @@
+//! The paper's worked examples, end to end through the public API.
+
+use webfountain_sentiment::prelude::*;
+use webfountain_sentiment::sentiment::mention_polarities;
+
+fn subjects() -> SubjectList {
+    SubjectList::builder()
+        .subject("Sony PDA", ["Sony PDA"])
+        .subject("NR70", ["NR70", "NR70 series"])
+        .subject("T series CLIEs", ["T series CLIEs", "T series"])
+        .build()
+}
+
+fn polarities(text: &str) -> Vec<(String, Polarity)> {
+    let miner = SentimentMiner::with_default_resources();
+    let records = miner.analyze_text(text, &subjects());
+    mention_polarities(&records)
+        .into_iter()
+        .map(|(s, _, p)| (s, p))
+        .collect()
+}
+
+/// Paper §1.2 sample sentence 1: "As with every Sony PDA before it, the
+/// NR70 series is equipped with Sony's own Memory Stick expansion."
+/// Expected: Sony PDA positive, NR70 positive.
+#[test]
+fn sample_sentence_1() {
+    let got = polarities(
+        "As with every Sony PDA before it, the NR70 series is equipped with \
+         Sony's own Memory Stick expansion.",
+    );
+    assert!(
+        got.contains(&("Sony PDA".to_string(), Polarity::Positive)),
+        "{got:?}"
+    );
+    assert!(
+        got.contains(&("NR70".to_string(), Polarity::Positive)),
+        "{got:?}"
+    );
+}
+
+/// Paper §1.2 sample sentence 2: expected T series CLIEs negative, NR70
+/// positive — the case where ReviewSeer "would assign the same polarity
+/// to Sony PDA and T series CLIEs as that of NR70, which is wrong".
+#[test]
+fn sample_sentence_2() {
+    let got = polarities(
+        "Unlike the more recent T series CLIEs, the NR70 does not require an \
+         add-on adapter for MP3 playback, which is certainly a welcome change.",
+    );
+    assert!(
+        got.contains(&("T series CLIEs".to_string(), Polarity::Negative)),
+        "{got:?}"
+    );
+    assert!(
+        got.contains(&("NR70".to_string(), Polarity::Positive)),
+        "{got:?}"
+    );
+}
+
+/// Paper §1.2 sample sentence 3: NR70 positive (primary phrase) and a
+/// negative aspect (the lack of non-memory Memory Sticks).
+#[test]
+fn sample_sentence_3() {
+    let text = "The Memory Stick support in the NR70 series is well implemented \
+                and functional, although there is still a lack of non-memory \
+                Memory Sticks for consumer consumption.";
+    let miner = SentimentMiner::with_default_resources();
+    let subjects = SubjectList::builder()
+        .subject("NR70", ["NR70", "NR70 series"])
+        .subject("Memory Stick", ["Memory Stick", "Memory Sticks"])
+        .build();
+    let records = miner.analyze_text(text, &subjects);
+    let got: Vec<(String, Polarity)> = records
+        .iter()
+        .map(|r| (r.subject.clone(), r.polarity))
+        .collect();
+    // the positive primary phrase reaches the NR70 series (subject PP)
+    assert!(
+        got.contains(&("NR70".to_string(), Polarity::Positive)),
+        "{got:?}"
+    );
+    // the existential "lack of ..." clause marks the Memory Stick aspect
+    // negative
+    assert!(
+        got.contains(&("Memory Stick".to_string(), Polarity::Negative)),
+        "{got:?}"
+    );
+}
+
+/// Paper §4.2: "I am impressed by the flash capabilities." →
+/// (flash capability, +).
+#[test]
+fn impress_pattern_example() {
+    let miner = SentimentMiner::with_default_resources();
+    let subjects = SubjectList::builder()
+        .subject("flash", ["flash", "flash capabilities"])
+        .build();
+    let records = miner.analyze_text("I am impressed by the flash capabilities.", &subjects);
+    assert!(records
+        .iter()
+        .any(|r| r.subject == "flash" && r.polarity == Polarity::Positive));
+}
+
+/// Paper §4.2: "This camera takes excellent pictures." → (camera, +).
+#[test]
+fn take_pattern_example() {
+    let miner = SentimentMiner::with_default_resources();
+    let subjects = SubjectList::builder().subject("camera", ["camera"]).build();
+    let records = miner.analyze_text("This camera takes excellent pictures.", &subjects);
+    assert!(records
+        .iter()
+        .any(|r| r.subject == "camera" && r.polarity == Polarity::Positive));
+}
+
+/// Paper §4.2 lexicon/pattern examples: "The colors are vibrant." /
+/// "The company offers high quality products." / "The company offers
+/// mediocre services."
+#[test]
+fn trans_verb_examples() {
+    let miner = SentimentMiner::with_default_resources();
+    let subjects = SubjectList::builder()
+        .subject("colors", ["colors"])
+        .subject("company", ["company"])
+        .build();
+    let pos = miner.analyze_text("The colors are vibrant.", &subjects);
+    assert!(pos
+        .iter()
+        .any(|r| r.subject == "colors" && r.polarity == Polarity::Positive));
+    let pos = miner.analyze_text("The company offers high quality products.", &subjects);
+    assert!(pos
+        .iter()
+        .any(|r| r.subject == "company" && r.polarity == Polarity::Positive));
+    let neg = miner.analyze_text("The company offers mediocre services.", &subjects);
+    assert!(neg
+        .iter()
+        .any(|r| r.subject == "company" && r.polarity == Polarity::Negative));
+}
+
+/// Paper §4.2: "The picture is flawless." (positive) and "The product
+/// fails to meet our quality expectations." (negative).
+#[test]
+fn definition_examples() {
+    let miner = SentimentMiner::with_default_resources();
+    let subjects = SubjectList::builder()
+        .subject("picture", ["picture"])
+        .subject("product", ["product"])
+        .build();
+    let records = miner.analyze_text("The picture is flawless.", &subjects);
+    assert!(records
+        .iter()
+        .any(|r| r.subject == "picture" && r.polarity == Polarity::Positive));
+    let records =
+        miner.analyze_text("The product fails to meet our quality expectations.", &subjects);
+    assert!(records
+        .iter()
+        .any(|r| r.subject == "product" && r.polarity == Polarity::Negative));
+}
+
+/// Paper §3 disambiguation example: "SUN" must not refer to Sunday.
+#[test]
+fn sun_disambiguation_example() {
+    use webfountain_sentiment::spotter::{
+        Disambiguator, Spotter, SpotVerdict, SubjectList as SL, TopicContext,
+    };
+    let subjects = SL::builder().subject("SUN", ["SUN"]).build();
+    let spotter = Spotter::new(&subjects);
+    let disambiguator = Disambiguator::with_context(TopicContext {
+        on_topic: vec!["microsystems".into(), "server".into(), "java".into()],
+        off_topic: vec!["sunday".into(), "weather".into(), "sunshine".into()],
+        affinities: vec![],
+    });
+    let on = "SUN Microsystems shipped a new Java server line today.";
+    let spots = spotter.spot(on);
+    let verdicts = disambiguator.disambiguate(on, &spots);
+    assert!(verdicts.iter().all(|v| *v == SpotVerdict::OnTopic));
+
+    let off = "The sun was out all sunday and the weather was kind.";
+    let spots = spotter.spot(off);
+    let verdicts = disambiguator.disambiguate(off, &spots);
+    assert!(verdicts.iter().all(|v| *v == SpotVerdict::OffTopic));
+}
+
+/// Paper §3 NER example: "Prof. Wilson of American University" splits
+/// into two named entities.
+#[test]
+fn ner_split_example() {
+    use webfountain_sentiment::nlp::Pipeline;
+    let entities = Pipeline::new()
+        .named_entities("We interviewed Prof. Wilson of American University on Monday.");
+    let names: Vec<&str> = entities.iter().map(|e| e.text.as_str()).collect();
+    assert!(names.contains(&"Prof. Wilson"), "{names:?}");
+    assert!(names.contains(&"American University"), "{names:?}");
+}

@@ -1,0 +1,157 @@
+//! Integration of the corpus-level miners (dedup, template detection,
+//! clustering, statistics) with the sentiment pipeline, plus aspect and
+//! trend aggregation through the public API.
+
+use webfountain_sentiment::platform::{
+    cluster_documents, corpus_stats, Cluster, CorpusMiner, DuplicateDetector, Ingestor,
+    MinerPipeline, RawDocument, SourceKind, TemplateDetector,
+};
+use webfountain_sentiment::sentiment::{
+    aggregate, sentiment_trends, AspectModel, SentimentEntityMiner, SubjectList, TrendDirection,
+};
+use webfountain_sentiment::types::DocId;
+
+const FOOTER: &str = "Subscribe to our newsletter for weekly camera deals and updates.";
+
+fn review(body: &str) -> String {
+    format!("{body} {FOOTER}")
+}
+
+#[test]
+fn full_preprocessing_then_sentiment() {
+    let cluster = Cluster::new(2).expect("cluster");
+    {
+        let mut ing = Ingestor::new(cluster.store());
+        // site A: five pages sharing a footer, one exact duplicate pair
+        let pages = [
+            review("The Canon takes excellent pictures in daylight."),
+            review("The Canon battery drains quickly on long trips."),
+            review("The Canon menu is confusing at first."),
+            review("The Canon takes excellent pictures in daylight."), // dup of page 0
+            review("The Canon viewfinder is sharp and bright."),
+        ];
+        for (i, text) in pages.iter().enumerate() {
+            ing.ingest(
+                RawDocument::new(format!("http://site-a.example/{i}"), SourceKind::Web, text)
+                    .with_metadata("month", if i < 3 { "2004-01" } else { "2004-02" }),
+            );
+        }
+    }
+
+    // corpus-level preprocessing
+    TemplateDetector::default().run(cluster.store()).unwrap();
+    DuplicateDetector::default().run(cluster.store()).unwrap();
+
+    // the duplicate page points at its representative
+    let dup = cluster.store().get(DocId(3)).unwrap();
+    assert_eq!(dup.metadata.get("duplicate-of").unwrap(), "doc:0");
+    // the shared footer is flagged as template on every page
+    for i in 0..5 {
+        let e = cluster.store().get(DocId(i)).unwrap();
+        let flagged: Vec<String> = e
+            .annotations_of("template")
+            .map(|a| a.span.slice(&e.text).to_string())
+            .collect();
+        assert!(
+            flagged.iter().any(|t| t.contains("newsletter")),
+            "page {i}: {flagged:?}"
+        );
+    }
+
+    // entity-level sentiment mining still works on the same store
+    let subjects = SubjectList::builder().subject("Canon", ["Canon"]).build();
+    cluster.run_pipeline(&MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects))));
+    let stats = corpus_stats(cluster.store(), 5);
+    assert_eq!(stats.documents, 5);
+    assert!(stats
+        .annotations
+        .iter()
+        .any(|(kind, n)| kind == "sentiment" && *n > 0));
+    assert!(stats
+        .annotations
+        .iter()
+        .any(|(kind, n)| kind == "template" && *n >= 5));
+
+    // trends over the month metadata
+    let trends = sentiment_trends(cluster.store(), "month");
+    let canon = trends.iter().find(|t| t.subject == "canon").unwrap();
+    assert_eq!(canon.points.len(), 2);
+    assert!(canon.total_mentions() > 0);
+    // direction is well-defined even on two points
+    let _ = canon.direction(0.05);
+}
+
+#[test]
+fn clustering_separates_domains() {
+    let cluster = Cluster::new(1).expect("cluster");
+    {
+        let mut ing = Ingestor::new(cluster.store());
+        for i in 0..5 {
+            ing.ingest(RawDocument::new(
+                format!("c{i}"),
+                SourceKind::Web,
+                format!("camera lens battery zoom pictures review number {i}"),
+            ));
+            ing.ingest(RawDocument::new(
+                format!("m{i}"),
+                SourceKind::Web,
+                format!("song album guitar lyrics melody review number {i}"),
+            ));
+        }
+    }
+    let clustering = cluster_documents(cluster.store(), 2, 15);
+    assert_eq!(clustering.sizes.iter().sum::<usize>(), 10);
+    assert_eq!(clustering.sizes, vec![5, 5]);
+}
+
+#[test]
+fn aspect_aggregation_via_public_api() {
+    use webfountain_sentiment::prelude::*;
+    let subjects = SubjectList::builder()
+        .subject("camera", ["camera"])
+        .subject("battery", ["battery"])
+        .subject("flash", ["flash"])
+        .build();
+    let miner = SentimentMiner::with_default_resources();
+    let records = miner.analyze_text(
+        "The camera is excellent. The flash works well. \
+         The battery is terrible and the battery drains quickly.",
+        &subjects,
+    );
+    let model = AspectModel::new().topic("camera", ["battery", "flash"]);
+    let summaries = aggregate(&model, &records);
+    let camera = &summaries["camera"];
+    assert_eq!(camera.direct.positive, 1);
+    assert_eq!(camera.aspects["flash"].positive, 1);
+    assert!(camera.aspects["battery"].negative >= 2);
+    assert_eq!(
+        camera.weakest_aspects().first().map(|(n, _)| *n),
+        Some("battery")
+    );
+    assert!(camera.overall().net() < camera.direct.net() + 1);
+    let _ = Polarity::Positive;
+}
+
+#[test]
+fn trend_direction_end_to_end() {
+    let cluster = Cluster::new(1).expect("cluster");
+    {
+        let mut ing = Ingestor::new(cluster.store());
+        let schedule = [
+            ("2004-01", "The Canon is terrible. The Canon is awful."),
+            ("2004-02", "The Canon is terrible. The Canon is excellent."),
+            ("2004-03", "The Canon is excellent. The Canon is superb."),
+        ];
+        for (month, text) in schedule {
+            ing.ingest(
+                RawDocument::new(format!("u-{month}"), SourceKind::Web, text)
+                    .with_metadata("month", month),
+            );
+        }
+    }
+    let subjects = SubjectList::builder().subject("Canon", ["Canon"]).build();
+    cluster.run_pipeline(&MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects))));
+    let trends = sentiment_trends(cluster.store(), "month");
+    let canon = trends.iter().find(|t| t.subject == "canon").unwrap();
+    assert_eq!(canon.direction(0.05), TrendDirection::Improving);
+}

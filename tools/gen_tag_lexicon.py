@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Generates crates/nlp/data/tag_lexicon.tsv.
+
+The tag dictionary maps inflected English word forms to their possible Penn
+Treebank tags (first tag = most likely, used as the tagger's initial guess).
+Closed-class words live directly in Rust (crates/nlp/src/dict.rs); this file
+covers the open classes: verbs (all inflections), nouns (singular + plural),
+adjectives and adverbs.
+
+Run from the repo root:  python3 tools/gen_tag_lexicon.py
+The output TSV is committed; re-run only when the word lists change.
+"""
+
+import collections
+
+# ---------------------------------------------------------------- verbs
+
+IRREGULAR_VERBS = {
+    # lemma: (VBZ, VBD, VBN, VBG)
+    "be": None,  # handled as closed-class in Rust
+    "have": ("has", "had", "had", "having"),
+    "do": ("does", "did", "done", "doing"),
+    "take": ("takes", "took", "taken", "taking"),
+    "make": ("makes", "made", "made", "making"),
+    "get": ("gets", "got", "gotten", "getting"),
+    "give": ("gives", "gave", "given", "giving"),
+    "go": ("goes", "went", "gone", "going"),
+    "come": ("comes", "came", "come", "coming"),
+    "see": ("sees", "saw", "seen", "seeing"),
+    "become": ("becomes", "became", "become", "becoming"),
+    "feel": ("feels", "felt", "felt", "feeling"),
+    "find": ("finds", "found", "found", "finding"),
+    "think": ("thinks", "thought", "thought", "thinking"),
+    "know": ("knows", "knew", "known", "knowing"),
+    "say": ("says", "said", "said", "saying"),
+    "buy": ("buys", "bought", "bought", "buying"),
+    "sell": ("sells", "sold", "sold", "selling"),
+    "break": ("breaks", "broke", "broken", "breaking"),
+    "freeze": ("freezes", "froze", "frozen", "freezing"),
+    "keep": ("keeps", "kept", "kept", "keeping"),
+    "hold": ("holds", "held", "held", "holding"),
+    "win": ("wins", "won", "won", "winning"),
+    "lose": ("loses", "lost", "lost", "losing"),
+    "fall": ("falls", "fell", "fallen", "falling"),
+    "rise": ("rises", "rose", "risen", "rising"),
+    "grow": ("grows", "grew", "grown", "growing"),
+    "shrink": ("shrinks", "shrank", "shrunk", "shrinking"),
+    "run": ("runs", "ran", "run", "running"),
+    "meet": ("meets", "met", "met", "meeting"),
+    "beat": ("beats", "beat", "beaten", "beating"),
+    "cost": ("costs", "cost", "cost", "costing"),
+    "shoot": ("shoots", "shot", "shot", "shooting"),
+    "write": ("writes", "wrote", "written", "writing"),
+    "read": ("reads", "read", "read", "reading"),
+    "hear": ("hears", "heard", "heard", "hearing"),
+    "hurt": ("hurts", "hurt", "hurt", "hurting"),
+    "fit": ("fits", "fit", "fit", "fitting"),
+    "shine": ("shines", "shone", "shone", "shining"),
+    "outperform": ("outperforms", "outperformed", "outperformed", "outperforming"),
+}
+
+DOUBLING = {
+    "ship": "shipp", "drop": "dropp", "plan": "plann", "slam": "slamm",
+    "pan": "pann", "lag": "lagg", "drag": "dragg", "stop": "stopp",
+    "equip": "equipp", "regret": "regrett", "refer": "referr",
+}
+
+REGULAR_VERBS = """
+seem appear look remain stay offer provide deliver produce perform work fail
+succeed improve degrade impress disappoint satisfy dissatisfy please annoy
+frustrate delight amaze astonish love like hate dislike enjoy prefer recommend
+suggest criticize praise complain report announce state claim mention describe
+review rate use try test own return replace ship arrive crash lag last charge
+drain capture record play sound lack miss include feature support require need
+want expect exceed surpass overheat malfunction excel struggle suffer benefit
+boost harm damage ruin enhance upgrade downgrade fix solve cause avoid prevent
+handle manage launch release develop design equip save waste gain drop
+increase decrease focus zoom click turn switch install update respond react
+load store process analyze believe consider regard call carry weigh measure
+compare contrast note notice observe reveal show demonstrate prove indicate
+listen watch deserve earn receive award honor blame fault accuse defend tout
+hail slam pan trash applaud commend endorse dismiss reject approve disapprove
+appreciate value treasure regret worry concern trouble bother irritate
+infuriate outrage thrill excite bore tire exhaust confuse clarify simplify
+complicate stop help start continue finish plan push pull open close add
+remove deploy track extract mine analyze spot detect identify assign mask
+crawl index serve host drill refine pump leak spill pollute contaminate
+clean restore recover approve prescribe treat cure heal vaccinate test
+recall mitigate address highlight underline stress emphasize die tie vary copy
+""".split()
+
+
+def verb_forms(lemma):
+    if lemma in IRREGULAR_VERBS and IRREGULAR_VERBS[lemma]:
+        vbz, vbd, vbn, vbg = IRREGULAR_VERBS[lemma]
+        return vbz, vbd, vbn, vbg
+    stem = DOUBLING.get(lemma, lemma)
+    # VBZ
+    if lemma.endswith(("s", "x", "z", "ch", "sh", "o")):
+        vbz = lemma + "es"
+    elif lemma.endswith("y") and lemma[-2] not in "aeiou":
+        vbz = lemma[:-1] + "ies"
+    else:
+        vbz = lemma + "s"
+    # VBD / VBN
+    if lemma.endswith("e"):
+        vbd = lemma + "d"
+    elif lemma.endswith("y") and lemma[-2] not in "aeiou":
+        vbd = lemma[:-1] + "ied"
+    else:
+        vbd = stem + "ed"
+    vbn = vbd
+    # VBG
+    if lemma.endswith("e") and not lemma.endswith(("ee", "ye", "oe")):
+        vbg = lemma[:-1] + "ing"
+    else:
+        vbg = stem + "ing"
+    return vbz, vbd, vbn, vbg
+
+
+# ---------------------------------------------------------------- nouns
+
+IRREGULAR_NOUNS = {
+    "person": "people", "man": "men", "woman": "women", "child": "children",
+    "lens": "lenses", "datum": "data", "medium": "media", "analysis": "analyses",
+    "series": "series", "species": "species",
+}
+
+NOUNS = """
+camera picture flash lens quality battery software price life viewfinder
+color feature image menu manual photo movie resolution zoom screen display
+sensor shutter button grip body card memory stick adapter playback mode
+setting option interface design size weight build performance speed autofocus
+focus exposure noise sharpness contrast brightness video audio sound
+microphone speaker strap case charger cable port firmware update warranty
+service support shipping delivery packaging box product brand company market
+customer consumer user reviewer review rating star opinion sentiment
+complaint praise problem issue defect flaw strength weakness advantage
+disadvantage drawback benefit song album track music piece band orchestra
+guitar beat production chorus mix piano work vocal melody harmony rhythm
+tempo bass drum singer artist composer conductor symphony concerto recording
+arrangement instrumentation solo riff hook verse bridge movement lyric
+oil gas petroleum refinery pipeline drilling crude barrel fuel gasoline
+diesel energy exploration reserve well rig spill emission environment
+regulation regulator drug medicine medication pill tablet dose dosage
+treatment therapy trial patient doctor effect symptom disease condition
+prescription pharmacy vaccine efficacy safety approval label ingredient
+formula side page website article news story report analyst study survey
+result information system platform technology industry business sale revenue
+profit loss growth decline year month week day time way thing person man
+woman world country government team group part attribute aspect area
+case point fact example number percent share stock investor deal agreement measure
+partnership launch release version model series line unit device machine
+tool kit change expansion subject topic term phrase sentence document corpus
+miner spotter index entity cluster server application datum child spokesman
+executive officer chief president statement response investigation fine
+penalty lawsuit settlement plant facility site project operation process
+capability function improvement upgrade firm corporation competitor rival
+expectation requirement standard level degree range variety collection set
+list type kind class category group member element component construct
+lack excess abundance shortage surplus need want care look run polish
+""".split()
+
+
+def noun_plural(noun):
+    if noun in IRREGULAR_NOUNS:
+        return IRREGULAR_NOUNS[noun]
+    if noun.endswith(("s", "x", "z", "ch", "sh")):
+        return noun + "es"
+    if noun.endswith("y") and noun[-2] not in "aeiou":
+        return noun[:-1] + "ies"
+    if noun.endswith("o") and noun[-2] not in "aeiou":
+        return noun + "s"  # photos, pianos — domain nouns take plain s
+    return noun + "s"
+
+
+# ------------------------------------------------------------ adjectives
+
+ADJECTIVES = """
+excellent great good amazing awesome fantastic wonderful superb outstanding
+impressive remarkable exceptional brilliant terrific marvelous splendid
+stellar solid reliable durable sturdy fast quick responsive sharp crisp
+clear vivid vibrant bright accurate precise smooth seamless intuitive
+elegant sleek stylish beautiful gorgeous stunning comfortable convenient
+easy simple effective efficient powerful versatile flexible robust compact
+lightweight affordable valuable worthwhile satisfying enjoyable pleasant
+delightful flawless perfect superior innovative advanced generous rich deep
+warm lush catchy memorable soulful energetic welcome favorable positive
+commendable praiseworthy laudable admirable competent capable functional
+usable helpful useful handy friendly pleasing refined polished masterful
+bad poor terrible awful horrible dreadful atrocious disappointing mediocre
+inferior subpar lousy cheap flimsy fragile weak slow sluggish laggy
+unresponsive blurry grainy noisy dim dull inaccurate imprecise clunky
+awkward cumbersome confusing complicated difficult hard ineffective
+inefficient useless worthless overpriced expensive unreliable defective
+faulty broken buggy glitchy annoying frustrating irritating infuriating
+unacceptable inadequate insufficient limited shallow bland boring tedious
+forgettable lifeless harsh tinny muddy ugly hideous bulky heavy
+uncomfortable inconvenient messy shoddy sloppy abysmal dismal negative
+unfavorable troubling alarming disturbing questionable dubious lackluster
+unimpressive underwhelming problematic disastrous catastrophic
+digital optical electronic mechanical automatic standard basic main primary
+secondary recent new old early late current previous next final large small
+big long short high low full empty open closed black white red blue green
+silver available common typical general special specific certain various
+several corporate financial environmental medical clinical technical
+professional public private national international local global annual
+quarterly monthly daily definite base known unknown ambiguous neutral
+original entire whole major minor key central essential additional extra real
+non-memory add-on third-party entry-level high-end low-end mid-range
+""".split()
+
+COMPARATIVES = {
+    "better": "JJR", "best": "JJS", "worse": "JJR", "worst": "JJS",
+    "greater": "JJR", "greatest": "JJS", "higher": "JJR", "highest": "JJS",
+    "lower": "JJR", "lowest": "JJS", "larger": "JJR", "largest": "JJS",
+    "smaller": "JJR", "smallest": "JJS", "faster": "JJR", "fastest": "JJS",
+    "slower": "JJR", "slowest": "JJS", "cheaper": "JJR", "cheapest": "JJS",
+    "sharper": "JJR", "sharpest": "JJS", "newer": "JJR", "newest": "JJS",
+    "older": "JJR", "oldest": "JJS", "stronger": "JJR", "strongest": "JJS",
+    "weaker": "JJR", "weakest": "JJS", "earlier": "JJR", "earliest": "JJS",
+    "later": "JJR", "latest": "JJS", "finer": "JJR", "finest": "JJS",
+}
+
+# -------------------------------------------------------------- adverbs
+
+ADVERBS = """
+very really quite extremely incredibly remarkably exceptionally surprisingly
+highly truly fairly rather somewhat slightly too so just only also even
+still already often sometimes usually always generally typically certainly
+definitely probably perhaps maybe however moreover furthermore nevertheless
+nonetheless meanwhile finally eventually recently currently previously
+initially ultimately well badly poorly nicely beautifully perfectly
+flawlessly smoothly quickly slowly easily consistently repeatedly constantly
+frequently occasionally reportedly allegedly apparently clearly obviously
+notably significantly substantially considerably marginally barely again
+once twice now then yesterday today tomorrow especially particularly
+unfortunately sadly regrettably thankfully fortunately happily
+""".split()
+
+
+def main():
+    entries = collections.OrderedDict()
+
+    def add(word, tag):
+        word = word.lower()
+        tags = entries.setdefault(word, [])
+        if tag not in tags:
+            tags.append(tag)
+
+    # Nouns first so noun reading is the default for N/V-ambiguous words;
+    # the tagger's contextual rules promote verb readings.
+    for n in NOUNS:
+        add(n, "NN")
+        add(noun_plural(n), "NNS")
+    for a in ADJECTIVES:
+        add(a, "JJ")
+    for w, t in COMPARATIVES.items():
+        add(w, t)
+    for r in ADVERBS:
+        add(r, "RB")
+    for lemma in list(IRREGULAR_VERBS) + REGULAR_VERBS:
+        if lemma == "be":
+            continue
+        vbz, vbd, vbn, vbg = verb_forms(lemma)
+        add(lemma, "VB")
+        add(lemma, "VBP")
+        add(vbz, "VBZ")
+        add(vbd, "VBD")
+        add(vbn, "VBN")
+        add(vbg, "VBG")
+
+    with open("crates/nlp/data/tag_lexicon.tsv", "w") as f:
+        f.write("# word<TAB>comma-separated Penn tags, most likely first\n")
+        f.write("# generated by tools/gen_tag_lexicon.py — edit the script, not this file\n")
+        for word, tags in sorted(entries.items()):
+            f.write(f"{word}\t{','.join(tags)}\n")
+    print(f"wrote {len(entries)} entries")
+
+
+if __name__ == "__main__":
+    main()
