@@ -112,12 +112,30 @@ mod tests {
 
     fn toy_classifier() -> ReviewSeerClassifier {
         let docs: Vec<(String, Polarity)> = vec![
-            ("great camera excellent pictures love it".into(), Polarity::Positive),
-            ("amazing quality wonderful lens superb value".into(), Polarity::Positive),
-            ("excellent battery great zoom highly recommend".into(), Polarity::Positive),
-            ("terrible camera awful pictures hate it".into(), Polarity::Negative),
-            ("poor quality horrible lens worthless junk".into(), Polarity::Negative),
-            ("awful battery bad zoom do not buy".into(), Polarity::Negative),
+            (
+                "great camera excellent pictures love it".into(),
+                Polarity::Positive,
+            ),
+            (
+                "amazing quality wonderful lens superb value".into(),
+                Polarity::Positive,
+            ),
+            (
+                "excellent battery great zoom highly recommend".into(),
+                Polarity::Positive,
+            ),
+            (
+                "terrible camera awful pictures hate it".into(),
+                Polarity::Negative,
+            ),
+            (
+                "poor quality horrible lens worthless junk".into(),
+                Polarity::Negative,
+            ),
+            (
+                "awful battery bad zoom do not buy".into(),
+                Polarity::Negative,
+            ),
         ];
         ReviewSeerClassifier::train(&docs)
     }
@@ -125,8 +143,14 @@ mod tests {
     #[test]
     fn learns_separable_data() {
         let clf = toy_classifier();
-        assert_eq!(clf.classify("great pictures and excellent zoom"), Polarity::Positive);
-        assert_eq!(clf.classify("terrible quality and awful value"), Polarity::Negative);
+        assert_eq!(
+            clf.classify("great pictures and excellent zoom"),
+            Polarity::Positive
+        );
+        assert_eq!(
+            clf.classify("terrible quality and awful value"),
+            Polarity::Negative
+        );
     }
 
     #[test]

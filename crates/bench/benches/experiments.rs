@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use wf_corpus::{ReviewConfig, WebConfig};
 use wf_eval::experiments::{
-    analyzer_ablations, disambiguation_study, fig1, fig2, fig3, fig4, fig5, table2, table3,
-    table4, table5, ExperimentScale,
+    analyzer_ablations, disambiguation_study, fig1, fig2, fig3, fig4, fig5, table2, table3, table4,
+    table5, ExperimentScale,
 };
 
 /// Tiny corpora so each experiment iteration stays in the tens of

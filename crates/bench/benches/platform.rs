@@ -18,7 +18,14 @@ fn sample_entity(i: usize) -> Entity {
              excellent picture quality of model NR{i}."
         ),
     )
-    .with_metadata("domain", if i.is_multiple_of(2) { "camera" } else { "music" })
+    .with_metadata(
+        "domain",
+        if i.is_multiple_of(2) {
+            "camera"
+        } else {
+            "music"
+        },
+    )
 }
 
 fn bench_store(c: &mut Criterion) {
@@ -146,9 +153,7 @@ fn bench_regex(c: &mut Criterion) {
     for (name, pattern) in patterns {
         let re = Regex::new(pattern).unwrap();
         group.bench_function(BenchmarkId::new("is_match", name), |b| {
-            b.iter(|| {
-                re.is_match("excellent") | re.is_match("nr70") | re.is_match("dogs")
-            })
+            b.iter(|| re.is_match("excellent") | re.is_match("nr70") | re.is_match("dogs"))
         });
     }
     group.bench_function("compile", |b| {
@@ -188,6 +193,43 @@ fn bench_pipeline_parallelism(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_degraded_pipeline(c: &mut Criterion) {
+    use wf_platform::{ChaosCluster, NodeHealth};
+    use wf_types::NodeId;
+    let mut group = c.benchmark_group("miner_pipeline_degraded");
+    group.sample_size(20);
+    // same 1000-doc noop pipeline as above, but under fault injection —
+    // the delta against miner_pipeline/noop_1000_docs/4 is the price of
+    // retries, failover and the simulated-clock accounting
+    for (label, fail_rate) in [
+        ("fault_free", 0.0),
+        ("chaos_5pct", 0.05),
+        ("chaos_20pct", 0.2),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("noop_1000_docs_4_shards", label),
+            &fail_rate,
+            |b, &fail_rate| {
+                let cluster = ChaosCluster::new(4, 1000)
+                    .chaos(0xC0FFEE, fail_rate)
+                    .degrade(NodeId(1))
+                    .build()
+                    .unwrap();
+                let pipeline = MinerPipeline::new().add(Box::new(NoopMiner));
+                b.iter(|| cluster.run_pipeline(&pipeline))
+            },
+        );
+    }
+    // one node down: every fourth shard fails over to a healthy node
+    group.bench_function("noop_1000_docs_4_shards/one_node_down", |b| {
+        let cluster = ChaosCluster::new(4, 1000).build().unwrap();
+        cluster.set_health(NodeId(2), NodeHealth::Down);
+        let pipeline = MinerPipeline::new().add(Box::new(NoopMiner));
+        b.iter(|| cluster.run_pipeline(&pipeline))
+    });
+    group.finish();
+}
+
 fn bench_corpus_miners(c: &mut Criterion) {
     use wf_platform::{cluster_documents, corpus_stats, find_duplicates, DedupConfig};
     let mut group = c.benchmark_group("corpus_miners");
@@ -223,7 +265,13 @@ fn bench_mode_b_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("mode_b_latency");
     group.sample_size(10);
     // the paper's motivating comparison: offline index vs run-time analysis
-    let corpus = pharma_web(3, &WebConfig { n_docs: 60, ..WebConfig::standard() });
+    let corpus = pharma_web(
+        3,
+        &WebConfig {
+            n_docs: 60,
+            ..WebConfig::standard()
+        },
+    );
     let cluster = Cluster::new(2).unwrap();
     {
         let mut ing = Ingestor::new(cluster.store());
@@ -235,9 +283,7 @@ fn bench_mode_b_latency(c: &mut Criterion) {
             ));
         }
     }
-    cluster.run_pipeline(
-        &MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new())),
-    );
+    cluster.run_pipeline(&MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new())));
     cluster.rebuild_index();
     group.bench_function("indexed_query", |b| {
         b.iter(|| {
@@ -270,6 +316,7 @@ criterion_group!(
     bench_spotter,
     bench_regex,
     bench_pipeline_parallelism,
+    bench_degraded_pipeline,
     bench_corpus_miners,
     bench_mode_b_latency
 );

@@ -44,8 +44,11 @@ USAGE:
       Feature terms by bBNP + likelihood ratio; inputs are one document
       per line.
   wfsm mine     --input DOCS.txt --snapshot OUT.jsonl [--subjects A,B]
+                [--chaos-seed S] [--fail-rate P]
       Run the mining pipeline over one-document-per-line input and save
       an annotated store snapshot (named-entity mode when no subjects).
+      With --chaos-seed, inject deterministic faults at probability P
+      (default 0.05) and report retries / skipped shards.
   wfsm query    --snapshot OUT.jsonl --subject NAME [--polarity +|-]
       Query a mined snapshot for a subject's sentiment-bearing sentences.
   wfsm search   --snapshot OUT.jsonl --query 'camera AND (battery OR \"picture quality\")'
@@ -62,9 +65,7 @@ USAGE:
 
 fn read_text(args: &ParsedArgs) -> Result<String, String> {
     match args.opt("file") {
-        Some(path) => {
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
-        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}")),
         None => {
             let mut buffer = String::new();
             std::io::stdin()
@@ -76,8 +77,7 @@ fn read_text(args: &ParsedArgs) -> Result<String, String> {
 }
 
 fn read_doc_lines(path: &str) -> Result<Vec<String>, String> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Ok(content
         .lines()
         .map(str::trim)
@@ -150,6 +150,23 @@ fn features(args: &ParsedArgs) -> Result<String, String> {
 fn mine(args: &ParsedArgs) -> Result<String, String> {
     let input = args.require("input")?;
     let snapshot = args.require("snapshot")?.to_string();
+    // --chaos-seed N [--fail-rate P]: run under deterministic fault
+    // injection to exercise the degraded path end to end
+    let chaos_seed: Option<u64> = args
+        .opt("chaos-seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --chaos-seed: {e}")))
+        .transpose()?;
+    let fail_rate: f64 = args
+        .opt("fail-rate")
+        .map(|v| v.parse().map_err(|e| format!("bad --fail-rate: {e}")))
+        .transpose()?
+        .unwrap_or(0.05);
+    if args.opt("fail-rate").is_some() && chaos_seed.is_none() {
+        return Err("--fail-rate requires --chaos-seed".into());
+    }
+    if !(0.0..=1.0).contains(&fail_rate) {
+        return Err(format!("--fail-rate must be in [0, 1], got {fail_rate}"));
+    }
     let docs = read_doc_lines(input)?;
     let store = DataStore::new(4).map_err(|e| e.to_string())?;
     for (i, text) in docs.iter().enumerate() {
@@ -165,12 +182,32 @@ fn mine(args: &ParsedArgs) -> Result<String, String> {
     } else {
         MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subject_list(&names))))
     };
-    let stats = pipeline.run(&store);
+    let stats = match chaos_seed {
+        Some(seed) => {
+            let plan = wf_platform::FaultPlan::uniform(seed, fail_rate);
+            let ctx = wf_platform::FaultContext {
+                plan: Some(&plan),
+                retry: wf_types::RetryPolicy::default(),
+                health: &[],
+            };
+            pipeline.run_with(&store, &ctx)
+        }
+        None => pipeline.run(&store),
+    };
     let written = save_store(&store, Path::new(&snapshot)).map_err(|e| e.to_string())?;
-    Ok(format!(
+    let mut out = format!(
         "mined {} documents ({} failed); snapshot of {} entities written to {}\n",
         stats.processed, stats.failed, written, snapshot
-    ))
+    );
+    if let Some(seed) = chaos_seed {
+        out.push_str(&format!(
+            "chaos: seed {seed}, fail rate {fail_rate}; {} retries, {} skipped shard(s), {} sim ms\n",
+            stats.retries,
+            stats.skipped_shards,
+            stats.shard_sim_ms.iter().sum::<u64>()
+        ));
+    }
+    Ok(out)
 }
 
 fn query(args: &ParsedArgs) -> Result<String, String> {
@@ -178,9 +215,9 @@ fn query(args: &ParsedArgs) -> Result<String, String> {
     let subject = args.require("subject")?;
     let polarity = match args.opt("polarity") {
         None => None,
-        Some(p) => Some(
-            Polarity::parse(p).ok_or_else(|| format!("bad --polarity {p:?} (use + or -)"))?,
-        ),
+        Some(p) => {
+            Some(Polarity::parse(p).ok_or_else(|| format!("bad --polarity {p:?} (use + or -)"))?)
+        }
     };
     let store = load_store(Path::new(snapshot), 4).map_err(|e| e.to_string())?;
     let indexer = Indexer::new();
@@ -189,7 +226,10 @@ fn query(args: &ParsedArgs) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
     let mut out = String::new();
     for hit in &hits {
-        out.push_str(&format!("[{}] ({}) {}\n", hit.polarity, hit.doc, hit.sentence));
+        out.push_str(&format!(
+            "[{}] ({}) {}\n",
+            hit.polarity, hit.doc, hit.sentence
+        ));
     }
     out.push_str(&format!("{} hit(s)\n", hits.len()));
     Ok(out)
@@ -215,7 +255,9 @@ fn search(args: &ParsedArgs) -> Result<String, String> {
 }
 
 fn gen_corpus(args: &ParsedArgs) -> Result<String, String> {
-    use wf_corpus::{camera_reviews, music_reviews, petroleum_web, pharma_web, ReviewConfig, WebConfig};
+    use wf_corpus::{
+        camera_reviews, music_reviews, petroleum_web, pharma_web, ReviewConfig, WebConfig,
+    };
     let domain = args.require("domain")?;
     let out = args.require("out")?.to_string();
     let seed: u64 = args
@@ -229,19 +271,52 @@ fn gen_corpus(args: &ParsedArgs) -> Result<String, String> {
         .transpose()?
         .unwrap_or(50);
     let texts: Vec<String> = match domain {
-        "camera" => camera_reviews(seed, &ReviewConfig { n_plus: docs, n_minus: 0, ..ReviewConfig::camera() })
-            .d_plus_texts(),
-        "music" => music_reviews(seed, &ReviewConfig { n_plus: docs, n_minus: 0, ..ReviewConfig::music() })
-            .d_plus_texts(),
-        "petroleum" => petroleum_web(seed, &WebConfig { n_docs: docs, ..WebConfig::standard() })
-            .d_plus_texts(),
-        "pharma" => pharma_web(seed, &WebConfig { n_docs: docs, ..WebConfig::standard() })
-            .d_plus_texts(),
-        other => return Err(format!("unknown domain {other:?} (camera|music|petroleum|pharma)")),
+        "camera" => camera_reviews(
+            seed,
+            &ReviewConfig {
+                n_plus: docs,
+                n_minus: 0,
+                ..ReviewConfig::camera()
+            },
+        )
+        .d_plus_texts(),
+        "music" => music_reviews(
+            seed,
+            &ReviewConfig {
+                n_plus: docs,
+                n_minus: 0,
+                ..ReviewConfig::music()
+            },
+        )
+        .d_plus_texts(),
+        "petroleum" => petroleum_web(
+            seed,
+            &WebConfig {
+                n_docs: docs,
+                ..WebConfig::standard()
+            },
+        )
+        .d_plus_texts(),
+        "pharma" => pharma_web(
+            seed,
+            &WebConfig {
+                n_docs: docs,
+                ..WebConfig::standard()
+            },
+        )
+        .d_plus_texts(),
+        other => {
+            return Err(format!(
+                "unknown domain {other:?} (camera|music|petroleum|pharma)"
+            ))
+        }
     };
     let content = texts.join("\n");
     std::fs::write(&out, content).map_err(|e| format!("cannot write {out}: {e}"))?;
-    Ok(format!("wrote {} {domain} documents to {out}\n", texts.len()))
+    Ok(format!(
+        "wrote {} {domain} documents to {out}\n",
+        texts.len()
+    ))
 }
 
 #[cfg(test)]
@@ -262,7 +337,10 @@ mod tests {
 
     #[test]
     fn analyze_from_file() {
-        let f = temp_file("analyze", "The Canon takes excellent pictures. The Nikon is terrible.");
+        let f = temp_file(
+            "analyze",
+            "The Canon takes excellent pictures. The Nikon is terrible.",
+        );
         let out = run_tokens(&[
             "analyze",
             "--subjects",
@@ -344,6 +422,67 @@ mod tests {
         assert!(out.contains("1 hit(s)"), "{out}");
         std::fs::remove_file(docs).ok();
         std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn mine_under_chaos_reports_and_stays_deterministic() {
+        let docs = temp_file(
+            "chaosdocs",
+            "The Canon takes excellent pictures.\nThe Canon battery is terrible.\n\
+             The Canon lens is sharp.\nThe Canon flash misfires.\n",
+        );
+        let mut snap = std::env::temp_dir();
+        snap.push(format!("wfsm-chaos-{}.jsonl", std::process::id()));
+        let run = || {
+            run_tokens(&[
+                "mine",
+                "--input",
+                docs.to_str().unwrap(),
+                "--snapshot",
+                snap.to_str().unwrap(),
+                "--subjects",
+                "Canon",
+                "--chaos-seed",
+                "77",
+                "--fail-rate",
+                "0.2",
+            ])
+            .unwrap()
+        };
+        let first = run();
+        assert!(first.contains("chaos: seed 77, fail rate 0.2"), "{first}");
+        assert!(first.contains("sim ms"), "{first}");
+        assert_eq!(first, run(), "same seed must reproduce the same report");
+        std::fs::remove_file(docs).ok();
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn chaos_flags_are_validated() {
+        let err = run_tokens(&[
+            "mine",
+            "--input",
+            "x",
+            "--snapshot",
+            "y",
+            "--fail-rate",
+            "0.2",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--fail-rate requires --chaos-seed"), "{err}");
+        let err = run_tokens(&[
+            "mine",
+            "--input",
+            "x",
+            "--snapshot",
+            "y",
+            "--chaos-seed",
+            "1",
+            "--fail-rate",
+            "1.5",
+        ])
+        .unwrap_err();
+        assert!(err.contains("must be in [0, 1]"), "{err}");
     }
 
     #[test]
@@ -431,6 +570,8 @@ mod tests {
         assert!(run_tokens(&["query", "--subject", "x"])
             .unwrap_err()
             .contains("--snapshot"));
-        assert!(run_tokens(&["features"]).unwrap_err().contains("positional"));
+        assert!(run_tokens(&["features"])
+            .unwrap_err()
+            .contains("positional"));
     }
 }

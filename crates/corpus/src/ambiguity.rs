@@ -104,18 +104,29 @@ fn climbing_doc(rng: &mut StdRng) -> AmbiguityDoc {
 
 /// On-topic context terms for the camera-brand reading.
 pub fn brand_context_terms() -> Vec<String> {
-    ["camera", "lens", "battery", "zoom", "viewfinder", "shutter", "pictures", "menu"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+    [
+        "camera",
+        "lens",
+        "battery",
+        "zoom",
+        "viewfinder",
+        "shutter",
+        "pictures",
+        "menu",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
 }
 
 /// Off-topic context terms (the mountaineering reading).
 pub fn climbing_context_terms() -> Vec<String> {
-    ["ridge", "trail", "valley", "glacier", "summit", "climb", "mountain", "scree", "rope"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+    [
+        "ridge", "trail", "valley", "glacier", "summit", "climb", "mountain", "scree", "rope",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
 }
 
 #[cfg(test)]
@@ -152,9 +163,16 @@ mod tests {
             if doc.has_sentiment_words {
                 let lowered = doc.text.to_lowercase();
                 assert!(
-                    ["excellent", "terrible", "impressed", "stunning", "beautiful", "dreadful"]
-                        .iter()
-                        .any(|w| lowered.contains(w)),
+                    [
+                        "excellent",
+                        "terrible",
+                        "impressed",
+                        "stunning",
+                        "beautiful",
+                        "dreadful"
+                    ]
+                    .iter()
+                    .any(|w| lowered.contains(w)),
                     "{}",
                     doc.text
                 );

@@ -42,7 +42,10 @@ pub enum CaseClass {
 impl CaseClass {
     /// True for the paper's difficult "I class" (Table 5 ablation).
     pub fn is_i_class(self) -> bool {
-        matches!(self, CaseClass::CaseI | CaseClass::CaseII | CaseClass::CaseIII)
+        matches!(
+            self,
+            CaseClass::CaseI | CaseClass::CaseII | CaseClass::CaseIII
+        )
     }
 }
 

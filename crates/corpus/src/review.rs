@@ -7,9 +7,7 @@
 
 use crate::gold::{Corpus, Domain, GeneratedDoc, GoldMention};
 use crate::templates;
-use crate::vocab::{
-    zipf_sample, CAMERA_FEATURES, CAMERA_PRODUCTS, MUSIC_ARTISTS, MUSIC_FEATURES,
-};
+use crate::vocab::{zipf_sample, CAMERA_FEATURES, CAMERA_PRODUCTS, MUSIC_ARTISTS, MUSIC_FEATURES};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use wf_types::Polarity;
@@ -156,20 +154,19 @@ fn review_doc(
     let mut sentences: Vec<String> = Vec::new();
     let mut mentions: Vec<GoldMention> = Vec::new();
 
-    let push_realized = |r: templates::Realized,
-                             sentences: &mut Vec<String>,
-                             mentions: &mut Vec<GoldMention>| {
-        let idx = sentences.len();
-        sentences.push(r.sentence);
-        for (subj, pol, case) in r.mentions {
-            mentions.push(GoldMention {
-                sentence: idx,
-                subject: subj,
-                polarity: pol,
-                case,
-            });
-        }
-    };
+    let push_realized =
+        |r: templates::Realized, sentences: &mut Vec<String>, mentions: &mut Vec<GoldMention>| {
+            let idx = sentences.len();
+            sentences.push(r.sentence);
+            for (subj, pol, case) in r.mentions {
+                mentions.push(GoldMention {
+                    sentence: idx,
+                    subject: subj,
+                    polarity: pol,
+                    case,
+                });
+            }
+        };
 
     // intro: a plain-neutral product mention opens every review
     push_realized(
@@ -236,8 +233,12 @@ fn review_doc(
             } else if u < w.clear + w.lexical_only + w.exotic + w.sarcasm + w.contrast {
                 let other = pick_other(rng, subjects, subject);
                 templates::contrast(subject, other, pol, pick)
-            } else if u
-                < w.clear + w.lexical_only + w.exotic + w.sarcasm + w.contrast + w.neutral_plain
+            } else if u < w.clear
+                + w.lexical_only
+                + w.exotic
+                + w.sarcasm
+                + w.contrast
+                + w.neutral_plain
             {
                 templates::neutral_plain(subject, pick)
             } else {

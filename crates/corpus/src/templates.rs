@@ -205,7 +205,11 @@ pub fn neutral_plain(subject: &str, pick: usize) -> Realized {
     ];
     Realized {
         sentence: variants[pick % variants.len()].clone(),
-        mentions: vec![(subject.to_string(), Polarity::Neutral, CaseClass::NeutralPlain)],
+        mentions: vec![(
+            subject.to_string(),
+            Polarity::Neutral,
+            CaseClass::NeutralPlain,
+        )],
     }
 }
 
@@ -296,7 +300,10 @@ mod tests {
     #[test]
     fn neutral_templates_are_neutral() {
         for pick in 0..7 {
-            assert_eq!(neutral_plain("Canon", pick).mentions[0].1, Polarity::Neutral);
+            assert_eq!(
+                neutral_plain("Canon", pick).mentions[0].1,
+                Polarity::Neutral
+            );
         }
         for pick in 0..8 {
             let r = neutral_distractor("Canon", pick);

@@ -74,8 +74,21 @@ pub const MUSIC_FEATURES: &[&str] = &[
 /// Camera product names: the seven brands of Table 3 plus eight more
 /// (the paper counts 15 products).
 pub const CAMERA_PRODUCTS: &[&str] = &[
-    "Canon", "Nikon", "Sony", "Olympus", "Kodak", "Fuji", "Minolta", "Pentax", "Casio",
-    "Panasonic", "Leica", "Ricoh", "Samsung", "Sigma", "Vivitar",
+    "Canon",
+    "Nikon",
+    "Sony",
+    "Olympus",
+    "Kodak",
+    "Fuji",
+    "Minolta",
+    "Pentax",
+    "Casio",
+    "Panasonic",
+    "Leica",
+    "Ricoh",
+    "Samsung",
+    "Sigma",
+    "Vivitar",
 ];
 
 /// Synthetic music artists/albums (review subjects).

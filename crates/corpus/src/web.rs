@@ -327,7 +327,10 @@ mod tests {
         for doc in &corpus.d_plus {
             for m in &doc.mentions {
                 match m.case {
-                    CaseClass::Clear | CaseClass::CaseI | CaseClass::CaseII | CaseClass::CaseIII => {
+                    CaseClass::Clear
+                    | CaseClass::CaseI
+                    | CaseClass::CaseII
+                    | CaseClass::CaseIII => {
                         sentiment_word_cases += 1;
                         if m.case.is_i_class() {
                             i_class += 1;

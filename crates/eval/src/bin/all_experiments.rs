@@ -125,7 +125,10 @@ fn main() {
     }
 
     let f4 = fig4(&scale);
-    println!("\n## Figure 4 — masked product matrix: {} rows", f4.rows.len());
+    println!(
+        "\n## Figure 4 — masked product matrix: {} rows",
+        f4.rows.len()
+    );
 
     let f5 = fig5(&scale);
     println!(

@@ -6,8 +6,14 @@ use wf_eval::metrics::pct;
 fn main() {
     let r = disambiguation_study(20050405, 120, 180);
     println!("Disambiguation study: ambiguous brand \"Apex\" (camera vs summit)\n");
-    println!("on-topic spot fraction:        {}", pct(r.on_topic_fraction));
-    println!("accept-all baseline accuracy:  {}", pct(r.baseline_accuracy));
+    println!(
+        "on-topic spot fraction:        {}",
+        pct(r.on_topic_fraction)
+    );
+    println!(
+        "accept-all baseline accuracy:  {}",
+        pct(r.baseline_accuracy)
+    );
     println!("disambiguator verdict accuracy:{}", pct(r.verdict_accuracy));
     println!();
     println!(

@@ -14,12 +14,18 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     for i in 0..7 {
         rows.push(vec![
-            r.products.get(i).map(|(n, _)| n.clone()).unwrap_or_default(),
+            r.products
+                .get(i)
+                .map(|(n, _)| n.clone())
+                .unwrap_or_default(),
             r.products
                 .get(i)
                 .map(|(_, c)| c.to_string())
                 .unwrap_or_default(),
-            r.features.get(i).map(|(n, _)| n.clone()).unwrap_or_default(),
+            r.features
+                .get(i)
+                .map(|(n, _)| n.clone())
+                .unwrap_or_default(),
             r.features
                 .get(i)
                 .map(|(_, c)| c.to_string())

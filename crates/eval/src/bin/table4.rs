@@ -21,7 +21,12 @@ fn main() {
             pct(r.sm.recall),
             pct(r.sm.accuracy),
         ],
-        vec!["SM (paper)".into(), "87%".into(), "56%".into(), "85.6%".into()],
+        vec![
+            "SM (paper)".into(),
+            "87%".into(),
+            "56%".into(),
+            "85.6%".into(),
+        ],
         vec![
             "Collocation (measured)".into(),
             pct(r.collocation.precision),

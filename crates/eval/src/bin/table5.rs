@@ -47,7 +47,12 @@ fn main() {
         "{}",
         render_table(
             "Table 5. General web documents and news articles",
-            &["System (domain)", "Precision", "Accuracy", "Acc. w/o I class"],
+            &[
+                "System (domain)",
+                "Precision",
+                "Accuracy",
+                "Acc. w/o I class"
+            ],
             &rows,
         )
     );

@@ -52,9 +52,7 @@ fn class_name(case: CaseClass) -> &'static str {
 pub fn case_breakdown(predictions: &[Prediction]) -> CaseBreakdown {
     let mut counts: BTreeMap<&'static str, (CaseClass, usize, usize)> = BTreeMap::new();
     for p in predictions {
-        let entry = counts
-            .entry(class_name(p.case))
-            .or_insert((p.case, 0, 0));
+        let entry = counts.entry(class_name(p.case)).or_insert((p.case, 0, 0));
         entry.2 += 1;
         if p.predicted == p.gold {
             entry.1 += 1;
@@ -113,7 +111,11 @@ mod tests {
 
     #[test]
     fn rendered_rows_are_complete() {
-        let preds = vec![p(Polarity::Neutral, Polarity::Neutral, CaseClass::NeutralPlain)];
+        let preds = vec![p(
+            Polarity::Neutral,
+            Polarity::Neutral,
+            CaseClass::NeutralPlain,
+        )];
         let rows = breakdown_rows(&case_breakdown(&preds));
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0], "neutral-plain");
@@ -128,11 +130,14 @@ mod tests {
         // missed (predicted neutral on gold sentiment)
         use crate::harness::run_sentiment_miner;
         use wf_corpus::{camera_reviews, ReviewConfig};
-        let corpus = camera_reviews(20050405, &ReviewConfig {
-            n_plus: 120,
-            n_minus: 0,
-            ..ReviewConfig::camera()
-        });
+        let corpus = camera_reviews(
+            20050405,
+            &ReviewConfig {
+                n_plus: 120,
+                n_minus: 0,
+                ..ReviewConfig::camera()
+            },
+        );
         let preds = run_sentiment_miner(&corpus);
         let b = case_breakdown(&preds);
         assert!(b.accuracy(CaseClass::Clear).unwrap() > 0.85);

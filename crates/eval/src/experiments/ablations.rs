@@ -176,8 +176,14 @@ mod tests {
         assert_eq!(best.heuristic, CandidateHeuristic::BBNP);
         assert_eq!(best.metric, SelectionMetric::LikelihoodRatio);
         // looser heuristics admit more candidates
-        let bnp = rows.iter().find(|r| r.heuristic == CandidateHeuristic::BNP).unwrap();
-        let bbnp = rows.iter().find(|r| r.heuristic == CandidateHeuristic::BBNP).unwrap();
+        let bnp = rows
+            .iter()
+            .find(|r| r.heuristic == CandidateHeuristic::BNP)
+            .unwrap();
+        let bbnp = rows
+            .iter()
+            .find(|r| r.heuristic == CandidateHeuristic::BBNP)
+            .unwrap();
         assert!(bnp.candidates >= bbnp.candidates);
     }
 

@@ -8,7 +8,7 @@ use wf_corpus::ambiguity::{
     ambiguity_corpus, brand_context_terms, climbing_context_terms, AMBIGUOUS_BRAND,
 };
 use wf_sentiment::{mention_polarities, SentimentMiner, SubjectList};
-use wf_spotter::{Disambiguator, Spotter, SpotVerdict, TopicContext};
+use wf_spotter::{Disambiguator, SpotVerdict, Spotter, TopicContext};
 
 /// Results of the disambiguation study.
 #[derive(Debug, Clone)]
@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn filtering_removes_spurious_sentiment_keeps_signal() {
         let r = disambiguation_study(11, 40, 60);
-        assert!(r.spurious_without > 0, "off-topic pages must tempt the miner");
+        assert!(
+            r.spurious_without > 0,
+            "off-topic pages must tempt the miner"
+        );
         assert!(
             (r.spurious_with as f64) < 0.3 * r.spurious_without as f64,
             "filter must remove most spurious records: {} -> {}",

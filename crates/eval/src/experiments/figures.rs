@@ -3,9 +3,7 @@
 use super::scale::ExperimentScale;
 use std::time::Instant;
 use wf_corpus::{camera_reviews, pharma_web, GeneratedDoc};
-use wf_platform::{
-    Cluster, ClusterReport, Ingestor, MinerPipeline, RawDocument, SourceKind,
-};
+use wf_platform::{Cluster, ClusterReport, Ingestor, MinerPipeline, RawDocument, SourceKind};
 use wf_sentiment::{
     form_context, mention_polarities, AdhocSentimentMiner, ContextWindowRule, SentimentEntityMiner,
     SentimentMiner, SentimentQueryService, SpotterMiner, SubjectList,

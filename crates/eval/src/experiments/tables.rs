@@ -144,8 +144,7 @@ pub fn table4(scale: &ExperimentScale) -> Table4Result {
     let reviewseer_doc_accuracy = if n_camera + n_music == 0 {
         0.0
     } else {
-        (acc_camera * n_camera as f64 + acc_music * n_music as f64)
-            / (n_camera + n_music) as f64
+        (acc_camera * n_camera as f64 + acc_music * n_music as f64) / (n_camera + n_music) as f64
     };
 
     Table4Result {

@@ -86,7 +86,11 @@ mod tests {
     fn bar_chart_scales_to_width() {
         let out = render_bar_chart(
             "C",
-            &[("full".into(), 100.0), ("half".into(), 50.0), ("none".into(), 0.0)],
+            &[
+                ("full".into(), 100.0),
+                ("half".into(), 50.0),
+                ("none".into(), 0.0),
+            ],
             10,
         );
         let lines: Vec<&str> = out.lines().collect();

@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn single_noun_pattern() {
-        assert_eq!(bbnp_of("The battery lasts all day."), Some("battery".into()));
+        assert_eq!(
+            bbnp_of("The battery lasts all day."),
+            Some("battery".into())
+        );
     }
 
     #[test]
@@ -151,18 +154,14 @@ mod tests {
     #[test]
     fn too_long_np_rejected() {
         // four content tokens exceeds every pattern
-        assert_eq!(
-            bbnp_of("The digital camera memory card slot broke."),
-            None
-        );
+        assert_eq!(bbnp_of("The digital camera memory card slot broke."), None);
     }
 
     #[test]
     fn extract_all_from_document() {
         let p = Pipeline::new();
-        let sents = p.analyze(
-            "The battery lasts long. I like it. The picture quality is stunning.",
-        );
+        let sents =
+            p.analyze("The battery lasts long. I like it. The picture quality is stunning.");
         assert_eq!(
             extract_bbnps(&sents),
             vec!["battery".to_string(), "picture quality".to_string()]

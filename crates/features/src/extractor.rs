@@ -126,10 +126,8 @@ impl FeatureExtractor {
         // presence in D−: cheap substring containment scan (a term "occurs"
         // in a background document when its surface form appears; the
         // background side needs no bBNP structure per the paper's counts)
-        let minus_lowered: Vec<String> = d_minus
-            .iter()
-            .map(|d| d.as_ref().to_lowercase())
-            .collect();
+        let minus_lowered: Vec<String> =
+            d_minus.iter().map(|d| d.as_ref().to_lowercase()).collect();
         let n_plus = d_plus.len() as u64;
         let n_minus = d_minus.len() as u64;
         let mut scored: Vec<ScoredFeature> = present_plus
@@ -144,7 +142,11 @@ impl FeatureExtractor {
                     SelectionMetric::LikelihoodRatio => likelihood_ratio(counts),
                     SelectionMetric::Frequency => in_plus as f64,
                 };
-                ScoredFeature { score, term, counts }
+                ScoredFeature {
+                    score,
+                    term,
+                    counts,
+                }
             })
             .collect();
         scored.sort_by(|a, b| {
@@ -165,10 +167,9 @@ impl FeatureExtractor {
     ) -> Vec<ScoredFeature> {
         let ranked = self.rank(d_plus, d_minus);
         match selection {
-            Selection::Confidence(threshold) => ranked
-                .into_iter()
-                .filter(|f| f.score > threshold)
-                .collect(),
+            Selection::Confidence(threshold) => {
+                ranked.into_iter().filter(|f| f.score > threshold).collect()
+            }
             Selection::TopN(n) => ranked.into_iter().take(n).collect(),
         }
     }
@@ -279,8 +280,9 @@ mod tests {
             "The battery charges fast.".to_string(),
             "The battery holds up.".to_string(),
         ];
-        let clean_bg: Vec<String> =
-            (0..20).map(|i| format!("Unrelated document number {i}.")).collect();
+        let clean_bg: Vec<String> = (0..20)
+            .map(|i| format!("Unrelated document number {i}."))
+            .collect();
         let noisy_bg: Vec<String> = (0..20)
             .map(|i| format!("Document {i} mentions a battery somewhere."))
             .collect();

@@ -69,9 +69,8 @@ fn base_noun_phrases(sentence: &AnalyzedSentence, definite_only: bool) -> Vec<St
         }
         // base NP body: only JJ/NN tokens qualify (mirrors the bBNP
         // pattern alphabet, without the position/length constraints)
-        let body_ok = (start..chunk.end).all(|i| {
-            sentence.tags[i] == PosTag::JJ || sentence.tags[i].is_common_noun()
-        });
+        let body_ok = (start..chunk.end)
+            .all(|i| sentence.tags[i] == PosTag::JJ || sentence.tags[i].is_common_noun());
         let has_noun = (start..chunk.end).any(|i| sentence.tags[i].is_common_noun());
         if !body_ok || !has_noun || chunk.end - start > 3 {
             continue;
@@ -123,10 +122,7 @@ mod tests {
     #[test]
     fn mid_sentence_definite_np_counts_for_dbnp_not_bbnp() {
         let text = "I finally opened the manual yesterday.";
-        assert_eq!(
-            candidates(text, CandidateHeuristic::DBNP),
-            vec!["manual"]
-        );
+        assert_eq!(candidates(text, CandidateHeuristic::DBNP), vec!["manual"]);
         assert!(candidates(text, CandidateHeuristic::BBNP).is_empty());
     }
 

@@ -46,7 +46,10 @@ impl Counts {
 
     /// r = (C11 + C21) / N: the overall on-topic fraction.
     pub fn r(&self) -> f64 {
-        ratio(self.c11 + self.c21, self.c11 + self.c12 + self.c21 + self.c22)
+        ratio(
+            self.c11 + self.c21,
+            self.c11 + self.c12 + self.c21 + self.c22,
+        )
     }
 }
 

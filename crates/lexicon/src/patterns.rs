@@ -180,7 +180,11 @@ fn parse_component(
 ) -> Result<(Component, Option<Vec<String>>)> {
     if let Some(rest) = field.strip_prefix("PP(") {
         let inner = rest.strip_suffix(')').ok_or_else(|| {
-            Error::parse(source, line, format!("unclosed preposition list in {field:?}"))
+            Error::parse(
+                source,
+                line,
+                format!("unclosed preposition list in {field:?}"),
+            )
         })?;
         let preps: Vec<String> = inner
             .split(';')
@@ -241,12 +245,20 @@ mod tests {
         let be = db.patterns_for("be");
         assert!(be.iter().any(|p| matches!(
             &p.assignment,
-            Assignment::Transfer { source: Component::CP, invert: false, .. }
+            Assignment::Transfer {
+                source: Component::CP,
+                invert: false,
+                ..
+            }
         ) && p.target == Component::SP));
         let offer = db.patterns_for("offer");
         assert!(offer.iter().any(|p| matches!(
             &p.assignment,
-            Assignment::Transfer { source: Component::OP, invert: false, .. }
+            Assignment::Transfer {
+                source: Component::OP,
+                invert: false,
+                ..
+            }
         ) && p.target == Component::SP));
     }
 
@@ -256,7 +268,11 @@ mod tests {
         let prevent = db.patterns_for("prevent");
         assert!(prevent.iter().any(|p| matches!(
             &p.assignment,
-            Assignment::Transfer { source: Component::OP, invert: true, .. }
+            Assignment::Transfer {
+                source: Component::OP,
+                invert: true,
+                ..
+            }
         )));
     }
 
@@ -303,11 +319,7 @@ mod tests {
 
     #[test]
     fn multiline_parse_and_counts() {
-        let db = PatternDatabase::parse(
-            "p",
-            "# comment\nlove + OP\nbe CP SP\nbe OP SP\n",
-        )
-        .unwrap();
+        let db = PatternDatabase::parse("p", "# comment\nlove + OP\nbe CP SP\nbe OP SP\n").unwrap();
         assert_eq!(db.len(), 3);
         assert_eq!(db.predicate_count(), 2);
         assert_eq!(db.patterns_for("be").len(), 2);

@@ -57,8 +57,9 @@ impl SentimentLexicon {
             };
             let pos = PosClass::parse(pos)
                 .ok_or_else(|| Error::parse(source_name, idx + 1, format!("bad POS {pos:?}")))?;
-            let polarity = Polarity::parse(pol)
-                .ok_or_else(|| Error::parse(source_name, idx + 1, format!("bad polarity {pol:?}")))?;
+            let polarity = Polarity::parse(pol).ok_or_else(|| {
+                Error::parse(source_name, idx + 1, format!("bad polarity {pol:?}"))
+            })?;
             lex.insert(LexiconEntry {
                 term: term.to_lowercase(),
                 pos,
@@ -154,10 +155,7 @@ mod tests {
     #[test]
     fn any_pos_lookup() {
         let lex = SentimentLexicon::default_lexicon();
-        assert_eq!(
-            lex.polarity_any_pos("excellent"),
-            Some(Polarity::Positive)
-        );
+        assert_eq!(lex.polarity_any_pos("excellent"), Some(Polarity::Positive));
         assert_eq!(lex.polarity_any_pos("the"), None);
     }
 

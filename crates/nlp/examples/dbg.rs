@@ -15,7 +15,12 @@ fn main() {
     println!();
     let chunks = wf_nlp::chunk::chunk(&tokens, &tags);
     for c in &chunks {
-        println!("{:?} {:?} head={}", c.kind, c.text(&tokens), tokens[c.head].text);
+        println!(
+            "{:?} {:?} head={}",
+            c.kind,
+            c.text(&tokens),
+            tokens[c.head].text
+        );
     }
     let analysis = wf_nlp::clause::analyze_clauses(&tokens, &tags, &chunks);
     println!("{:#?}", analysis.clauses);

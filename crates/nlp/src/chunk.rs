@@ -229,7 +229,14 @@ pub fn chunk(tokens: &[Token], tags: &[PosTag]) -> Vec<Chunk> {
 pub fn is_subordinator(lower: &str) -> bool {
     matches!(
         lower,
-        "although" | "though" | "because" | "while" | "whereas" | "unless" | "if" | "since"
+        "although"
+            | "though"
+            | "because"
+            | "while"
+            | "whereas"
+            | "unless"
+            | "if"
+            | "since"
             | "whether"
     )
 }
@@ -336,10 +343,7 @@ mod tests {
         let cs = chunks_of("I am impressed by the picture quality.");
         assert_eq!(cs[0], (ChunkKind::NP, "I".to_string()));
         assert_eq!(cs[1], (ChunkKind::VP, "am impressed".to_string()));
-        assert_eq!(
-            cs[2],
-            (ChunkKind::PP, "by the picture quality".to_string())
-        );
+        assert_eq!(cs[2], (ChunkKind::PP, "by the picture quality".to_string()));
     }
 
     #[test]

@@ -17,8 +17,20 @@ use crate::tokenizer::Token;
 pub fn is_negation_word(lower: &str) -> bool {
     matches!(
         lower,
-        "not" | "n't" | "n’t" | "no" | "never" | "hardly" | "seldom" | "little" | "barely"
-            | "scarcely" | "rarely" | "neither" | "nor" | "without"
+        "not"
+            | "n't"
+            | "n’t"
+            | "no"
+            | "never"
+            | "hardly"
+            | "seldom"
+            | "little"
+            | "barely"
+            | "scarcely"
+            | "rarely"
+            | "neither"
+            | "nor"
+            | "without"
     )
 }
 
@@ -104,9 +116,8 @@ pub fn analyze_clauses(tokens: &[Token], tags: &[PosTag], chunks: &[Chunk]) -> S
 /// - a semicolon.
 fn clause_boundaries(tokens: &[Token], tags: &[PosTag], chunks: &[Chunk]) -> Vec<usize> {
     let mut bounds = vec![0];
-    let has_vp_in = |range: std::ops::Range<usize>| {
-        range.clone().any(|ci| chunks[ci].kind == ChunkKind::VP)
-    };
+    let has_vp_in =
+        |range: std::ops::Range<usize>| range.clone().any(|ci| chunks[ci].kind == ChunkKind::VP);
     for ci in 0..chunks.len() {
         let c = &chunks[ci];
         if c.kind != ChunkKind::Other {
@@ -115,21 +126,17 @@ fn clause_boundaries(tokens: &[Token], tags: &[PosTag], chunks: &[Chunk]) -> Vec
         let tok = &tokens[c.start];
         let tag = tags[c.start];
         let prev_bound = *bounds.last().expect("non-empty");
-        let is_cc_split = tag == PosTag::CC
-            && has_vp_in(prev_bound..ci)
-            && has_vp_in(ci + 1..chunks.len());
+        let is_cc_split =
+            tag == PosTag::CC && has_vp_in(prev_bound..ci) && has_vp_in(ci + 1..chunks.len());
         let is_relative = matches!(tag, PosTag::WDT | PosTag::WP);
         let is_semicolon = tok.text == ";";
-        let is_subordinator =
-            tag == PosTag::IN && crate::chunk::is_subordinator(&tok.lower());
+        let is_subordinator = tag == PosTag::IN && crate::chunk::is_subordinator(&tok.lower());
         // a comma separates clauses only when finite material sits on both
         // sides and an NP opens the right side ("the lens is sharp, the
         // menu is confusing"); appositive commas fail the VP tests
         let is_comma_split = tok.text == ","
             && has_vp_in(prev_bound..ci)
-            && chunks
-                .get(ci + 1)
-                .is_some_and(|c| c.kind == ChunkKind::NP)
+            && chunks.get(ci + 1).is_some_and(|c| c.kind == ChunkKind::NP)
             && has_vp_in(ci + 1..chunks.len());
         if is_cc_split || is_relative || is_semicolon || is_subordinator || is_comma_split {
             bounds.push(if is_relative { ci } else { ci + 1 });
@@ -170,10 +177,8 @@ fn analyze_one(
     let mut passive = false;
     if tags[head_token] == PosTag::VBN {
         passive = (vp_chunk.start..head_token).any(|ti| {
-            matches!(
-                lemmatize_verb(&tokens[ti].lower()).as_str(),
-                "be" | "get"
-            ) && tags[ti].is_verb()
+            matches!(lemmatize_verb(&tokens[ti].lower()).as_str(), "be" | "get")
+                && tags[ti].is_verb()
         });
     }
 
@@ -232,7 +237,8 @@ fn analyze_one(
 
     // Copula predicate nominal: "It is a great camera" — the object NP
     // functions as the complement.
-    if clause.complement.is_none() && clause.predicate.as_ref().map(|p| p.lemma.as_str()) == Some("be")
+    if clause.complement.is_none()
+        && clause.predicate.as_ref().map(|p| p.lemma.as_str()) == Some("be")
     {
         if let Some(obj) = clause.object.take() {
             clause.complement = Some(obj);

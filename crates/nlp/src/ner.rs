@@ -101,9 +101,8 @@ fn split_candidate(tokens: &[Token], start: usize, end: usize, out: &mut Vec<Nam
     let mut k = start;
     while k < end {
         let lower = tokens[k].lower();
-        let splits_here = (lower == "of" || lower == "and" || lower == "for")
-            && k > piece_start
-            && k + 1 < end;
+        let splits_here =
+            (lower == "of" || lower == "and" || lower == "for") && k > piece_start && k + 1 < end;
         let possessive = lower == "'s" || lower == "’s";
         if splits_here || possessive {
             emit(tokens, piece_start, k, out);

@@ -84,11 +84,20 @@ impl PosTagger {
                     if matches!(p, PosTag::DT | PosTag::PRPS | PosTag::JJ | PosTag::CD)
                         && cur.is_verb()
                     {
-                        if self.dict.allows(&lower, PosTag::NN) && self.dict.lookup(&lower).is_some_and(|t| t.contains(&PosTag::NN)) {
+                        if self.dict.allows(&lower, PosTag::NN)
+                            && self
+                                .dict
+                                .lookup(&lower)
+                                .is_some_and(|t| t.contains(&PosTag::NN))
+                        {
                             tags[i] = PosTag::NN;
                             continue;
                         }
-                        if self.dict.lookup(&lower).is_some_and(|t| t.contains(&PosTag::NNS)) {
+                        if self
+                            .dict
+                            .lookup(&lower)
+                            .is_some_and(|t| t.contains(&PosTag::NNS))
+                        {
                             tags[i] = PosTag::NNS;
                             continue;
                         }
@@ -99,7 +108,10 @@ impl PosTagger {
                 if let Some(p) = prev {
                     if matches!(p, PosTag::TO | PosTag::MD)
                         && (cur.is_verb() || cur.is_noun())
-                        && self.dict.lookup(&lower).is_some_and(|t| t.contains(&PosTag::VB))
+                        && self
+                            .dict
+                            .lookup(&lower)
+                            .is_some_and(|t| t.contains(&PosTag::VB))
                     {
                         tags[i] = PosTag::VB;
                         continue;
@@ -135,10 +147,13 @@ impl PosTagger {
                 // the dictionary also lists as VBP is a present-tense verb
                 // when followed by NP/adverb/preposition material.
                 if cur == PosTag::NN
-                    && self.dict.lookup(&lower).is_some_and(|t| t.contains(&PosTag::VBP))
+                    && self
+                        .dict
+                        .lookup(&lower)
+                        .is_some_and(|t| t.contains(&PosTag::VBP))
                 {
-                    let prev_is_plural_subject = prev
-                        .is_some_and(|p| matches!(p, PosTag::PRP | PosTag::NNS | PosTag::NNPS));
+                    let prev_is_plural_subject =
+                        prev.is_some_and(|p| matches!(p, PosTag::PRP | PosTag::NNS | PosTag::NNPS));
                     if prev_is_plural_subject {
                         tags[i] = PosTag::VBP;
                         continue;
@@ -193,8 +208,22 @@ fn has_aux_before(tokens: &[Token], tags: &[PosTag], i: usize) -> bool {
         let lower = tokens[j].lower();
         if matches!(
             lower.as_str(),
-            "be" | "am" | "is" | "are" | "was" | "were" | "been" | "being" | "have" | "has"
-                | "had" | "having" | "'ve" | "get" | "gets" | "got" | "getting"
+            "be" | "am"
+                | "is"
+                | "are"
+                | "was"
+                | "were"
+                | "been"
+                | "being"
+                | "have"
+                | "has"
+                | "had"
+                | "having"
+                | "'ve"
+                | "get"
+                | "gets"
+                | "got"
+                | "getting"
         ) {
             return true;
         }
@@ -326,14 +355,20 @@ mod tests {
     #[test]
     fn negated_verb_keeps_base_form() {
         let tagged = tag("The camera does not require an adapter.");
-        assert_eq!(tag_of("The camera does not require an adapter.", "not"), PosTag::RB);
+        assert_eq!(
+            tag_of("The camera does not require an adapter.", "not"),
+            PosTag::RB
+        );
         let require = tagged.iter().find(|(w, _)| w == "require").unwrap();
         assert_eq!(require.1, PosTag::VB);
     }
 
     #[test]
     fn unknown_capitalized_word_is_proper_noun() {
-        assert_eq!(tag_of("The Zorblax camera is fine.", "Zorblax"), PosTag::NNP);
+        assert_eq!(
+            tag_of("The Zorblax camera is fine.", "Zorblax"),
+            PosTag::NNP
+        );
     }
 
     #[test]

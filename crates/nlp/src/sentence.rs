@@ -43,7 +43,8 @@ const ABBREVIATIONS: &[&str] = &[
 
 fn is_abbreviation(word: &str) -> bool {
     let lower = word.to_lowercase();
-    ABBREVIATIONS.contains(&lower.as_str()) || (word.len() == 1 && word.chars().all(|c| c.is_alphabetic()))
+    ABBREVIATIONS.contains(&lower.as_str())
+        || (word.len() == 1 && word.chars().all(|c| c.is_alphabetic()))
 }
 
 /// Splits a token stream into sentences.
@@ -135,7 +136,8 @@ mod tests {
 
     #[test]
     fn abbreviations_do_not_split() {
-        let s = sentence_texts("Prof. Wilson of American University praised the camera. It sold well.");
+        let s =
+            sentence_texts("Prof. Wilson of American University praised the camera. It sold well.");
         assert_eq!(s.len(), 2);
         assert!(s[0].starts_with("Prof. Wilson"));
     }

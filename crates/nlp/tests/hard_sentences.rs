@@ -37,7 +37,10 @@ fn coordination_of_three_clauses() {
         .filter_map(|c| c.predicate.as_ref().map(|p| p.lemma.clone()))
         .collect();
     assert!(predicates.contains(&"drain".to_string()), "{predicates:?}");
-    assert!(predicates.iter().filter(|p| *p == "be").count() >= 2, "{predicates:?}");
+    assert!(
+        predicates.iter().filter(|p| *p == "be").count() >= 2,
+        "{predicates:?}"
+    );
 }
 
 #[test]
@@ -50,7 +53,10 @@ fn quoted_speech() {
         .iter()
         .filter_map(|c| c.predicate.as_ref().map(|p| p.lemma.clone()))
         .collect();
-    assert!(clause_predicates.contains(&"say".to_string()), "{clause_predicates:?}");
+    assert!(
+        clause_predicates.contains(&"say".to_string()),
+        "{clause_predicates:?}"
+    );
 }
 
 #[test]
@@ -69,8 +75,7 @@ fn parenthetical_material() {
 fn very_long_sentence_does_not_degrade() {
     let long = format!(
         "The camera, {} takes excellent pictures.",
-        "which I bought in March after reading many reviews and comparing prices, "
-            .repeat(10)
+        "which I bought in March after reading many reviews and comparing prices, ".repeat(10)
     );
     let a = pipeline().analyze_sentence(&long);
     assert!(a.tokens.len() > 100);
@@ -139,10 +144,7 @@ fn tagger_accuracy_on_gold_sample() {
             "I am impressed by the picture quality.",
             &["PRP", "VBP", "VBN", "IN", "DT", "NN", "NN", "."],
         ),
-        (
-            "The colors are vibrant.",
-            &["DT", "NNS", "VBP", "JJ", "."],
-        ),
+        ("The colors are vibrant.", &["DT", "NNS", "VBP", "JJ", "."]),
         (
             "Regulators criticize the company.",
             &["NNS", "VBP", "DT", "NN", "."],
@@ -174,7 +176,10 @@ fn tagger_accuracy_on_gold_sample() {
         }
     }
     let accuracy = correct as f64 / total as f64;
-    assert!(accuracy >= 0.9, "tagger accuracy {accuracy} ({correct}/{total})");
+    assert!(
+        accuracy >= 0.9,
+        "tagger accuracy {accuracy} ({correct}/{total})"
+    );
 }
 
 #[test]

@@ -118,8 +118,8 @@ impl TemplateDetector {
             .into_iter()
             .map(|(site, counts)| {
                 let pages = site_pages[&site];
-                let threshold =
-                    ((pages as f64 * self.config.min_fraction).ceil() as usize).max(self.config.min_pages);
+                let threshold = ((pages as f64 * self.config.min_fraction).ceil() as usize)
+                    .max(self.config.min_pages);
                 let keys = counts
                     .into_iter()
                     .filter(|&(_, c)| c >= threshold)
@@ -243,9 +243,17 @@ mod tests {
         let store = seeded();
         let detector = TemplateDetector::default();
         detector.run(&store).unwrap();
-        let first = store.get(DocId(0)).unwrap().annotations_of("template").count();
+        let first = store
+            .get(DocId(0))
+            .unwrap()
+            .annotations_of("template")
+            .count();
         detector.run(&store).unwrap();
-        let second = store.get(DocId(0)).unwrap().annotations_of("template").count();
+        let second = store
+            .get(DocId(0))
+            .unwrap()
+            .annotations_of("template")
+            .count();
         assert_eq!(first, second);
     }
 

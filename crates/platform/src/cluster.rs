@@ -3,14 +3,19 @@
 //! The real system is "a loosely coupled, shared-nothing parallel cluster"
 //! of hundreds of Linux servers. The simulation binds together a sharded
 //! [`DataStore`] (one shard per node), an [`Indexer`], and a [`ServiceBus`],
-//! and reports per-node balance statistics — enough to exercise the same
-//! dataflow (ingest → store → mine → index → query) at laptop scale.
+//! tracks per-node health, and reports per-node balance statistics —
+//! enough to exercise the same dataflow (ingest → store → mine → index →
+//! query) at laptop scale, including the failure modes: a [`FaultPlan`]
+//! injects node outages and slow calls, Down nodes fail their shards over
+//! to healthy ones, and pipeline runs degrade instead of panicking.
 
+use crate::faults::{FaultPlan, NodeHealth};
 use crate::index::Indexer;
-use crate::miner::{MinerPipeline, PipelineStats};
+use crate::miner::{FaultContext, MinerPipeline, PipelineStats};
 use crate::store::DataStore;
 use crate::vinci::ServiceBus;
-use wf_types::{NodeId, Result};
+use parking_lot::RwLock;
+use wf_types::{NodeId, Result, RetryPolicy};
 
 /// Static description of one simulated node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +31,9 @@ pub struct Cluster {
     store: DataStore,
     indexer: Indexer,
     bus: ServiceBus,
+    health: RwLock<Vec<NodeHealth>>,
+    fault_plan: RwLock<Option<FaultPlan>>,
+    retry_policy: RwLock<RetryPolicy>,
 }
 
 /// Snapshot of cluster state for reporting.
@@ -38,13 +46,26 @@ pub struct ClusterReport {
     pub distinct_terms: usize,
     pub distinct_concepts: usize,
     pub services: Vec<String>,
+    /// Per-node health, in node order.
+    pub health: Vec<NodeHealth>,
+}
+
+/// Outcome of [`Cluster::rebuild_index`] under failures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexRebuildStats {
+    /// Entities (re-)indexed.
+    pub indexed: usize,
+    /// Shards whose node was Down and no healthy node could stand in.
+    pub skipped_shards: usize,
+    /// Shards indexed by a stand-in node because their owner was Down.
+    pub failed_over: usize,
 }
 
 impl Cluster {
-    /// Boots a cluster of `node_count` nodes.
+    /// Boots a cluster of `node_count` nodes, all healthy.
     pub fn new(node_count: usize) -> Result<Self> {
         let store = DataStore::new(node_count)?;
-        let nodes = (0..node_count)
+        let nodes: Vec<NodeInfo> = (0..node_count)
             .map(|i| NodeInfo {
                 id: NodeId(i as u32),
                 // alternate the two xSeries models of the paper's cluster
@@ -52,10 +73,13 @@ impl Cluster {
             })
             .collect();
         Ok(Cluster {
+            health: RwLock::new(vec![NodeHealth::Up; nodes.len()]),
             nodes,
             store,
             indexer: Indexer::new(),
             bus: ServiceBus::new(),
+            fault_plan: RwLock::new(None),
+            retry_policy: RwLock::new(RetryPolicy::default()),
         })
     }
 
@@ -75,14 +99,95 @@ impl Cluster {
         &self.nodes
     }
 
-    /// Runs a miner pipeline across all nodes in parallel.
+    /// Installs (or clears) the fault plan consulted by pipeline runs.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault_plan.write() = plan;
+    }
+
+    /// The retry policy applied to faulted pipeline operations.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry_policy.write() = policy;
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry_policy.read()
+    }
+
+    /// Marks a node Up / Degraded / Down. Out-of-range ids are ignored.
+    pub fn set_health(&self, node: NodeId, health: NodeHealth) {
+        if let Some(slot) = self.health.write().get_mut(node.0 as usize) {
+            *slot = health;
+        }
+    }
+
+    /// Health of one node (`Up` for unknown ids).
+    pub fn health_of(&self, node: NodeId) -> NodeHealth {
+        self.health
+            .read()
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or(NodeHealth::Up)
+    }
+
+    /// Per-node health snapshot, in node order.
+    pub fn healths(&self) -> Vec<NodeHealth> {
+        self.health.read().clone()
+    }
+
+    /// Nodes currently not Down.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        self.health
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| **h != NodeHealth::Down)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Runs a miner pipeline across all nodes in parallel, honoring node
+    /// health (Down shards fail over; a fully-down cluster skips shards
+    /// rather than panicking) and the installed fault plan.
     pub fn run_pipeline(&self, pipeline: &MinerPipeline) -> PipelineStats {
-        pipeline.run(&self.store)
+        let plan = self.fault_plan.read().clone();
+        let health = self.healths();
+        let ctx = FaultContext {
+            plan: plan.as_ref(),
+            retry: self.retry_policy(),
+            health: &health,
+        };
+        pipeline.run_with(&self.store, &ctx)
     }
 
     /// (Re-)indexes every stored entity, including miner annotations.
-    pub fn rebuild_index(&self) {
-        self.store.for_each(|entity| self.indexer.index_entity(entity));
+    /// Shards owned by Down nodes are indexed by a healthy stand-in; with
+    /// no healthy node left they are skipped and counted.
+    pub fn rebuild_index(&self) -> IndexRebuildStats {
+        let health = self.healths();
+        let health_of = |n: usize| health.get(n).copied().unwrap_or(NodeHealth::Up);
+        let mut stats = IndexRebuildStats::default();
+        for shard in 0..self.store.shard_count() {
+            let executor = match health_of(shard) {
+                NodeHealth::Up | NodeHealth::Degraded => Some(shard),
+                NodeHealth::Down => {
+                    (0..self.store.shard_count()).find(|&n| health_of(n) != NodeHealth::Down)
+                }
+            };
+            let Some(executor) = executor else {
+                stats.skipped_shards += 1;
+                continue;
+            };
+            if executor != shard {
+                stats.failed_over += 1;
+            }
+            for id in self.store.shard_ids(NodeId(shard as u32)) {
+                if let Ok(entity) = self.store.get(id) {
+                    self.indexer.index_entity(&entity);
+                    stats.indexed += 1;
+                }
+            }
+        }
+        stats
     }
 
     /// Current cluster state for reports.
@@ -95,6 +200,7 @@ impl Cluster {
             distinct_terms: self.indexer.term_count(),
             distinct_concepts: self.indexer.concept_count(),
             services: self.bus.service_names(),
+            health: self.healths(),
         }
     }
 }
@@ -118,24 +224,30 @@ mod tests {
         }
     }
 
-    #[test]
-    fn cluster_boots_with_nodes() {
-        let cluster = Cluster::new(8).unwrap();
-        assert_eq!(cluster.nodes().len(), 8);
-        assert_eq!(cluster.nodes()[0].model, "x335");
-        assert_eq!(cluster.nodes()[1].model, "x350");
-    }
-
-    #[test]
-    fn end_to_end_ingest_mine_index_query() {
-        let cluster = Cluster::new(4).unwrap();
-        for i in 0..12 {
+    fn seeded_cluster(nodes: usize, docs: usize) -> Cluster {
+        let cluster = Cluster::new(nodes).unwrap();
+        for i in 0..docs {
             cluster.store().insert(Entity::new(
                 format!("uri://{i}"),
                 SourceKind::Web,
                 format!("document number {i} about cameras"),
             ));
         }
+        cluster
+    }
+
+    #[test]
+    fn cluster_boots_with_nodes() {
+        let cluster = Cluster::new(8).unwrap();
+        assert_eq!(cluster.nodes().len(), 8);
+        assert_eq!(cluster.nodes()[0].model, "x335");
+        assert_eq!(cluster.nodes()[1].model, "x350");
+        assert!(cluster.healths().iter().all(|h| *h == NodeHealth::Up));
+    }
+
+    #[test]
+    fn end_to_end_ingest_mine_index_query() {
+        let cluster = seeded_cluster(4, 12);
         let pipeline = MinerPipeline::new().add(Box::new(LengthMiner));
         let stats = cluster.run_pipeline(&pipeline);
         assert_eq!(stats.processed, 12);
@@ -150,5 +262,43 @@ mod tests {
     #[test]
     fn zero_nodes_rejected() {
         assert!(Cluster::new(0).is_err());
+    }
+
+    #[test]
+    fn down_node_shard_fails_over() {
+        let cluster = seeded_cluster(4, 20);
+        cluster.set_health(NodeId(2), NodeHealth::Down);
+        let pipeline = MinerPipeline::new().add(Box::new(LengthMiner));
+        let stats = cluster.run_pipeline(&pipeline);
+        assert_eq!(stats.processed, 20, "failover keeps every entity mined");
+        assert_eq!(stats.failed_over, 1);
+        assert_eq!(stats.skipped_shards, 0);
+        let idx = cluster.rebuild_index();
+        assert_eq!(idx.indexed, 20);
+        assert_eq!(idx.failed_over, 1);
+    }
+
+    #[test]
+    fn fully_down_cluster_skips_instead_of_panicking() {
+        let cluster = seeded_cluster(2, 10);
+        cluster.set_health(NodeId(0), NodeHealth::Down);
+        cluster.set_health(NodeId(1), NodeHealth::Down);
+        let pipeline = MinerPipeline::new().add(Box::new(LengthMiner));
+        let stats = cluster.run_pipeline(&pipeline);
+        assert_eq!(stats.processed, 0);
+        assert_eq!(stats.failed, 10);
+        assert_eq!(stats.skipped_shards, 2);
+        let idx = cluster.rebuild_index();
+        assert_eq!(idx.indexed, 0);
+        assert_eq!(idx.skipped_shards, 2);
+    }
+
+    #[test]
+    fn live_nodes_excludes_down() {
+        let cluster = Cluster::new(3).unwrap();
+        cluster.set_health(NodeId(1), NodeHealth::Down);
+        cluster.set_health(NodeId(2), NodeHealth::Degraded);
+        assert_eq!(cluster.live_nodes(), vec![NodeId(0), NodeId(2)]);
+        assert_eq!(cluster.health_of(NodeId(1)), NodeHealth::Down);
     }
 }

@@ -30,12 +30,7 @@ impl SparseVector {
     }
 
     fn normalize(&mut self) {
-        let norm = self
-            .entries
-            .iter()
-            .map(|(_, w)| w * w)
-            .sum::<f64>()
-            .sqrt();
+        let norm = self.entries.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
         if norm > 0.0 {
             for (_, w) in &mut self.entries {
                 *w /= norm;
@@ -149,10 +144,8 @@ pub fn cluster_documents(store: &DataStore, k: usize, max_iterations: usize) -> 
         }
         centroid_idx.push(next);
     }
-    let mut centroids: Vec<SparseVector> = centroid_idx
-        .iter()
-        .map(|&i| vectors[i].1.clone())
-        .collect();
+    let mut centroids: Vec<SparseVector> =
+        centroid_idx.iter().map(|&i| vectors[i].1.clone()).collect();
     let mut assignment = vec![0usize; n];
     let mut iterations = 0;
     for it in 0..max_iterations {
@@ -232,7 +225,9 @@ impl CorpusMiner for ClusteringMiner {
         let clustering = cluster_documents(store, self.k, self.max_iterations);
         for (doc, cluster) in clustering.assignments {
             store.update(doc, |entity: &mut Entity| {
-                entity.metadata.insert("cluster".into(), cluster.to_string());
+                entity
+                    .metadata
+                    .insert("cluster".into(), cluster.to_string());
             })?;
         }
         Ok(())

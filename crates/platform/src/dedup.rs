@@ -257,7 +257,11 @@ mod tests {
 
     #[test]
     fn exact_duplicates_cluster() {
-        let store = seed(&[PAGE, PAGE, "Entirely different content about cameras and lenses."]);
+        let store = seed(&[
+            PAGE,
+            PAGE,
+            "Entirely different content about cameras and lenses.",
+        ]);
         let clusters = find_duplicates(&store, &DedupConfig::default());
         assert_eq!(clusters.len(), 1);
         assert_eq!(clusters[0].1, vec![DocId(0), DocId(1)]);
@@ -292,10 +296,19 @@ mod tests {
     fn miner_marks_non_representatives() {
         let store = seed(&[PAGE, PAGE, PAGE]);
         DuplicateDetector::default().run(&store).unwrap();
-        assert!(!store.get(DocId(0)).unwrap().metadata.contains_key("duplicate-of"));
+        assert!(!store
+            .get(DocId(0))
+            .unwrap()
+            .metadata
+            .contains_key("duplicate-of"));
         for i in [1, 2] {
             assert_eq!(
-                store.get(DocId(i)).unwrap().metadata.get("duplicate-of").unwrap(),
+                store
+                    .get(DocId(i))
+                    .unwrap()
+                    .metadata
+                    .get("duplicate-of")
+                    .unwrap(),
                 "doc:0"
             );
         }
@@ -318,12 +331,7 @@ mod tests {
         let b = shingles(&near_text, 4);
         let sig_a = minhash(&a, 128);
         let sig_b = minhash(&b, 128);
-        let agree = sig_a
-            .iter()
-            .zip(&sig_b)
-            .filter(|(x, y)| x == y)
-            .count() as f64
-            / 128.0;
+        let agree = sig_a.iter().zip(&sig_b).filter(|(x, y)| x == y).count() as f64 / 128.0;
         let true_jaccard = jaccard(&a, &b);
         assert!(
             (agree - true_jaccard).abs() < 0.2,

@@ -116,7 +116,10 @@ impl Entity {
     }
 
     /// All annotations of a given kind.
-    pub fn annotations_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Annotation> + 'a {
+    pub fn annotations_of<'a>(
+        &'a self,
+        kind: &'a str,
+    ) -> impl Iterator<Item = &'a Annotation> + 'a {
         self.annotations.iter().filter(move |a| a.kind == kind)
     }
 
@@ -173,8 +176,12 @@ mod tests {
     use super::*;
 
     fn sample() -> Entity {
-        let mut e = Entity::new("http://example.com/review1", SourceKind::Web, "Great camera.")
-            .with_metadata("domain", "digital-camera");
+        let mut e = Entity::new(
+            "http://example.com/review1",
+            SourceKind::Web,
+            "Great camera.",
+        )
+        .with_metadata("domain", "digital-camera");
         e.annotate(
             Annotation::new("spot", Span::new(6, 12))
                 .with_attr("synset", "0")

@@ -1,0 +1,409 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! The real WebFountain deployment is "a loosely coupled, shared-nothing
+//! parallel cluster" of hundreds of commodity Linux servers — at that
+//! scale nodes die, services hang and updates collide as a matter of
+//! course, and every platform component has to keep mining through it.
+//! This module reproduces that failure surface at laptop scale: a
+//! [`FaultPlan`] drives seed-reproducible fault draws (node down, service
+//! error, slow response, store update conflict) that the service bus,
+//! miner pipeline and cluster manager consult before every operation.
+//!
+//! Two properties make the subsystem testable:
+//!
+//! - **Determinism.** Every site (a service name, a shard) draws from its
+//!   own [`FaultStream`] seeded by `plan seed ⊕ fnv(site)`. Streams are
+//!   owned by the worker that consumes them, so thread interleaving can
+//!   never change which operation sees which fault: identical seeds give
+//!   byte-identical statistics.
+//! - **Simulated time.** Latency and backoff advance a virtual
+//!   millisecond clock instead of sleeping, so timeout budgets are
+//!   honored exactly and chaos suites run in real milliseconds.
+
+use crate::cluster::Cluster;
+use crate::entity::{Entity, SourceKind};
+use wf_types::{NodeId, Result, RetryPolicy};
+
+/// The four injectable fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The node owning the target is unreachable (transient).
+    NodeDown,
+    /// The service handler itself fails (application error, terminal).
+    ServiceError,
+    /// The operation completes, but slowly (adds simulated latency).
+    SlowResponse,
+    /// A store update loses a race with a concurrent writer (transient).
+    StoreConflict,
+}
+
+/// Per-operation probabilities and latency parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    pub node_down: f64,
+    pub service_error: f64,
+    pub slow_response: f64,
+    pub store_conflict: f64,
+    /// Simulated latency added by one `SlowResponse` fault.
+    pub slow_latency_ms: u64,
+    /// Simulated latency of any fault-free operation.
+    pub base_latency_ms: u64,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates {
+            node_down: 0.0,
+            service_error: 0.0,
+            slow_response: 0.0,
+            store_conflict: 0.0,
+            slow_latency_ms: 250,
+            base_latency_ms: 1,
+        }
+    }
+}
+
+impl FaultRates {
+    /// All four fault classes at the same probability `p`.
+    pub fn uniform(p: f64) -> Self {
+        FaultRates {
+            node_down: p,
+            service_error: p,
+            slow_response: p,
+            store_conflict: p,
+            ..FaultRates::default()
+        }
+    }
+}
+
+/// A seeded, site-keyed source of fault decisions.
+///
+/// The plan itself is immutable and cheap to share; mutable draw state
+/// lives in the [`FaultStream`]s it hands out, one per site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+    /// Multiplier applied to fault probabilities on `Degraded` nodes.
+    degraded_factor: f64,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults (rates all zero).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rates: FaultRates::default(),
+            degraded_factor: 4.0,
+        }
+    }
+
+    /// A plan injecting every fault class at probability `p`.
+    pub fn uniform(seed: u64, p: f64) -> Self {
+        FaultPlan::new(seed).with_rates(FaultRates::uniform(p))
+    }
+
+    pub fn with_rates(mut self, rates: FaultRates) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    pub fn with_degraded_factor(mut self, factor: f64) -> Self {
+        self.degraded_factor = factor;
+        self
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// The per-site stream of fault decisions. Same plan + same site ⇒
+    /// the same decision sequence, regardless of what other sites do.
+    pub fn stream(&self, site: &str) -> FaultStream {
+        FaultStream {
+            state: self.seed ^ fnv1a(site.as_bytes()),
+            rates: self.rates,
+            amplify: 1.0,
+            degraded_factor: self.degraded_factor,
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// One site's deterministic fault sequence (SplitMix64 underneath).
+#[derive(Debug, Clone)]
+pub struct FaultStream {
+    state: u64,
+    rates: FaultRates,
+    amplify: f64,
+    degraded_factor: f64,
+}
+
+impl FaultStream {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Amplifies subsequent draws as if running on a `Degraded` node.
+    pub fn degrade(&mut self) {
+        self.amplify = self.degraded_factor;
+    }
+
+    /// Restores normal (`Up`) fault probabilities.
+    pub fn restore(&mut self) {
+        self.amplify = 1.0;
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        let p = (p * self.amplify).clamp(0.0, 1.0);
+        p > 0.0 && self.unit() < p
+    }
+
+    /// Draws the fault (if any) for the next operation. Classes are
+    /// checked in a fixed order so the consumed randomness per draw is
+    /// constant: one uniform sample per class.
+    pub fn draw(&mut self) -> Option<FaultKind> {
+        // every draw consumes exactly four samples so the stream stays
+        // aligned no matter which class fires
+        let node_down = self.chance(self.rates.node_down);
+        let service_error = self.chance(self.rates.service_error);
+        let slow = self.chance(self.rates.slow_response);
+        let conflict = self.chance(self.rates.store_conflict);
+        if node_down {
+            Some(FaultKind::NodeDown)
+        } else if service_error {
+            Some(FaultKind::ServiceError)
+        } else if slow {
+            Some(FaultKind::SlowResponse)
+        } else if conflict {
+            Some(FaultKind::StoreConflict)
+        } else {
+            None
+        }
+    }
+
+    /// Simulated latency of one operation given its fault draw.
+    pub fn latency_ms(&self, fault: Option<FaultKind>) -> u64 {
+        match fault {
+            Some(FaultKind::SlowResponse) => self.rates.slow_latency_ms,
+            _ => self.rates.base_latency_ms,
+        }
+    }
+}
+
+/// Health of one simulated node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeHealth {
+    #[default]
+    Up,
+    /// Alive but failure-prone: fault probabilities are amplified.
+    Degraded,
+    /// Unreachable: its shard must fail over or be skipped.
+    Down,
+}
+
+/// Record of one logical service call, attempts and all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallOutcome {
+    pub service: String,
+    /// Handler/fault attempts made (≥ 1 once the service exists).
+    pub attempts: u32,
+    /// Retries after transient failures (`attempts - 1` when retried).
+    pub retries: u32,
+    /// Backoff applied before each retry, in simulated ms.
+    pub backoffs_ms: Vec<u64>,
+    /// Faults injected across all attempts, in order.
+    pub injected: Vec<FaultKind>,
+    /// Total simulated time consumed: latency + backoff.
+    pub sim_elapsed_ms: u64,
+    /// Whether the logical call finally succeeded.
+    pub ok: bool,
+}
+
+impl CallOutcome {
+    pub(crate) fn start(service: &str) -> Self {
+        CallOutcome {
+            service: service.to_string(),
+            attempts: 0,
+            retries: 0,
+            backoffs_ms: Vec::new(),
+            injected: Vec::new(),
+            sim_elapsed_ms: 0,
+            ok: false,
+        }
+    }
+}
+
+/// Test-support builder: a cluster preloaded with documents, a fault
+/// plan, a retry policy and per-node health, ready for chaos suites and
+/// degraded-mode benchmarks.
+#[derive(Debug, Clone)]
+pub struct ChaosCluster {
+    nodes: usize,
+    docs: usize,
+    plan: FaultPlan,
+    retry: RetryPolicy,
+    degraded: Vec<NodeId>,
+    down: Vec<NodeId>,
+}
+
+impl ChaosCluster {
+    /// `nodes` shards, `docs` synthetic documents, no faults yet.
+    pub fn new(nodes: usize, docs: usize) -> Self {
+        ChaosCluster {
+            nodes,
+            docs,
+            plan: FaultPlan::new(0),
+            retry: RetryPolicy::default(),
+            degraded: Vec::new(),
+            down: Vec::new(),
+        }
+    }
+
+    pub fn plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Shorthand: uniform fault probability `p` under `seed`.
+    pub fn chaos(mut self, seed: u64, p: f64) -> Self {
+        self.plan = FaultPlan::uniform(seed, p);
+        self
+    }
+
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    pub fn degrade(mut self, node: NodeId) -> Self {
+        self.degraded.push(node);
+        self
+    }
+
+    pub fn degrade_all(mut self) -> Self {
+        self.degraded = (0..self.nodes).map(|i| NodeId(i as u32)).collect();
+        self
+    }
+
+    pub fn down(mut self, node: NodeId) -> Self {
+        self.down.push(node);
+        self
+    }
+
+    /// Boots the cluster: seeds documents, installs the plan/policy on
+    /// both the cluster and its service bus, applies node healths.
+    pub fn build(self) -> Result<Cluster> {
+        let cluster = Cluster::new(self.nodes)?;
+        for i in 0..self.docs {
+            cluster.store().insert(Entity::new(
+                format!("chaos://doc/{i}"),
+                SourceKind::Web,
+                format!("synthetic chaos document number {i} about cameras"),
+            ));
+        }
+        cluster.set_retry_policy(self.retry);
+        cluster.bus().set_retry_policy(self.retry);
+        cluster.bus().set_fault_plan(Some(self.plan.clone()));
+        cluster.set_fault_plan(Some(self.plan));
+        for node in self.degraded {
+            cluster.set_health(node, NodeHealth::Degraded);
+        }
+        for node in self.down {
+            cluster.set_health(node, NodeHealth::Down);
+        }
+        Ok(cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_site_same_sequence() {
+        let plan = FaultPlan::uniform(7, 0.3);
+        let mut a = plan.stream("svc:index");
+        let mut b = plan.stream("svc:index");
+        for _ in 0..200 {
+            assert_eq!(a.draw(), b.draw());
+        }
+    }
+
+    #[test]
+    fn different_sites_diverge() {
+        let plan = FaultPlan::uniform(7, 0.5);
+        let mut a = plan.stream("svc:index");
+        let mut b = plan.stream("svc:store");
+        let seq_a: Vec<_> = (0..64).map(|_| a.draw()).collect();
+        let seq_b: Vec<_> = (0..64).map(|_| b.draw()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn zero_rates_never_fault() {
+        let plan = FaultPlan::new(123);
+        let mut s = plan.stream("anything");
+        assert!((0..1000).all(|_| s.draw().is_none()));
+    }
+
+    #[test]
+    fn rate_one_always_faults() {
+        let plan = FaultPlan::new(5).with_rates(FaultRates {
+            node_down: 1.0,
+            ..FaultRates::default()
+        });
+        let mut s = plan.stream("x");
+        assert!((0..100).all(|_| s.draw() == Some(FaultKind::NodeDown)));
+    }
+
+    #[test]
+    fn degraded_amplifies() {
+        let plan = FaultPlan::new(11).with_rates(FaultRates {
+            service_error: 0.1,
+            ..FaultRates::default()
+        });
+        let count = |degraded: bool| {
+            let mut s = plan.stream("svc");
+            if degraded {
+                s.degrade();
+            }
+            (0..2000).filter(|_| s.draw().is_some()).count()
+        };
+        let normal = count(false);
+        let amplified = count(true);
+        assert!(
+            amplified > normal * 2,
+            "degraded {amplified} vs normal {normal}"
+        );
+    }
+
+    #[test]
+    fn latency_depends_on_fault() {
+        let plan = FaultPlan::new(1);
+        let s = plan.stream("svc");
+        assert_eq!(s.latency_ms(Some(FaultKind::SlowResponse)), 250);
+        assert_eq!(s.latency_ms(None), 1);
+        assert_eq!(s.latency_ms(Some(FaultKind::NodeDown)), 1);
+    }
+}

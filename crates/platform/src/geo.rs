@@ -21,22 +21,70 @@ pub struct Place {
 
 /// A small embedded gazetteer (extensible via [`GeoMiner::with_places`]).
 pub const DEFAULT_GAZETTEER: &[Place] = &[
-    Place { name: "San Jose", region: "north-america" },
-    Place { name: "New York", region: "north-america" },
-    Place { name: "Houston", region: "north-america" },
-    Place { name: "Almaden", region: "north-america" },
-    Place { name: "California", region: "north-america" },
-    Place { name: "Texas", region: "north-america" },
-    Place { name: "London", region: "europe" },
-    Place { name: "Paris", region: "europe" },
-    Place { name: "Berlin", region: "europe" },
-    Place { name: "Rotterdam", region: "europe" },
-    Place { name: "North Sea", region: "europe" },
-    Place { name: "Tokyo", region: "asia" },
-    Place { name: "Osaka", region: "asia" },
-    Place { name: "Singapore", region: "asia" },
-    Place { name: "Lagos", region: "africa" },
-    Place { name: "Gulf of Mexico", region: "north-america" },
+    Place {
+        name: "San Jose",
+        region: "north-america",
+    },
+    Place {
+        name: "New York",
+        region: "north-america",
+    },
+    Place {
+        name: "Houston",
+        region: "north-america",
+    },
+    Place {
+        name: "Almaden",
+        region: "north-america",
+    },
+    Place {
+        name: "California",
+        region: "north-america",
+    },
+    Place {
+        name: "Texas",
+        region: "north-america",
+    },
+    Place {
+        name: "London",
+        region: "europe",
+    },
+    Place {
+        name: "Paris",
+        region: "europe",
+    },
+    Place {
+        name: "Berlin",
+        region: "europe",
+    },
+    Place {
+        name: "Rotterdam",
+        region: "europe",
+    },
+    Place {
+        name: "North Sea",
+        region: "europe",
+    },
+    Place {
+        name: "Tokyo",
+        region: "asia",
+    },
+    Place {
+        name: "Osaka",
+        region: "asia",
+    },
+    Place {
+        name: "Singapore",
+        region: "asia",
+    },
+    Place {
+        name: "Lagos",
+        region: "africa",
+    },
+    Place {
+        name: "Gulf of Mexico",
+        region: "north-america",
+    },
 ];
 
 /// The geographic context miner.
@@ -100,7 +148,9 @@ impl EntityMiner for GeoMiner {
             .iter()
             .max_by_key(|&(&region, &count)| (count, std::cmp::Reverse(region)))
         {
-            entity.metadata.insert("geo-region".into(), region.to_string());
+            entity
+                .metadata
+                .insert("geo-region".into(), region.to_string());
         }
         Ok(())
     }
@@ -124,8 +174,14 @@ mod tests {
             .annotations_of("geo")
             .map(|a| (a.attr("region").unwrap(), a.span.slice(&e.text).to_string()))
             .collect();
-        assert!(geo.contains(&("north-america", "Gulf of Mexico".to_string())), "{geo:?}");
-        assert!(geo.contains(&("north-america", "Houston".to_string())), "{geo:?}");
+        assert!(
+            geo.contains(&("north-america", "Gulf of Mexico".to_string())),
+            "{geo:?}"
+        );
+        assert!(
+            geo.contains(&("north-america", "Houston".to_string())),
+            "{geo:?}"
+        );
         assert_eq!(e.metadata.get("geo-region").unwrap(), "north-america");
     }
 

@@ -7,10 +7,11 @@
 //! feed the [`DataStore`], optionally indexing as they go.
 
 use crate::entity::{Entity, SourceKind};
+use crate::faults::{FaultKind, FaultPlan, FaultStream};
 use crate::index::Indexer;
 use crate::store::DataStore;
 use std::collections::BTreeMap;
-use wf_types::DocId;
+use wf_types::{DocId, Error, Result, RetryPolicy};
 
 /// A raw document as delivered by some source.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +43,10 @@ impl RawDocument {
 pub struct IngestStats {
     pub documents: usize,
     pub bytes: usize,
+    /// Documents dropped after exhausting retries against injected faults.
+    pub failed: usize,
+    /// Retries performed against transient injected faults.
+    pub retries: u64,
 }
 
 /// Normalizes raw documents into the store (and index, when given).
@@ -49,6 +54,8 @@ pub struct Ingestor<'a> {
     store: &'a DataStore,
     indexer: Option<&'a Indexer>,
     stats: IngestStats,
+    faults: Option<FaultStream>,
+    retry: RetryPolicy,
 }
 
 impl<'a> Ingestor<'a> {
@@ -57,6 +64,8 @@ impl<'a> Ingestor<'a> {
             store,
             indexer: None,
             stats: IngestStats::default(),
+            faults: None,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -66,10 +75,71 @@ impl<'a> Ingestor<'a> {
         self
     }
 
-    /// Ingests one document; returns its assigned id.
+    /// Subject every ingest to the plan's `"ingest"` fault stream, retried
+    /// per `retry` ([`Ingestor::try_ingest`] then becomes fallible).
+    pub fn with_faults(mut self, plan: &FaultPlan, retry: RetryPolicy) -> Self {
+        self.faults = Some(plan.stream("ingest"));
+        self.retry = retry;
+        self
+    }
+
+    /// Ingests one document; returns its assigned id. Infallible: faults
+    /// are not consulted on this path (see [`Ingestor::try_ingest`]).
     pub fn ingest(&mut self, doc: RawDocument) -> DocId {
         self.stats.documents += 1;
         self.stats.bytes += doc.text.len();
+        self.store_doc(doc)
+    }
+
+    /// Ingests one document under the configured fault stream: transient
+    /// faults (node blip, store conflict) are retried with backoff; a
+    /// terminal fault or exhausted budget drops the document and counts it
+    /// in `stats().failed`.
+    pub fn try_ingest(&mut self, doc: RawDocument) -> Result<DocId> {
+        let Some(stream) = self.faults.as_mut() else {
+            return Ok(self.ingest(doc));
+        };
+        self.stats.documents += 1;
+        self.stats.bytes += doc.text.len();
+        let mut elapsed = 0u64;
+        for attempt in 0..=self.retry.max_retries {
+            let fault = stream.draw();
+            elapsed += stream.latency_ms(fault);
+            if elapsed > self.retry.timeout_budget_ms {
+                self.stats.failed += 1;
+                return Err(Error::Timeout(format!(
+                    "ingest of {} exceeded {} sim ms",
+                    doc.uri, self.retry.timeout_budget_ms
+                )));
+            }
+            match fault {
+                Some(FaultKind::ServiceError) => {
+                    self.stats.failed += 1;
+                    return Err(Error::Service(format!(
+                        "injected ingest error for {}",
+                        doc.uri
+                    )));
+                }
+                Some(FaultKind::NodeDown) | Some(FaultKind::StoreConflict) => {
+                    if attempt == self.retry.max_retries {
+                        break;
+                    }
+                    self.stats.retries += 1;
+                    elapsed += self.retry.backoff_for(attempt + 1);
+                }
+                Some(FaultKind::SlowResponse) | None => {
+                    return Ok(self.store_doc(doc));
+                }
+            }
+        }
+        self.stats.failed += 1;
+        Err(Error::Unavailable(format!(
+            "ingest of {} failed after {} retries",
+            doc.uri, self.retry.max_retries
+        )))
+    }
+
+    fn store_doc(&mut self, doc: RawDocument) -> DocId {
         let mut entity = Entity::new(doc.uri, doc.source, doc.text);
         entity.metadata = doc.metadata;
         let id = self.store.insert(entity);
@@ -82,9 +152,12 @@ impl<'a> Ingestor<'a> {
         id
     }
 
-    /// Ingests a batch; returns assigned ids in order.
+    /// Ingests a batch; returns assigned ids in order (documents dropped
+    /// by injected faults are skipped).
     pub fn ingest_batch<I: IntoIterator<Item = RawDocument>>(&mut self, docs: I) -> Vec<DocId> {
-        docs.into_iter().map(|d| self.ingest(d)).collect()
+        docs.into_iter()
+            .filter_map(|d| self.try_ingest(d).ok())
+            .collect()
     }
 
     /// Running statistics.
@@ -108,7 +181,10 @@ mod tests {
         ]);
         assert_eq!(ids, vec![DocId(0), DocId(1)]);
         assert_eq!(ing.stats().documents, 2);
-        assert_eq!(ing.stats().bytes, "hello world".len() + "breaking news".len());
+        assert_eq!(
+            ing.stats().bytes,
+            "hello world".len() + "breaking news".len()
+        );
         assert_eq!(store.len(), 2);
     }
 
@@ -123,6 +199,45 @@ mod tests {
             store.get(id).unwrap().metadata.get("domain").unwrap(),
             "camera"
         );
+    }
+
+    #[test]
+    fn faulted_ingest_retries_and_counts_drops() {
+        use crate::faults::FaultRates;
+        let store = DataStore::new(2).unwrap();
+        let plan = FaultPlan::new(42).with_rates(FaultRates {
+            store_conflict: 0.4,
+            service_error: 0.1,
+            ..FaultRates::default()
+        });
+        let retry = RetryPolicy {
+            max_retries: 5,
+            base_backoff_ms: 1,
+            max_backoff_ms: 8,
+            timeout_budget_ms: 10_000,
+        };
+        let mut ing = Ingestor::new(&store).with_faults(&plan, retry);
+        let docs: Vec<RawDocument> = (0..50)
+            .map(|i| RawDocument::new(format!("u{i}"), SourceKind::Web, "text"))
+            .collect();
+        let ids = ing.ingest_batch(docs);
+        let stats = ing.stats();
+        assert_eq!(stats.documents, 50);
+        assert_eq!(ids.len() + stats.failed, 50, "every doc stored or counted");
+        assert_eq!(store.len(), ids.len());
+        assert!(stats.retries > 0, "a 40% conflict rate must retry");
+    }
+
+    #[test]
+    fn faultless_try_ingest_never_fails() {
+        let store = DataStore::single();
+        let mut ing = Ingestor::new(&store);
+        assert_eq!(
+            ing.try_ingest(RawDocument::new("u", SourceKind::Web, "x"))
+                .unwrap(),
+            DocId(0)
+        );
+        assert_eq!(ing.stats().failed, 0);
     }
 
     #[test]

@@ -14,13 +14,16 @@
 //!   parallel pipeline runner;
 //! - [`vinci`]: the Vinci-style service bus;
 //! - [`ingest`]: crawler/ingestor normalization into the store;
-//! - [`cluster`]: the cluster manager binding it all together.
+//! - [`cluster`]: the cluster manager binding it all together;
+//! - [`faults`]: deterministic fault injection (node outages, slow calls,
+//!   update conflicts) with retry/backoff on a simulated clock.
 
 pub mod boilerplate;
 pub mod cluster;
 pub mod clustering;
 pub mod dedup;
 pub mod entity;
+pub mod faults;
 pub mod geo;
 pub mod index;
 pub mod ingest;
@@ -34,14 +37,17 @@ pub mod store;
 pub mod vinci;
 
 pub use boilerplate::{TemplateConfig, TemplateDetector};
-pub use cluster::{Cluster, ClusterReport, NodeInfo};
+pub use cluster::{Cluster, ClusterReport, IndexRebuildStats, NodeInfo};
 pub use clustering::{cluster_documents, Clustering, ClusteringMiner};
 pub use dedup::{find_duplicates, DedupConfig, DuplicateDetector};
 pub use entity::{Annotation, Entity, SourceKind};
+pub use faults::{
+    CallOutcome, ChaosCluster, FaultKind, FaultPlan, FaultRates, FaultStream, NodeHealth,
+};
 pub use geo::{GeoMiner, Place};
 pub use index::{Indexer, Query};
 pub use ingest::{IngestStats, Ingestor, RawDocument};
-pub use miner::{CorpusMiner, EntityMiner, MinerPipeline, PipelineStats};
+pub use miner::{CorpusMiner, EntityMiner, FaultContext, MinerPipeline, PipelineStats};
 pub use pagerank::{pagerank, PageRankConfig, PageRankMiner};
 pub use persist::{load_store, save_store};
 pub use query_parser::parse_query;

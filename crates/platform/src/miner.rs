@@ -7,12 +7,17 @@
 //! require all or part of the entire data in store."
 //!
 //! [`MinerPipeline`] runs a chain of entity miners over every shard of a
-//! [`DataStore`], one crossbeam-scoped worker per shard — the in-process
-//! equivalent of WebFountain's per-node parallelism.
+//! [`DataStore`], one scoped worker thread per shard — the in-process
+//! equivalent of WebFountain's per-node parallelism. Workers capture
+//! panics (a crashed shard becomes counted failures, never a crashed
+//! cluster) and, when run under a [`FaultPlan`], weather injected faults
+//! by retrying with exponential backoff on a simulated clock.
 
 use crate::entity::Entity;
+use crate::faults::{FaultKind, FaultPlan, NodeHealth};
 use crate::store::DataStore;
-use wf_types::{NodeId, Result};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use wf_types::{NodeId, Result, RetryPolicy};
 
 /// An entity-level miner: sees one entity at a time and augments it.
 pub trait EntityMiner: Send + Sync {
@@ -36,8 +41,69 @@ pub trait CorpusMiner: Send + Sync {
 pub struct PipelineStats {
     /// Entities processed successfully.
     pub processed: usize,
-    /// Entities whose processing returned an error (skipped, not fatal).
+    /// Entities whose processing failed (miner error, injected fault after
+    /// exhausted retries, or a shard that crashed or could not be placed).
     pub failed: usize,
+    /// Retries performed against transient injected faults.
+    pub retries: u64,
+    /// Shards abandoned whole: worker panic, or the owning node was Down
+    /// with no healthy node to fail over to.
+    pub skipped_shards: usize,
+    /// Shards executed by a stand-in node because their owner was Down.
+    pub failed_over: usize,
+    /// Simulated milliseconds consumed per shard, in shard order.
+    pub shard_sim_ms: Vec<u64>,
+}
+
+impl PipelineStats {
+    fn absorb(&mut self, other: PipelineStats) {
+        self.processed += other.processed;
+        self.failed += other.failed;
+        self.retries += other.retries;
+        self.skipped_shards += other.skipped_shards;
+        self.failed_over += other.failed_over;
+        self.shard_sim_ms.extend(other.shard_sim_ms);
+    }
+}
+
+/// Fault-injection context for one pipeline run.
+///
+/// `health[i]` is the health of node `i` (missing entries mean `Up`).
+/// Without a plan and with every node up, the pipeline behaves exactly
+/// like the fault-free original.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultContext<'a> {
+    pub plan: Option<&'a FaultPlan>,
+    pub retry: RetryPolicy,
+    pub health: &'a [NodeHealth],
+}
+
+impl FaultContext<'_> {
+    /// No faults, no retries: the legacy fast path.
+    pub fn none() -> Self {
+        FaultContext {
+            plan: None,
+            retry: RetryPolicy::none(),
+            health: &[],
+        }
+    }
+
+    fn health_of(&self, node: usize) -> NodeHealth {
+        self.health.get(node).copied().unwrap_or(NodeHealth::Up)
+    }
+
+    /// The node that should execute `shard`, honoring failover: a Down
+    /// owner hands its shard to the first Up node, else the first
+    /// Degraded one. `None` when the whole cluster is down.
+    fn executor_for(&self, shard: usize, shard_count: usize) -> Option<usize> {
+        match self.health_of(shard) {
+            NodeHealth::Up | NodeHealth::Degraded => Some(shard),
+            NodeHealth::Down => {
+                let up = (0..shard_count).find(|&n| self.health_of(n) == NodeHealth::Up);
+                up.or_else(|| (0..shard_count).find(|&n| self.health_of(n) == NodeHealth::Degraded))
+            }
+        }
+    }
 }
 
 /// A chain of entity miners executed in order over each entity.
@@ -64,62 +130,161 @@ impl MinerPipeline {
     }
 
     /// Runs the chain over every entity of the store, one worker thread per
-    /// shard. Errors from individual entities are counted, not propagated:
-    /// a malformed page must not stall the cluster.
+    /// shard, fault-free. Errors from individual entities are counted, not
+    /// propagated: a malformed page must not stall the cluster.
     pub fn run(&self, store: &DataStore) -> PipelineStats {
+        self.run_with(store, &FaultContext::none())
+    }
+
+    /// Runs the chain under a fault context: injected faults are retried
+    /// per the policy, Down nodes fail over, and worker panics are
+    /// captured — the aggregate stats always satisfy
+    /// `processed + failed == store.len()`.
+    pub fn run_with(&self, store: &DataStore, ctx: &FaultContext<'_>) -> PipelineStats {
         let shard_count = store.shard_count();
-        let results: Vec<PipelineStats> = crossbeam::thread::scope(|scope| {
+        let results: Vec<PipelineStats> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shard_count)
-                .map(|shard| {
-                    scope.spawn(move |_| self.run_shard(store, NodeId(shard as u32)))
-                })
+                .map(|shard| scope.spawn(move || self.run_shard_guarded(store, shard, ctx)))
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("miner worker must not panic"))
+                .map(|h| h.join().expect("shard worker wrapper never panics"))
                 .collect()
-        })
-        .expect("crossbeam scope");
+        });
+        // merged in shard order: identical fault seeds give byte-identical
+        // stats no matter how the workers interleaved
         let mut total = PipelineStats::default();
         for r in results {
-            total.processed += r.processed;
-            total.failed += r.failed;
+            total.absorb(r);
         }
         total
     }
 
-    /// Runs the chain over one shard (sequentially within the shard).
-    fn run_shard(&self, store: &DataStore, node: NodeId) -> PipelineStats {
+    /// One shard, panic-safe: a crash inside a miner converts the whole
+    /// shard into counted failures instead of poisoning the run.
+    fn run_shard_guarded(
+        &self,
+        store: &DataStore,
+        shard: usize,
+        ctx: &FaultContext<'_>,
+    ) -> PipelineStats {
+        let shard_len = store.shard_ids(NodeId(shard as u32)).len();
+        let Some(executor) = ctx.executor_for(shard, store.shard_count()) else {
+            // whole cluster down: shard cannot be placed
+            return PipelineStats {
+                failed: shard_len,
+                skipped_shards: 1,
+                shard_sim_ms: vec![0],
+                ..PipelineStats::default()
+            };
+        };
+        let failed_over = executor != shard;
+        match catch_unwind(AssertUnwindSafe(|| {
+            self.run_shard(store, shard, executor, ctx)
+        })) {
+            Ok(mut stats) => {
+                stats.failed_over = usize::from(failed_over);
+                stats
+            }
+            Err(_) => PipelineStats {
+                // conservative accounting: a crashed worker forfeits the
+                // shard, so every entity in it counts as failed
+                failed: shard_len,
+                skipped_shards: 1,
+                failed_over: usize::from(failed_over),
+                shard_sim_ms: vec![0],
+                ..PipelineStats::default()
+            },
+        }
+    }
+
+    /// Runs the chain over one shard (sequentially within the shard),
+    /// drawing faults from the shard's own deterministic stream.
+    fn run_shard(
+        &self,
+        store: &DataStore,
+        shard: usize,
+        executor: usize,
+        ctx: &FaultContext<'_>,
+    ) -> PipelineStats {
         let mut stats = PipelineStats::default();
-        for id in store.shard_ids(node) {
-            let outcome = store.update(id, |entity| {
-                for miner in &self.miners {
-                    if miner.process(entity).is_err() {
-                        // mark and stop the chain for this entity
-                        entity
-                            .metadata
-                            .insert("miner-error".into(), miner.name().to_string());
+        let mut sim_ms = 0u64;
+        let mut stream = ctx.plan.map(|p| p.stream(&format!("shard:{shard}")));
+        if let Some(s) = stream.as_mut() {
+            if ctx.health_of(executor) == NodeHealth::Degraded {
+                s.degrade();
+            }
+        }
+        for id in store.shard_ids(NodeId(shard as u32)) {
+            // retry loop per entity: injected transient faults (node blip,
+            // store conflict) back off and try again on the simulated
+            // clock; terminal faults and exhausted budgets count as failed
+            let mut entity_elapsed = 0u64;
+            let mut outcome: Option<bool> = None; // Some(ok) once decided
+            for attempt in 0..=ctx.retry.max_retries {
+                let fault = stream.as_mut().and_then(|s| s.draw());
+                entity_elapsed += stream.as_ref().map(|s| s.latency_ms(fault)).unwrap_or(0);
+                if entity_elapsed > ctx.retry.timeout_budget_ms {
+                    outcome = Some(false); // budget exhausted: timeout
+                    break;
+                }
+                match fault {
+                    Some(FaultKind::ServiceError) => {
+                        outcome = Some(false); // application error: terminal
+                        break;
+                    }
+                    Some(FaultKind::NodeDown) | Some(FaultKind::StoreConflict) => {
+                        // transient: injected *before* the store mutation,
+                        // so a later successful attempt bumps the entity
+                        // version exactly once
+                        if attempt == ctx.retry.max_retries {
+                            outcome = Some(false);
+                            break;
+                        }
+                        stats.retries += 1;
+                        entity_elapsed += ctx.retry.backoff_for(attempt + 1);
+                        if entity_elapsed > ctx.retry.timeout_budget_ms {
+                            outcome = Some(false);
+                            break;
+                        }
+                        continue;
+                    }
+                    Some(FaultKind::SlowResponse) | None => {
+                        outcome = Some(self.mine_one(store, id));
                         break;
                     }
                 }
-            });
-            match outcome {
-                Ok(()) => {
-                    // check whether a miner flagged an error
-                    if store
-                        .get(id)
-                        .ok()
-                        .is_some_and(|e| e.metadata.contains_key("miner-error"))
-                    {
-                        stats.failed += 1;
-                    } else {
-                        stats.processed += 1;
-                    }
-                }
-                Err(_) => stats.failed += 1,
             }
+            match outcome {
+                Some(true) => stats.processed += 1,
+                _ => stats.failed += 1,
+            }
+            sim_ms += entity_elapsed;
         }
+        stats.shard_sim_ms = vec![sim_ms];
         stats
+    }
+
+    /// Applies the miner chain to one entity; true on clean success.
+    fn mine_one(&self, store: &DataStore, id: wf_types::DocId) -> bool {
+        let updated = store.update(id, |entity| {
+            for miner in &self.miners {
+                if miner.process(entity).is_err() {
+                    // mark and stop the chain for this entity
+                    entity
+                        .metadata
+                        .insert("miner-error".into(), miner.name().to_string());
+                    break;
+                }
+            }
+        });
+        match updated {
+            Ok(()) => store
+                .get(id)
+                .ok()
+                .is_none_or(|e| !e.metadata.contains_key("miner-error")),
+            Err(_) => false,
+        }
     }
 }
 
@@ -136,9 +301,7 @@ mod tests {
         }
         fn process(&self, entity: &mut Entity) -> Result<()> {
             let n = entity.text.chars().filter(|c| c.is_uppercase()).count();
-            entity
-                .metadata
-                .insert("uppercase".into(), n.to_string());
+            entity.metadata.insert("uppercase".into(), n.to_string());
             Ok(())
         }
     }
@@ -204,6 +367,8 @@ mod tests {
         let stats = pipeline.run(&store);
         assert_eq!(stats.processed, 20);
         assert_eq!(stats.failed, 0);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.skipped_shards, 0);
         for id in store.ids() {
             let e = store.get(id).unwrap();
             assert!(e.metadata.contains_key("uppercase"));
@@ -256,6 +421,36 @@ mod tests {
     fn empty_store_is_noop() {
         let store = DataStore::new(3).unwrap();
         let stats = MinerPipeline::new().add(Box::new(Tagger)).run(&store);
-        assert_eq!(stats, PipelineStats::default());
+        assert_eq!(stats.processed, 0);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.shard_sim_ms, vec![0, 0, 0]);
+    }
+
+    struct PanicMiner;
+    impl EntityMiner for PanicMiner {
+        fn name(&self) -> &str {
+            "panic-miner"
+        }
+        fn process(&self, entity: &mut Entity) -> Result<()> {
+            if entity.text.contains("poison") {
+                panic!("injected miner crash");
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_contained() {
+        let store = DataStore::new(2).unwrap();
+        store.insert(Entity::new("a", SourceKind::Web, "fine")); // shard 0
+        store.insert(Entity::new("b", SourceKind::Web, "poison pill")); // shard 1
+        store.insert(Entity::new("c", SourceKind::Web, "fine")); // shard 0
+        store.insert(Entity::new("d", SourceKind::Web, "fine")); // shard 1
+        let pipeline = MinerPipeline::new().add(Box::new(PanicMiner));
+        let stats = pipeline.run(&store);
+        assert_eq!(stats.skipped_shards, 1, "crashed shard abandoned");
+        assert_eq!(stats.processed + stats.failed, store.len());
+        assert_eq!(stats.processed, 2, "healthy shard unaffected");
+        assert_eq!(stats.failed, 2, "crashed shard counted failed");
     }
 }

@@ -83,11 +83,7 @@ pub fn pagerank(store: &DataStore, config: &PageRankConfig) -> Vec<(DocId, f64)>
         for r in &mut next {
             *r += dangling_share;
         }
-        let delta: f64 = rank
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         rank = next;
         if delta < config.tolerance {
             break;

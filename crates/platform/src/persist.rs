@@ -48,9 +48,8 @@ pub fn load_store(path: &Path, shard_count: usize) -> Result<DataStore> {
         if line.trim().is_empty() {
             continue;
         }
-        let entity: Entity = serde_json::from_str(&line).map_err(|e| {
-            Error::parse(path.display().to_string(), line_no + 1, e.to_string())
-        })?;
+        let entity: Entity = serde_json::from_str(&line)
+            .map_err(|e| Error::parse(path.display().to_string(), line_no + 1, e.to_string()))?;
         store.insert(entity);
     }
     Ok(store)

@@ -24,7 +24,10 @@ enum Node {
     /// Any single byte.
     Dot,
     /// Character class; `negated` flips membership.
-    Class { negated: bool, ranges: Vec<(u8, u8)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(u8, u8)>,
+    },
     /// Zero or more.
     Star(Box<Node>),
     /// One or more.
@@ -170,9 +173,10 @@ impl<'a> Parser<'a> {
                 Some(c) => Ok(Node::Literal(c)),
                 None => Err(self.error("dangling escape")),
             },
-            Some(b @ (b'*' | b'+' | b'?')) => {
-                Err(self.error(&format!("quantifier {:?} with nothing to repeat", b as char)))
-            }
+            Some(b @ (b'*' | b'+' | b'?')) => Err(self.error(&format!(
+                "quantifier {:?} with nothing to repeat",
+                b as char
+            ))),
             Some(b')') => Err(self.error("unmatched ')'")),
             Some(b) => Ok(Node::Literal(b)),
         }
@@ -196,8 +200,7 @@ impl<'a> Parser<'a> {
                     .ok_or_else(|| self.error("dangling escape in class"))?,
                 Some(b) => b,
             };
-            if self.peek() == Some(b'-')
-                && self.bytes.get(self.pos + 1).is_some_and(|&b| b != b']')
+            if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1).is_some_and(|&b| b != b']')
             {
                 self.bump(); // '-'
                 let hi = match self.bump() {
@@ -236,11 +239,9 @@ fn match_node(node: &Node, text: &[u8], pos: usize, k: &dyn Fn(usize) -> bool) -
         Node::Alt(branches) => branches.iter().any(|b| match_node(b, text, pos, k)),
         Node::Opt(inner) => match_node(inner, text, pos, k) || k(pos),
         Node::Star(inner) => match_star(inner, text, pos, k),
-        Node::Plus(inner) => {
-            match_node(inner, text, pos, &|next| {
-                next > pos && match_star(inner, text, next, k)
-            })
-        }
+        Node::Plus(inner) => match_node(inner, text, pos, &|next| {
+            next > pos && match_star(inner, text, next, k)
+        }),
     }
 }
 

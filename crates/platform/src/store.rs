@@ -92,10 +92,7 @@ impl DataStore {
 
     /// Total number of stored entities.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.entities.read().len())
-            .sum()
+        self.shards.iter().map(|s| s.entities.read().len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -134,7 +131,10 @@ impl DataStore {
 
     /// Per-shard entity counts (cluster balance diagnostics).
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.entities.read().len()).collect()
+        self.shards
+            .iter()
+            .map(|s| s.entities.read().len())
+            .collect()
     }
 }
 
@@ -209,9 +209,7 @@ mod tests {
         for i in 0..10 {
             store.insert(entity(&format!("{i}")));
         }
-        let mut all: Vec<DocId> = (0..3)
-            .flat_map(|n| store.shard_ids(NodeId(n)))
-            .collect();
+        let mut all: Vec<DocId> = (0..3).flat_map(|n| store.shard_ids(NodeId(n))).collect();
         all.sort();
         assert_eq!(all, store.ids());
     }
@@ -241,11 +239,9 @@ mod tests {
             let store = Arc::clone(&store);
             handles.push(std::thread::spawn(move || {
                 (0..50)
-                    .map(|i| store.insert(Entity::new(
-                        format!("uri://{t}/{i}"),
-                        SourceKind::Web,
-                        "x",
-                    )))
+                    .map(|i| {
+                        store.insert(Entity::new(format!("uri://{t}/{i}"), SourceKind::Web, "x"))
+                    })
                     .collect::<Vec<_>>()
             }));
         }

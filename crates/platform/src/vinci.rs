@@ -6,13 +6,20 @@
 //! property — components are loosely coupled behind named services
 //! exchanging structured documents — using `serde_json::Value` envelopes
 //! and a registry, with per-service call statistics.
+//!
+//! Calls are fault-aware: under a [`FaultPlan`], each logical call draws
+//! from the service's own deterministic fault stream, retries transient
+//! failures with exponential backoff, and enforces a per-call simulated
+//! timeout budget. [`ServiceBus::call_detailed`] exposes the full
+//! [`CallOutcome`] (attempts, backoffs, injected faults, simulated time).
 
-use parking_lot::RwLock;
+use crate::faults::{CallOutcome, FaultKind, FaultPlan, FaultStream};
+use parking_lot::{Mutex, RwLock};
 use serde_json::Value;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use wf_types::{Error, Result};
+use wf_types::{Error, Result, RetryPolicy};
 
 /// A service: handles structured requests.
 pub trait Service: Send + Sync {
@@ -31,58 +38,178 @@ where
 
 #[derive(Default)]
 struct ServiceEntry {
-    service: Option<Arc<dyn Service>>,
+    /// The handler; `None` after [`ServiceBus::unregister`] — the entry
+    /// (and its statistics) outlives the handler.
+    service: RwLock<Option<Arc<dyn Service>>>,
     calls: AtomicU64,
     errors: AtomicU64,
+    /// Persistent per-service fault stream so consecutive calls advance
+    /// one deterministic sequence instead of replaying the same draws.
+    fault_stream: Mutex<Option<FaultStream>>,
 }
 
 /// The service registry / bus.
 #[derive(Default)]
 pub struct ServiceBus {
     services: RwLock<HashMap<String, Arc<ServiceEntry>>>,
+    fault_plan: RwLock<Option<FaultPlan>>,
+    retry_policy: RwLock<RetryPolicy>,
 }
 
 impl ServiceBus {
     pub fn new() -> Self {
-        Self::default()
+        ServiceBus {
+            services: RwLock::new(HashMap::new()),
+            fault_plan: RwLock::new(None),
+            retry_policy: RwLock::new(RetryPolicy::none()),
+        }
+    }
+
+    /// Installs (or clears) the fault plan; resets every service's fault
+    /// stream so the new plan starts from its seed.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault_plan.write() = plan;
+        for entry in self.services.read().values() {
+            *entry.fault_stream.lock() = None;
+        }
+    }
+
+    /// The retry policy applied to transient call failures.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry_policy.write() = policy;
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry_policy.read()
     }
 
     /// Registers (or replaces) a service under a name.
     pub fn register(&self, name: impl Into<String>, service: Arc<dyn Service>) {
-        let entry = Arc::new(ServiceEntry {
-            service: Some(service),
-            calls: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-        });
-        self.services.write().insert(name.into(), entry);
+        let name = name.into();
+        let mut services = self.services.write();
+        if let Some(entry) = services.get(&name) {
+            // replacing keeps stats and the fault stream position
+            *entry.service.write() = Some(service);
+        } else {
+            let entry = Arc::new(ServiceEntry::default());
+            *entry.service.write() = Some(service);
+            services.insert(name, entry);
+        }
     }
 
-    /// Calls a service by name.
-    pub fn call(&self, name: &str, request: &Value) -> Result<Value> {
-        let entry = self
-            .services
+    /// Unregisters a service's handler, keeping its statistics entry.
+    /// Subsequent calls fail with "service ... unregistered". Returns
+    /// whether a handler was actually removed.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.services
             .read()
             .get(name)
-            .cloned()
-            .ok_or_else(|| Error::Service(format!("no such service: {name}")))?;
+            .is_some_and(|entry| entry.service.write().take().is_some())
+    }
+
+    /// Calls a service by name (retrying per the installed policy when a
+    /// fault plan is active).
+    pub fn call(&self, name: &str, request: &Value) -> Result<Value> {
+        self.call_detailed(name, request).0
+    }
+
+    /// Calls a service and returns the full per-call record alongside the
+    /// result. One logical call may span several attempts.
+    pub fn call_detailed(&self, name: &str, request: &Value) -> (Result<Value>, CallOutcome) {
+        let mut outcome = CallOutcome::start(name);
+        let entry = match self.services.read().get(name).cloned() {
+            Some(entry) => entry,
+            None => {
+                return (
+                    Err(Error::Service(format!("no such service: {name}"))),
+                    outcome,
+                )
+            }
+        };
         entry.calls.fetch_add(1, Ordering::Relaxed);
-        let service = entry
-            .service
-            .as_ref()
-            .ok_or_else(|| Error::Service(format!("service {name} unregistered")))?;
-        let result = service.handle(request);
+        let policy = self.retry_policy();
+        let result = self.drive_call(name, &entry, request, policy, &mut outcome);
         if result.is_err() {
             entry.errors.fetch_add(1, Ordering::Relaxed);
         }
-        result
+        outcome.ok = result.is_ok();
+        (result, outcome)
     }
 
-    /// True when a service is registered.
+    /// The attempt loop: draw fault → apply latency/budget → invoke →
+    /// retry transient failures with backoff.
+    fn drive_call(
+        &self,
+        name: &str,
+        entry: &ServiceEntry,
+        request: &Value,
+        policy: RetryPolicy,
+        outcome: &mut CallOutcome,
+    ) -> Result<Value> {
+        let mut stream = entry.fault_stream.lock();
+        if stream.is_none() {
+            if let Some(plan) = self.fault_plan.read().as_ref() {
+                *stream = Some(plan.stream(&format!("svc:{name}")));
+            }
+        }
+        loop {
+            outcome.attempts += 1;
+            let fault = stream.as_mut().and_then(|s| s.draw());
+            if let Some(kind) = fault {
+                outcome.injected.push(kind);
+            }
+            outcome.sim_elapsed_ms += stream.as_ref().map(|s| s.latency_ms(fault)).unwrap_or(0);
+            if outcome.sim_elapsed_ms > policy.timeout_budget_ms {
+                return Err(Error::Timeout(format!(
+                    "call to {name} exceeded {} sim ms",
+                    policy.timeout_budget_ms
+                )));
+            }
+            let attempt_result = match fault {
+                Some(FaultKind::NodeDown) => Err(Error::Unavailable(format!(
+                    "injected outage calling {name}"
+                ))),
+                Some(FaultKind::ServiceError) => {
+                    Err(Error::Service(format!("injected handler error in {name}")))
+                }
+                Some(FaultKind::StoreConflict) => Err(Error::Conflict(format!(
+                    "injected update conflict in {name}"
+                ))),
+                // a slow response still reaches the handler
+                Some(FaultKind::SlowResponse) | None => match entry.service.read().as_ref() {
+                    Some(service) => service.handle(request),
+                    None => Err(Error::Service(format!("service {name} unregistered"))),
+                },
+            };
+            match attempt_result {
+                Ok(value) => return Ok(value),
+                Err(err) if err.is_transient() && outcome.retries < policy.max_retries => {
+                    outcome.retries += 1;
+                    let backoff = policy.backoff_for(outcome.retries);
+                    outcome.backoffs_ms.push(backoff);
+                    outcome.sim_elapsed_ms += backoff;
+                    if outcome.sim_elapsed_ms > policy.timeout_budget_ms {
+                        return Err(Error::Timeout(format!(
+                            "call to {name} exceeded {} sim ms while backing off",
+                            policy.timeout_budget_ms
+                        )));
+                    }
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// True when a service is registered (handler present).
     pub fn has(&self, name: &str) -> bool {
-        self.services.read().contains_key(name)
+        self.services
+            .read()
+            .get(name)
+            .is_some_and(|e| e.service.read().is_some())
     }
 
-    /// Registered service names, sorted.
+    /// Registered service names, sorted (handlerless entries included, so
+    /// stats remain discoverable after unregistration).
     pub fn service_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.services.read().keys().cloned().collect();
         names.sort();
@@ -103,6 +230,7 @@ impl ServiceBus {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultRates;
     use serde_json::json;
 
     #[test]
@@ -153,9 +281,42 @@ mod tests {
     }
 
     #[test]
+    fn unregister_makes_calls_fail_but_keeps_stats() {
+        let bus = ServiceBus::new();
+        bus.register("svc", Arc::new(|_: &Value| Ok(json!("up"))));
+        assert!(bus.call("svc", &json!({})).is_ok());
+        assert!(bus.unregister("svc"));
+        assert!(!bus.unregister("svc"), "second unregister is a no-op");
+        assert!(!bus.has("svc"));
+        let err = bus.call("svc", &json!({})).unwrap_err();
+        assert_eq!(err.to_string(), "service error: service svc unregistered");
+        // entry survives: both calls counted, the second as an error
+        assert_eq!(bus.stats("svc"), Some((2, 1)));
+        assert_eq!(bus.service_names(), vec!["svc"]);
+    }
+
+    #[test]
+    fn unregister_unknown_service_is_false() {
+        let bus = ServiceBus::new();
+        assert!(!bus.unregister("ghost"));
+    }
+
+    #[test]
+    fn reregister_after_unregister_restores_service() {
+        let bus = ServiceBus::new();
+        bus.register("svc", Arc::new(|_: &Value| Ok(json!(1))));
+        bus.unregister("svc");
+        bus.register("svc", Arc::new(|_: &Value| Ok(json!(2))));
+        assert_eq!(bus.call("svc", &json!({})).unwrap(), json!(2));
+    }
+
+    #[test]
     fn concurrent_calls() {
         let bus = Arc::new(ServiceBus::new());
-        bus.register("inc", Arc::new(|v: &Value| Ok(json!(v.as_i64().unwrap_or(0) + 1))));
+        bus.register(
+            "inc",
+            Arc::new(|v: &Value| Ok(json!(v.as_i64().unwrap_or(0) + 1))),
+        );
         let mut handles = Vec::new();
         for _ in 0..8 {
             let bus = Arc::clone(&bus);
@@ -170,5 +331,50 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(bus.stats("inc").unwrap().0, 800);
+    }
+
+    #[test]
+    fn injected_outages_are_retried() {
+        let bus = ServiceBus::new();
+        bus.register("svc", Arc::new(|_: &Value| Ok(json!("ok"))));
+        // 0.3^9 ≈ 2e-5: exhausting 8 retries is effectively impossible
+        bus.set_fault_plan(Some(FaultPlan::new(99).with_rates(FaultRates {
+            node_down: 0.3,
+            ..FaultRates::default()
+        })));
+        bus.set_retry_policy(RetryPolicy {
+            max_retries: 8,
+            base_backoff_ms: 5,
+            max_backoff_ms: 100,
+            timeout_budget_ms: 100_000,
+        });
+        let mut saw_retry = false;
+        for _ in 0..50 {
+            let (result, outcome) = bus.call_detailed("svc", &json!({}));
+            assert!(result.is_ok(), "retries should absorb 30% outages");
+            saw_retry |= outcome.retries > 0;
+            assert_eq!(outcome.attempts, outcome.retries + 1);
+        }
+        assert!(saw_retry, "a 30% outage rate must trigger retries");
+    }
+
+    #[test]
+    fn timeout_budget_is_enforced() {
+        let bus = ServiceBus::new();
+        bus.register("svc", Arc::new(|_: &Value| Ok(json!("ok"))));
+        bus.set_fault_plan(Some(FaultPlan::new(3).with_rates(FaultRates {
+            node_down: 1.0, // every attempt fails
+            ..FaultRates::default()
+        })));
+        bus.set_retry_policy(RetryPolicy {
+            max_retries: 100,
+            base_backoff_ms: 10,
+            max_backoff_ms: 1_000,
+            timeout_budget_ms: 50,
+        });
+        let (result, outcome) = bus.call_detailed("svc", &json!({}));
+        assert!(matches!(result, Err(Error::Timeout(_))), "{result:?}");
+        assert!(outcome.sim_elapsed_ms > 50);
+        assert!(outcome.attempts < 100, "budget cut retries short");
     }
 }

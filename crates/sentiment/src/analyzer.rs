@@ -138,7 +138,8 @@ impl SentimentAnalyzer {
             // comparative polarity also assigns its opposite to the
             // than-phrase.
             if self.config.contrast {
-                if let Some(comp) = self.comparative_assignment(sentence, clause, &clause_assignments)
+                if let Some(comp) =
+                    self.comparative_assignment(sentence, clause, &clause_assignments)
                 {
                     out.push(comp);
                 }
@@ -225,11 +226,10 @@ impl SentimentAnalyzer {
                 let subject = clause.subject?;
                 // coordinated subjects share the assignment:
                 // "the lens and the battery are great"
-                let mut ranges: Vec<(usize, usize)> =
-                    coordinated_nps(sentence, clause, subject)
-                        .into_iter()
-                        .map(|c| chunk_range(&sentence.chunks[c]))
-                        .collect();
+                let mut ranges: Vec<(usize, usize)> = coordinated_nps(sentence, clause, subject)
+                    .into_iter()
+                    .map(|c| chunk_range(&sentence.chunks[c]))
+                    .collect();
                 for (_, pp) in &clause.subject_pps {
                     ranges.push(chunk_range(&sentence.chunks[*pp]));
                 }
@@ -314,8 +314,8 @@ impl SentimentAnalyzer {
         }
         let subject = clause.subject?;
         let subject_chunk = &sentence.chunks[subject];
-        let is_existential = subject_chunk.len() == 1
-            && sentence.tags[subject_chunk.start] == PosTag::EX;
+        let is_existential =
+            subject_chunk.len() == 1 && sentence.tags[subject_chunk.start] == PosTag::EX;
         if !is_existential {
             return None;
         }
@@ -451,11 +451,7 @@ impl SentimentAnalyzer {
 /// The NP chunks coordinated with `anchor` inside the clause: walks both
 /// directions across `CC`/comma connectors ("the lens and the battery",
 /// "the lens, the menu and the strap").
-fn coordinated_nps(
-    sentence: &AnalyzedSentence,
-    clause: &Clause,
-    anchor: usize,
-) -> Vec<usize> {
+fn coordinated_nps(sentence: &AnalyzedSentence, clause: &Clause, anchor: usize) -> Vec<usize> {
     let is_connector = |ci: usize| -> bool {
         let c = &sentence.chunks[ci];
         c.kind == ChunkKind::Other
@@ -586,7 +582,10 @@ mod tests {
     #[test]
     fn paper_fails_to_meet() {
         assert_eq!(
-            polarity_at("The product fails to meet our quality expectations.", "product"),
+            polarity_at(
+                "The product fails to meet our quality expectations.",
+                "product"
+            ),
             Some(Polarity::Negative)
         );
     }
@@ -708,28 +707,49 @@ mod comparative_tests {
     #[test]
     fn better_than_assigns_both_sides() {
         let text = "The NR70 is better than the T300.";
-        assert_eq!(polarity_at(text, "NR70"), Some(wf_types::Polarity::Positive));
-        assert_eq!(polarity_at(text, "T300"), Some(wf_types::Polarity::Negative));
+        assert_eq!(
+            polarity_at(text, "NR70"),
+            Some(wf_types::Polarity::Positive)
+        );
+        assert_eq!(
+            polarity_at(text, "T300"),
+            Some(wf_types::Polarity::Negative)
+        );
     }
 
     #[test]
     fn worse_than_assigns_both_sides() {
         let text = "The NR70 is worse than the T300.";
-        assert_eq!(polarity_at(text, "NR70"), Some(wf_types::Polarity::Negative));
-        assert_eq!(polarity_at(text, "T300"), Some(wf_types::Polarity::Positive));
+        assert_eq!(
+            polarity_at(text, "NR70"),
+            Some(wf_types::Polarity::Negative)
+        );
+        assert_eq!(
+            polarity_at(text, "T300"),
+            Some(wf_types::Polarity::Positive)
+        );
     }
 
     #[test]
     fn less_reliable_than() {
         let text = "The NR70 is less reliable than the T300.";
-        assert_eq!(polarity_at(text, "NR70"), Some(wf_types::Polarity::Negative));
-        assert_eq!(polarity_at(text, "T300"), Some(wf_types::Polarity::Positive));
+        assert_eq!(
+            polarity_at(text, "NR70"),
+            Some(wf_types::Polarity::Negative)
+        );
+        assert_eq!(
+            polarity_at(text, "T300"),
+            Some(wf_types::Polarity::Positive)
+        );
     }
 
     #[test]
     fn comparative_without_than_only_affects_subject() {
         let text = "The NR70 is better.";
-        assert_eq!(polarity_at(text, "NR70"), Some(wf_types::Polarity::Positive));
+        assert_eq!(
+            polarity_at(text, "NR70"),
+            Some(wf_types::Polarity::Positive)
+        );
     }
 
     #[test]

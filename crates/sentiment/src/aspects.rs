@@ -34,7 +34,10 @@ impl AspectModel {
     {
         self.features_of.insert(
             topic.to_lowercase(),
-            features.into_iter().map(|f| f.into().to_lowercase()).collect(),
+            features
+                .into_iter()
+                .map(|f| f.into().to_lowercase())
+                .collect(),
         );
         self
     }
@@ -54,7 +57,9 @@ impl AspectModel {
 
     /// True when `term` is a feature of `topic`.
     pub fn owns(&self, topic: &str, term: &str) -> bool {
-        self.features(topic).iter().any(|f| f == &term.to_lowercase())
+        self.features(topic)
+            .iter()
+            .any(|f| f == &term.to_lowercase())
     }
 }
 
@@ -135,7 +140,10 @@ impl TopicSummary {
 /// Folds sentiment records into per-topic summaries under an aspect
 /// model. Records about a topic count as `direct`; records about one of
 /// the topic's features count under that aspect.
-pub fn aggregate(model: &AspectModel, records: &[SubjectSentiment]) -> BTreeMap<String, TopicSummary> {
+pub fn aggregate(
+    model: &AspectModel,
+    records: &[SubjectSentiment],
+) -> BTreeMap<String, TopicSummary> {
     let mut out: BTreeMap<String, TopicSummary> = BTreeMap::new();
     for topic in model.topics() {
         out.insert(topic.to_string(), TopicSummary::default());

@@ -74,8 +74,13 @@ mod tests {
 
     #[test]
     fn default_rule_is_single_sentence() {
-        let ctx = form_context(TEXT, &sentences(), nr70_spot(), ContextWindowRule::default())
-            .unwrap();
+        let ctx = form_context(
+            TEXT,
+            &sentences(),
+            nr70_spot(),
+            ContextWindowRule::default(),
+        )
+        .unwrap();
         assert_eq!(ctx.span, Span::new(21, 51));
         assert_eq!(
             ctx.marked_text,
@@ -108,7 +113,12 @@ mod tests {
     #[test]
     fn spot_outside_sentences_is_none() {
         let spans = vec![Span::new(0, 5)];
-        assert!(form_context(TEXT, &spans, Span::new(30, 34), ContextWindowRule::default())
-            .is_none());
+        assert!(form_context(
+            TEXT,
+            &spans,
+            Span::new(30, 34),
+            ContextWindowRule::default()
+        )
+        .is_none());
     }
 }

@@ -276,7 +276,10 @@ mod tests {
             "Unlike the more recent T series CLIEs, the NR70 does not require an \
              add-on adapter for MP3 playback, which is certainly a welcome change.",
         );
-        assert!(got.contains(&("NR70".into(), Polarity::Positive)), "{got:?}");
+        assert!(
+            got.contains(&("NR70".into(), Polarity::Positive)),
+            "{got:?}"
+        );
         assert!(
             got.contains(&("T series CLIEs".into(), Polarity::Negative)),
             "{got:?}"
@@ -289,7 +292,10 @@ mod tests {
             "As with every Sony PDA before it, the NR70 series is equipped with \
              Sony's own Memory Stick expansion.",
         );
-        assert!(got.contains(&("NR70".into(), Polarity::Positive)), "{got:?}");
+        assert!(
+            got.contains(&("NR70".into(), Polarity::Positive)),
+            "{got:?}"
+        );
         assert!(
             got.contains(&("Sony PDA".into(), Polarity::Positive)),
             "{got:?}"

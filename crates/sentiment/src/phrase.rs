@@ -138,7 +138,10 @@ mod tests {
     #[test]
     fn positive_adjective_noun() {
         assert_eq!(
-            polarity_of("This camera takes excellent pictures.", "excellent pictures"),
+            polarity_of(
+                "This camera takes excellent pictures.",
+                "excellent pictures"
+            ),
             Polarity::Positive
         );
     }
@@ -202,7 +205,10 @@ mod tests {
     #[test]
     fn multiword_lexicon_entry() {
         assert_eq!(
-            polarity_of("The company offers high quality products.", "high quality products"),
+            polarity_of(
+                "The company offers high quality products.",
+                "high quality products"
+            ),
             Polarity::Positive
         );
     }

@@ -67,8 +67,7 @@ impl EntityMiner for SpotterMiner {
             if indices.is_empty() {
                 continue;
             }
-            let subset: Vec<wf_spotter::Spot> =
-                indices.iter().map(|&i| spots[i].clone()).collect();
+            let subset: Vec<wf_spotter::Spot> = indices.iter().map(|&i| spots[i].clone()).collect();
             let verdicts = disambiguator.disambiguate(&entity.text, &subset);
             for (&i, verdict) in indices.iter().zip(&verdicts) {
                 keep[i] = *verdict == wf_spotter::SpotVerdict::OnTopic;
@@ -286,7 +285,11 @@ mod tests {
         {
             let mut ing = wf_platform::Ingestor::new(cluster.store());
             for (i, text) in docs.iter().enumerate() {
-                ing.ingest(RawDocument::new(format!("uri://{i}"), SourceKind::Web, *text));
+                ing.ingest(RawDocument::new(
+                    format!("uri://{i}"),
+                    SourceKind::Web,
+                    *text,
+                ));
             }
         }
         cluster
@@ -323,8 +326,7 @@ mod tests {
     #[test]
     fn mode_a_negative_query() {
         let cluster = seeded_cluster();
-        let pipeline =
-            MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects())));
+        let pipeline = MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects())));
         cluster.run_pipeline(&pipeline);
         cluster.rebuild_index();
         let hits = SentimentQueryService::query(
@@ -383,8 +385,7 @@ mod tests {
     #[test]
     fn runtime_query_matches_indexed_query() {
         let cluster = seeded_cluster();
-        let pipeline =
-            MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects())));
+        let pipeline = MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects())));
         cluster.run_pipeline(&pipeline);
         cluster.rebuild_index();
         let indexed = SentimentQueryService::query(
@@ -413,12 +414,18 @@ mod tests {
                 affinities: vec![],
             }),
         );
-        let mut on = Entity::new("a", wf_platform::SourceKind::Web,
-            "The Apex camera has a fine lens and a camera strap.");
+        let mut on = Entity::new(
+            "a",
+            wf_platform::SourceKind::Web,
+            "The Apex camera has a fine lens and a camera strap.",
+        );
         miner.process(&mut on).unwrap();
         assert_eq!(on.annotations_of("spot").count(), 1);
-        let mut off = Entity::new("b", wf_platform::SourceKind::Web,
-            "We reached the Apex of the ridge on the summit trail.");
+        let mut off = Entity::new(
+            "b",
+            wf_platform::SourceKind::Web,
+            "We reached the Apex of the ridge on the summit trail.",
+        );
         miner.process(&mut off).unwrap();
         assert_eq!(off.annotations_of("spot").count(), 0);
     }

@@ -141,8 +141,7 @@ mod tests {
     use wf_types::Span;
 
     fn entity(month: &str, subject: &str, polarity: &str) -> Entity {
-        let mut e = Entity::new("u", SourceKind::Web, "text here")
-            .with_metadata("month", month);
+        let mut e = Entity::new("u", SourceKind::Web, "text here").with_metadata("month", month);
         e.annotate(
             Annotation::new("sentiment", Span::new(0, 4))
                 .with_attr("subject", subject)

@@ -1,0 +1,317 @@
+//! Offline shim for `proptest`.
+//!
+//! A compact deterministic property-testing harness exposing the subset of
+//! proptest's API this workspace uses:
+//!
+//! - `proptest! { #[test] fn name(arg in strategy, ...) { ... } }`
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//! - string strategies from a regex subset (`"[a-z0-9 ]{0,60}"`, `"\\PC{0,200}"`)
+//! - integer range strategies (`0u64..200`, `-5i32..=5`)
+//! - `prop::collection::vec(strategy, size_range)`
+//!
+//! Differences from real proptest: no shrinking (the failing case is
+//! reported as-is), and a fixed per-test deterministic seed derived from
+//! the test name (override case count with `PROPTEST_CASES`).
+
+mod pattern;
+
+use std::fmt;
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed — the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — try another case.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn is_reject(&self) -> bool {
+        matches!(self, TestCaseError::Reject)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+            TestCaseError::Reject => write!(f, "inputs rejected by prop_assume!"),
+        }
+    }
+}
+
+/// The deterministic generator driving all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name gives a stable per-test seed
+        let mut hash = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: hash }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; bound must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    type Value: fmt::Debug;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// String strategy: a pattern from the supported regex subset.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::Pattern::compile(self)
+            .unwrap_or_else(|e| panic!("unsupported proptest pattern {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty)*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let width = (hi - lo + 1) as u64;
+                (lo + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+/// `prop::collection` and friends.
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        /// A strategy for vectors whose length is drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = Strategy::generate(&self.size, rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Drives one property: generates cases, reruns on rejects, panics with
+/// the case description on the first failure.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let cases: u32 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = cases.saturating_mul(10).max(100);
+    while passed < cases {
+        if attempts >= max_attempts {
+            panic!(
+                "property {name}: too many prop_assume! rejections \
+                 ({passed}/{cases} cases after {attempts} attempts)"
+            );
+        }
+        attempts += 1;
+        let (desc, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed: {msg}\n  inputs: {desc}")
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy,
+        TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), rng);)+
+                let mut desc = ::std::string::String::new();
+                $(
+                    desc.push_str(stringify!($arg));
+                    desc.push_str(" = ");
+                    desc.push_str(&::std::format!("{:?}; ", &$arg));
+                )+
+                let outcome = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                (desc, outcome)
+            });
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2i32..=2) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+        }
+
+        #[test]
+        fn string_pattern_charset(s in "[ab]{1,4}") {
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| c == 'a' || c == 'b'), "bad string {s:?}");
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec("[xy]{1,2}", 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::from_name("t");
+        let mut b = crate::TestRng::from_name("t");
+        assert_eq!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics() {
+        crate::run_cases("always_fails", |_rng| {
+            (
+                "n = 0".to_string(),
+                Err(crate::TestCaseError::fail("forced failure")),
+            )
+        });
+    }
+}

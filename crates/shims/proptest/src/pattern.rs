@@ -1,0 +1,206 @@
+//! The regex subset proptest string strategies are written in.
+//!
+//! Supported: literal characters, character classes `[...]` (literals,
+//! ranges, `-` literal when first/last), the `\PC` "printable" class, and
+//! `{min,max}` repetition after any of those. That covers every pattern
+//! in this workspace's property tests.
+
+use crate::TestRng;
+
+/// One compiled pattern element plus its repetition counts.
+struct Element {
+    class: CharClass,
+    min: usize,
+    max: usize,
+}
+
+enum CharClass {
+    /// Exactly one char.
+    Literal(char),
+    /// Inclusive char ranges (single chars are 1-length ranges).
+    Set(Vec<(char, char)>),
+    /// `\PC`: any non-control char. Sampled from ASCII printable plus a
+    /// spread of multi-byte scalars so byte-offset logic gets exercised.
+    Printable,
+}
+
+/// Multi-byte sample pool for `\PC` (2-, 3- and 4-byte UTF-8).
+const UNICODE_SAMPLE: &[char] = &[
+    'é', 'ß', 'ñ', 'ø', 'Ω', 'λ', 'ж', '№', '—', '…', '“', '”', '日', '本', '語', '中', '€', '🙂',
+    '😀', '🚀',
+];
+
+pub struct Pattern {
+    elements: Vec<Element>,
+}
+
+impl Pattern {
+    pub fn compile(pattern: &str) -> Result<Pattern, String> {
+        let mut chars = pattern.chars().peekable();
+        let mut elements = Vec::new();
+        while let Some(c) = chars.next() {
+            let class = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut members: Vec<char> = Vec::new();
+                    loop {
+                        let Some(m) = chars.next() else {
+                            return Err("unterminated character class".into());
+                        };
+                        if m == ']' {
+                            break;
+                        }
+                        members.push(m);
+                    }
+                    let mut i = 0;
+                    while i < members.len() {
+                        // `a-z` range: '-' between two members, not at the ends
+                        if i + 2 < members.len() && members[i + 1] == '-' {
+                            set.push((members[i], members[i + 2]));
+                            i += 3;
+                        } else {
+                            set.push((members[i], members[i]));
+                            i += 1;
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err("empty character class".into());
+                    }
+                    CharClass::Set(set)
+                }
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        if chars.next() != Some('C') {
+                            return Err("only \\PC is supported after \\P".into());
+                        }
+                        CharClass::Printable
+                    }
+                    Some(e @ ('\\' | '.' | '[' | ']' | '{' | '}' | '-')) => CharClass::Literal(e),
+                    other => return Err(format!("unsupported escape \\{other:?}")),
+                },
+                '{' | '}' | ']' => return Err(format!("unexpected {c:?} in pattern")),
+                lit => CharClass::Literal(lit),
+            };
+            // optional {min,max} repetition
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(d) => spec.push(d),
+                        None => return Err("unterminated repetition".into()),
+                    }
+                }
+                let (lo, hi) = spec
+                    .split_once(',')
+                    .ok_or_else(|| format!("repetition {{{spec}}} needs 'min,max'"))?;
+                let lo: usize = lo.trim().parse().map_err(|_| "bad repetition min")?;
+                let hi: usize = hi.trim().parse().map_err(|_| "bad repetition max")?;
+                if lo > hi {
+                    return Err(format!("repetition {{{spec}}} is inverted"));
+                }
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            elements.push(Element { class, min, max });
+        }
+        Ok(Pattern { elements })
+    }
+
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for element in &self.elements {
+            let n = element.min + rng.below((element.max - element.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(element.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Literal(c) => *c,
+            CharClass::Set(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(a, b)| (*b as u64).saturating_sub(*a as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(total);
+                for (a, b) in ranges {
+                    let span = (*b as u64) - (*a as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(*a as u32 + pick as u32).unwrap_or(*a);
+                    }
+                    pick -= span;
+                }
+                ranges[0].0
+            }
+            CharClass::Printable => {
+                // mostly ASCII, with a spread of multi-byte scalars
+                if rng.below(100) < 85 {
+                    char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).unwrap_or(' ')
+                } else {
+                    UNICODE_SAMPLE[rng.below(UNICODE_SAMPLE.len() as u64) as usize]
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("pattern-tests")
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        let p = Pattern::compile("[a-zA-Z0-9 ,.!?'-]{0,40}").unwrap();
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = p.generate(&mut r);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ,.!?'-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_class_generates_valid_utf8_strings() {
+        let p = Pattern::compile("\\PC{0,50}").unwrap();
+        let mut r = rng();
+        let mut saw_multibyte = false;
+        for _ in 0..300 {
+            let s = p.generate(&mut r);
+            assert!(s.chars().count() <= 50);
+            assert!(s.chars().all(|c| !c.is_control()));
+            saw_multibyte |= s.bytes().len() > s.chars().count();
+        }
+        assert!(saw_multibyte, "\\PC should exercise multi-byte chars");
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let p = Pattern::compile("[ab-]{1,1}").unwrap();
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = p.generate(&mut r);
+            assert!(["a", "b", "-"].contains(&s.as_str()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(Pattern::compile("(group)").is_ok()); // parens are literals here
+        assert!(Pattern::compile("[unterminated").is_err());
+        assert!(Pattern::compile("a{2,1}").is_err());
+    }
+}

@@ -232,7 +232,11 @@ mod tests {
         let ac = build(patterns);
         let mut got = ac.find_all(haystack.as_bytes());
         got.sort_by_key(|m| (m.end, m.pattern));
-        assert_eq!(got, naive(patterns, haystack), "patterns={patterns:?} hay={haystack:?}");
+        assert_eq!(
+            got,
+            naive(patterns, haystack),
+            "patterns={patterns:?} hay={haystack:?}"
+        );
     }
 
     #[test]

@@ -246,7 +246,12 @@ mod tests {
                 "software".into(),
                 "workstation".into(),
             ],
-            off_topic: vec!["sunday".into(), "sunshine".into(), "weather".into(), "sky".into()],
+            off_topic: vec![
+                "sunday".into(),
+                "sunshine".into(),
+                "weather".into(),
+                "sky".into(),
+            ],
             affinities: vec![("sun".into(), "microsystems".into())],
         })
     }
@@ -291,11 +296,7 @@ mod tests {
             local_threshold: 0.0,
             ..DisambiguatorConfig::default()
         };
-        let d = Disambiguator::new(
-            sun_disambiguator().context.clone(),
-            cfg,
-            Idf::default(),
-        );
+        let d = Disambiguator::new(sun_disambiguator().context.clone(), cfg, Idf::default());
         let verdicts = d.disambiguate(text, &spots);
         assert_eq!(verdicts[0], SpotVerdict::OnTopic, "{verdicts:?}");
         assert_eq!(verdicts[1], SpotVerdict::OffTopic, "{verdicts:?}");
@@ -313,7 +314,12 @@ mod tests {
 
     #[test]
     fn affinity_window_detection() {
-        assert!(within_affinity_window("sun microsystems", "sun", "microsystems", 20));
+        assert!(within_affinity_window(
+            "sun microsystems",
+            "sun",
+            "microsystems",
+            20
+        ));
         assert!(!within_affinity_window(
             &format!("sun {} microsystems", "x".repeat(100)),
             "sun",

@@ -202,7 +202,10 @@ mod tests {
         let subjects = camera_subjects();
         assert_eq!(subjects.len(), 3);
         assert_eq!(subjects.id_of("NR70"), Some(SynsetId(1)));
-        assert_eq!(subjects.get(SynsetId(2)).unwrap().canonical, "T series CLIEs");
+        assert_eq!(
+            subjects.get(SynsetId(2)).unwrap().canonical,
+            "T series CLIEs"
+        );
     }
 
     #[test]

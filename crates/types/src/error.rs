@@ -23,6 +23,13 @@ pub enum Error {
     Service(String),
     /// A query against the indexer was malformed.
     Query(String),
+    /// A call exhausted its simulated-time budget (fault injection /
+    /// degraded cluster). Terminal: retrying would exceed the budget again.
+    Timeout(String),
+    /// A node or service is (transiently) unreachable — retryable.
+    Unavailable(String),
+    /// A store update lost a race with a concurrent writer — retryable.
+    Conflict(String),
 }
 
 impl Error {
@@ -32,6 +39,12 @@ impl Error {
             line,
             message: message.into(),
         }
+    }
+
+    /// True for failures that a retry may resolve (the fault subsystem and
+    /// service bus retry exactly these).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Unavailable(_) | Error::Conflict(_))
     }
 }
 
@@ -47,6 +60,9 @@ impl fmt::Display for Error {
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
             Error::Service(msg) => write!(f, "service error: {msg}"),
             Error::Query(msg) => write!(f, "query error: {msg}"),
+            Error::Timeout(msg) => write!(f, "timeout: {msg}"),
+            Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+            Error::Conflict(msg) => write!(f, "conflict: {msg}"),
         }
     }
 }

@@ -7,9 +7,11 @@
 mod error;
 mod ids;
 mod polarity;
+mod retry;
 mod span;
 
 pub use error::{Error, Result};
 pub use ids::{DocId, NodeId, SynsetId};
 pub use polarity::Polarity;
+pub use retry::RetryPolicy;
 pub use span::Span;

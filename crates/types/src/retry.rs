@@ -1,0 +1,101 @@
+//! Retry policy for service calls and store mutations.
+//!
+//! The simulated cluster injects transient faults (node down, slow
+//! response, update conflicts); callers recover by retrying with
+//! exponential backoff under a per-call simulated-time budget. The policy
+//! lives in `wf-types` so the platform, CLI and tests share one surface.
+
+/// How a caller retries transient failures.
+///
+/// All durations are *simulated* milliseconds: the fault subsystem
+/// advances a virtual clock instead of sleeping, so tests stay fast and
+/// byte-for-byte deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in simulated ms.
+    pub base_backoff_ms: u64,
+    /// Ceiling on any single backoff, in simulated ms.
+    pub max_backoff_ms: u64,
+    /// Total simulated time allowed for one logical call, including
+    /// latency and backoff. Exceeding it turns the call into
+    /// `Error::Timeout`.
+    pub timeout_budget_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 10,
+            max_backoff_ms: 1_000,
+            timeout_budget_ms: 10_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never times out (legacy behavior).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            timeout_budget_ms: u64::MAX,
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based), in simulated ms:
+    /// `base * 2^(retry-1)`, saturating, capped at `max_backoff_ms`.
+    /// Monotone non-decreasing in `retry` and bounded by the cap.
+    pub fn backoff_for(&self, retry: u32) -> u64 {
+        if retry == 0 || self.base_backoff_ms == 0 {
+            return 0;
+        }
+        let exp = retry.saturating_sub(1).min(63);
+        self.base_backoff_ms
+            .saturating_mul(1u64.checked_shl(exp).unwrap_or(u64::MAX))
+            .min(self.max_backoff_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_backoff_ms: 10,
+            max_backoff_ms: 100,
+            timeout_budget_ms: 1_000,
+        };
+        assert_eq!(p.backoff_for(1), 10);
+        assert_eq!(p.backoff_for(2), 20);
+        assert_eq!(p.backoff_for(3), 40);
+        assert_eq!(p.backoff_for(4), 80);
+        assert_eq!(p.backoff_for(5), 100, "capped");
+        assert_eq!(p.backoff_for(40), 100, "still capped, no overflow");
+    }
+
+    #[test]
+    fn backoff_is_monotone() {
+        let p = RetryPolicy::default();
+        let mut prev = 0;
+        for retry in 1..=70 {
+            let b = p.backoff_for(retry);
+            assert!(b >= prev, "backoff shrank at retry {retry}");
+            assert!(b <= p.max_backoff_ms);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn none_policy_never_backs_off() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_retries, 0);
+        assert_eq!(p.backoff_for(1), 0);
+    }
+}

@@ -57,7 +57,5 @@ fn main() {
             }
         }
     }
-    println!(
-        "\nsentiment on discovered features over 40 reviews: {pos} positive, {neg} negative"
-    );
+    println!("\nsentiment on discovered features over 40 reviews: {pos} positive, {neg} negative");
 }

@@ -33,7 +33,9 @@ fn review_sentence(brand: &str, polarity: Polarity, pick: usize) -> String {
 }
 
 fn main() {
-    let months = ["2004-01", "2004-02", "2004-03", "2004-04", "2004-05", "2004-06"];
+    let months = [
+        "2004-01", "2004-02", "2004-03", "2004-04", "2004-05", "2004-06",
+    ];
     let mut rng = StdRng::seed_from_u64(13);
     let cluster = Cluster::new(4).expect("cluster");
     {
@@ -86,10 +88,6 @@ fn main() {
                 None => print!("    -"),
             }
         }
-        println!(
-            "   slope {:+.3}/month → {}",
-            series.slope(),
-            direction
-        );
+        println!("   slope {:+.3}/month → {}", series.slope(), direction);
     }
 }

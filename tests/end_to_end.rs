@@ -119,9 +119,7 @@ fn miner_annotations_survive_store_round_trip() {
         ))
     };
     let subjects = camera_subjects();
-    cluster.run_pipeline(
-        &MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects))),
-    );
+    cluster.run_pipeline(&MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects))));
     let entity = cluster.store().get(id).expect("entity");
     let sentiments: Vec<(&str, &str)> = entity
         .annotations_of("sentiment")
@@ -150,12 +148,18 @@ fn rerunning_miners_is_idempotent() {
     let pipeline = MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects)));
     cluster.run_pipeline(&pipeline);
     let first: usize = {
-        let e = cluster.store().get(webfountain_sentiment::types::DocId(0)).unwrap();
+        let e = cluster
+            .store()
+            .get(webfountain_sentiment::types::DocId(0))
+            .unwrap();
         e.annotations_of("sentiment").count()
     };
     cluster.run_pipeline(&pipeline);
     let second: usize = {
-        let e = cluster.store().get(webfountain_sentiment::types::DocId(0)).unwrap();
+        let e = cluster
+            .store()
+            .get(webfountain_sentiment::types::DocId(0))
+            .unwrap();
         e.annotations_of("sentiment").count()
     };
     assert_eq!(first, second, "annotations must not accumulate");
@@ -176,9 +180,7 @@ fn vinci_services_integrate_with_mining() {
         ));
     }
     let subjects = camera_subjects();
-    cluster.run_pipeline(
-        &MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects))),
-    );
+    cluster.run_pipeline(&MinerPipeline::new().add(Box::new(SentimentEntityMiner::new(subjects))));
     cluster.rebuild_index();
 
     // expose the sentiment query as a Vinci service, as applications would

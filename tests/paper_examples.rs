@@ -150,8 +150,10 @@ fn definition_examples() {
     assert!(records
         .iter()
         .any(|r| r.subject == "picture" && r.polarity == Polarity::Positive));
-    let records =
-        miner.analyze_text("The product fails to meet our quality expectations.", &subjects);
+    let records = miner.analyze_text(
+        "The product fails to meet our quality expectations.",
+        &subjects,
+    );
     assert!(records
         .iter()
         .any(|r| r.subject == "product" && r.polarity == Polarity::Negative));
@@ -161,7 +163,7 @@ fn definition_examples() {
 #[test]
 fn sun_disambiguation_example() {
     use webfountain_sentiment::spotter::{
-        Disambiguator, Spotter, SpotVerdict, SubjectList as SL, TopicContext,
+        Disambiguator, SpotVerdict, Spotter, SubjectList as SL, TopicContext,
     };
     let subjects = SL::builder().subject("SUN", ["SUN"]).build();
     let spotter = Spotter::new(&subjects);

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use webfountain_sentiment::features::{likelihood_ratio, Counts};
-use webfountain_sentiment::nlp::{chunk, tokenizer, PosTagger, Pipeline};
+use webfountain_sentiment::nlp::{chunk, tokenizer, Pipeline, PosTagger};
 use webfountain_sentiment::platform::Regex;
 use webfountain_sentiment::spotter::{AhoCorasickBuilder, Spotter, SubjectList};
 use webfountain_sentiment::types::{Polarity, Span};
