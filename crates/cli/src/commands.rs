@@ -8,7 +8,9 @@ use crate::args::ParsedArgs;
 use std::io::Read;
 use std::path::Path;
 use wf_features::{FeatureExtractor, Selection, CHI2_95};
-use wf_platform::{load_store, save_store, DataStore, Indexer, MinerPipeline};
+use wf_platform::{
+    load_store, save_store, DataStore, Indexer, MinerPipeline, PipelineStats, TelemetrySnapshot,
+};
 use wf_sentiment::{
     mention_polarities, AdhocSentimentMiner, SentimentEntityMiner, SentimentMiner,
     SentimentQueryService, SubjectList,
@@ -22,6 +24,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         "entities" => entities(args),
         "features" => features(args),
         "mine" => mine(args),
+        "metrics" => metrics(args),
         "query" => query(args),
         "gen-corpus" => gen_corpus(args),
         "search" => search(args),
@@ -44,11 +47,19 @@ USAGE:
       Feature terms by bBNP + likelihood ratio; inputs are one document
       per line.
   wfsm mine     --input DOCS.txt --snapshot OUT.jsonl [--subjects A,B]
-                [--chaos-seed S] [--fail-rate P]
+                [--chaos-seed S] [--fail-rate P] [--metrics M.json]
       Run the mining pipeline over one-document-per-line input and save
       an annotated store snapshot (named-entity mode when no subjects).
       With --chaos-seed, inject deterministic faults at probability P
-      (default 0.05) and report retries / skipped shards.
+      (default 0.05) and report retries / skipped shards. With --metrics,
+      also write the run's telemetry snapshot as canonical JSON (same
+      seed ⇒ byte-identical file).
+  wfsm metrics  --file M.json [--json]
+  wfsm metrics  --input DOCS.txt [--subjects A,B] [--chaos-seed S]
+                [--fail-rate P] [--json]
+      Render a telemetry snapshot — either one exported by `mine
+      --metrics`, or from a fresh in-memory mining run — as a
+      human-readable table (default) or canonical JSON (--json).
   wfsm query    --snapshot OUT.jsonl --subject NAME [--polarity +|-]
       Query a mined snapshot for a subject's sentiment-bearing sentences.
   wfsm search   --snapshot OUT.jsonl --query 'camera AND (battery OR \"picture quality\")'
@@ -147,9 +158,13 @@ fn features(args: &ParsedArgs) -> Result<String, String> {
     Ok(out)
 }
 
-fn mine(args: &ParsedArgs) -> Result<String, String> {
+/// The mining-run core shared by `mine` and `metrics --input`: parses the
+/// chaos flags, loads the documents, runs the pipeline, and returns the
+/// mined store (whose telemetry registry holds the run's instruments).
+fn run_mine_pipeline(
+    args: &ParsedArgs,
+) -> Result<(DataStore, PipelineStats, Option<u64>, f64), String> {
     let input = args.require("input")?;
-    let snapshot = args.require("snapshot")?.to_string();
     // --chaos-seed N [--fail-rate P]: run under deterministic fault
     // injection to exercise the degraded path end to end
     let chaos_seed: Option<u64> = args
@@ -194,6 +209,12 @@ fn mine(args: &ParsedArgs) -> Result<String, String> {
         }
         None => pipeline.run(&store),
     };
+    Ok((store, stats, chaos_seed, fail_rate))
+}
+
+fn mine(args: &ParsedArgs) -> Result<String, String> {
+    let snapshot = args.require("snapshot")?.to_string();
+    let (store, stats, chaos_seed, fail_rate) = run_mine_pipeline(args)?;
     let written = save_store(&store, Path::new(&snapshot)).map_err(|e| e.to_string())?;
     let mut out = format!(
         "mined {} documents ({} failed); snapshot of {} entities written to {}\n",
@@ -207,7 +228,34 @@ fn mine(args: &ParsedArgs) -> Result<String, String> {
             stats.shard_sim_ms.iter().sum::<u64>()
         ));
     }
+    if let Some(metrics_path) = args.opt("metrics") {
+        let json = store.telemetry().snapshot().to_json_string();
+        std::fs::write(metrics_path, json + "\n")
+            .map_err(|e| format!("cannot write {metrics_path}: {e}"))?;
+        out.push_str(&format!("metrics snapshot written to {metrics_path}\n"));
+    }
     Ok(out)
+}
+
+/// Renders a telemetry snapshot: from a `mine --metrics` export
+/// (`--file`), or by running the mining pipeline in memory (`--input`).
+fn metrics(args: &ParsedArgs) -> Result<String, String> {
+    let snapshot = if let Some(path) = args.opt("file") {
+        let content =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        TelemetrySnapshot::from_json_str(&content)
+            .map_err(|e| format!("bad metrics snapshot {path}: {e}"))?
+    } else if args.opt("input").is_some() {
+        let (store, _, _, _) = run_mine_pipeline(args)?;
+        store.telemetry().snapshot()
+    } else {
+        return Err("metrics needs --file SNAPSHOT.json or --input DOCS.txt".into());
+    };
+    if args.flag("json") {
+        Ok(snapshot.to_json_string() + "\n")
+    } else {
+        Ok(snapshot.to_table())
+    }
 }
 
 fn query(args: &ParsedArgs) -> Result<String, String> {
@@ -455,6 +503,77 @@ mod tests {
         assert_eq!(first, run(), "same seed must reproduce the same report");
         std::fs::remove_file(docs).ok();
         std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn mine_exports_byte_identical_metrics() {
+        let docs = temp_file(
+            "metricdocs",
+            "The Canon takes excellent pictures.\nThe Canon battery is terrible.\n\
+             The Canon lens is sharp.\nThe Canon flash misfires.\n",
+        );
+        let mut snap = std::env::temp_dir();
+        snap.push(format!("wfsm-msnap-{}.jsonl", std::process::id()));
+        let mut m1 = std::env::temp_dir();
+        m1.push(format!("wfsm-m1-{}.json", std::process::id()));
+        let mut m2 = std::env::temp_dir();
+        m2.push(format!("wfsm-m2-{}.json", std::process::id()));
+        let run = |metrics: &std::path::Path| {
+            run_tokens(&[
+                "mine",
+                "--input",
+                docs.to_str().unwrap(),
+                "--snapshot",
+                snap.to_str().unwrap(),
+                "--subjects",
+                "Canon",
+                "--chaos-seed",
+                "77",
+                "--fail-rate",
+                "0.2",
+                "--metrics",
+                metrics.to_str().unwrap(),
+            ])
+            .unwrap()
+        };
+        run(&m1);
+        run(&m2);
+        let j1 = std::fs::read(&m1).unwrap();
+        let j2 = std::fs::read(&m2).unwrap();
+        assert!(!j1.is_empty());
+        assert_eq!(j1, j2, "same seed must export byte-identical metrics");
+        // the exported file renders as a table through `wfsm metrics`
+        let table = run_tokens(&["metrics", "--file", m1.to_str().unwrap()]).unwrap();
+        assert!(table.contains("COUNTERS"), "{table}");
+        assert!(table.contains("pipeline.entities_in"), "{table}");
+        // and --json round-trips the exact bytes
+        let json = run_tokens(&["metrics", "--file", m1.to_str().unwrap(), "--json"]).unwrap();
+        assert_eq!(json.as_bytes(), j1.as_slice());
+        for p in [&docs, &snap, &m1, &m2] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn metrics_from_input_runs_pipeline() {
+        let docs = temp_file("metricinput", "The Canon takes excellent pictures.\n");
+        let out = run_tokens(&[
+            "metrics",
+            "--input",
+            docs.to_str().unwrap(),
+            "--subjects",
+            "Canon",
+        ])
+        .unwrap();
+        assert!(out.contains("pipeline.processed"), "{out}");
+        assert!(out.contains("store.insert"), "{out}");
+        std::fs::remove_file(docs).ok();
+    }
+
+    #[test]
+    fn metrics_requires_a_source() {
+        let err = run_tokens(&["metrics"]).unwrap_err();
+        assert!(err.contains("--file") && err.contains("--input"), "{err}");
     }
 
     #[test]

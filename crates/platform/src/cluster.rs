@@ -13,8 +13,10 @@ use crate::faults::{FaultPlan, NodeHealth};
 use crate::index::Indexer;
 use crate::miner::{FaultContext, MinerPipeline, PipelineStats};
 use crate::store::DataStore;
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use crate::vinci::ServiceBus;
 use parking_lot::RwLock;
+use std::sync::Arc;
 use wf_types::{NodeId, Result, RetryPolicy};
 
 /// Static description of one simulated node.
@@ -25,12 +27,15 @@ pub struct NodeInfo {
     pub model: &'static str,
 }
 
-/// The simulated cluster.
+/// The simulated cluster. One [`Telemetry`] registry is shared by the
+/// store, indexer, bus, and every pipeline run, so a single snapshot
+/// covers the whole deployment.
 pub struct Cluster {
     nodes: Vec<NodeInfo>,
     store: DataStore,
     indexer: Indexer,
     bus: ServiceBus,
+    telemetry: Arc<Telemetry>,
     health: RwLock<Vec<NodeHealth>>,
     fault_plan: RwLock<Option<FaultPlan>>,
     retry_policy: RwLock<RetryPolicy>,
@@ -62,9 +67,11 @@ pub struct IndexRebuildStats {
 }
 
 impl Cluster {
-    /// Boots a cluster of `node_count` nodes, all healthy.
+    /// Boots a cluster of `node_count` nodes, all healthy, sharing one
+    /// telemetry registry across every component.
     pub fn new(node_count: usize) -> Result<Self> {
-        let store = DataStore::new(node_count)?;
+        let telemetry = Telemetry::new();
+        let store = DataStore::with_telemetry(node_count, Arc::clone(&telemetry))?;
         let nodes: Vec<NodeInfo> = (0..node_count)
             .map(|i| NodeInfo {
                 id: NodeId(i as u32),
@@ -76,8 +83,9 @@ impl Cluster {
             health: RwLock::new(vec![NodeHealth::Up; nodes.len()]),
             nodes,
             store,
-            indexer: Indexer::new(),
-            bus: ServiceBus::new(),
+            indexer: Indexer::with_telemetry(Arc::clone(&telemetry)),
+            bus: ServiceBus::with_telemetry(Arc::clone(&telemetry)),
+            telemetry,
             fault_plan: RwLock::new(None),
             retry_policy: RwLock::new(RetryPolicy::default()),
         })
@@ -97,6 +105,18 @@ impl Cluster {
 
     pub fn nodes(&self) -> &[NodeInfo] {
         &self.nodes
+    }
+
+    /// The registry shared by every component of this cluster.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// A complete, deterministic metrics snapshot: per-service bus stats
+    /// are flushed first so nothing is in flight.
+    pub fn metrics_snapshot(&self) -> TelemetrySnapshot {
+        self.bus.flush_stats();
+        self.telemetry.snapshot()
     }
 
     /// Installs (or clears) the fault plan consulted by pipeline runs.
@@ -187,6 +207,15 @@ impl Cluster {
                 }
             }
         }
+        self.telemetry
+            .counter("cluster.rebuild.indexed")
+            .add(stats.indexed as u64);
+        self.telemetry
+            .counter("cluster.rebuild.skipped_shards")
+            .add(stats.skipped_shards as u64);
+        self.telemetry
+            .counter("cluster.rebuild.failed_over")
+            .add(stats.failed_over as u64);
         stats
     }
 
@@ -291,6 +320,34 @@ mod tests {
         let idx = cluster.rebuild_index();
         assert_eq!(idx.indexed, 0);
         assert_eq!(idx.skipped_shards, 2);
+    }
+
+    #[test]
+    fn components_share_one_registry() {
+        let cluster = seeded_cluster(2, 6);
+        cluster
+            .bus()
+            .register("echo", Arc::new(|v: &serde_json::Value| Ok(v.clone())));
+        let _ = cluster.bus().call("echo", &serde_json::Value::Null);
+        let pipeline = MinerPipeline::new().add(Box::new(LengthMiner));
+        let stats = cluster.run_pipeline(&pipeline);
+        let rebuild = cluster.rebuild_index();
+        cluster
+            .indexer()
+            .query(&crate::index::Query::Term("cameras".into()))
+            .unwrap();
+        let snap = cluster.metrics_snapshot();
+        // one snapshot sees store, bus, pipeline, rebuild and index activity
+        assert_eq!(snap.counter("store.insert"), 6);
+        assert_eq!(snap.counter("bus.calls"), 1);
+        assert_eq!(snap.counter("bus.service.echo.calls"), 1);
+        assert_eq!(snap.counter("pipeline.processed"), stats.processed as u64);
+        assert_eq!(
+            snap.counter("cluster.rebuild.indexed"),
+            rebuild.indexed as u64
+        );
+        assert_eq!(snap.counter("index.query.total"), 1);
+        assert_eq!(snap.gauge("store.entities"), 6);
     }
 
     #[test]

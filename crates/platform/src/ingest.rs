@@ -10,7 +10,9 @@ use crate::entity::{Entity, SourceKind};
 use crate::faults::{FaultKind, FaultPlan, FaultStream};
 use crate::index::Indexer;
 use crate::store::DataStore;
+use crate::telemetry::Counter;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use wf_types::{DocId, Error, Result, RetryPolicy};
 
 /// A raw document as delivered by some source.
@@ -49,11 +51,33 @@ pub struct IngestStats {
     pub retries: u64,
 }
 
+/// Ingest-path instruments, mirroring [`IngestStats`] into the store's
+/// telemetry registry (DESIGN.md §8).
+struct IngestMetrics {
+    documents: Arc<Counter>,
+    bytes: Arc<Counter>,
+    failed: Arc<Counter>,
+    retries: Arc<Counter>,
+}
+
+impl IngestMetrics {
+    fn resolve(store: &DataStore) -> Self {
+        let tele = store.telemetry();
+        IngestMetrics {
+            documents: tele.counter("ingest.documents"),
+            bytes: tele.counter("ingest.bytes"),
+            failed: tele.counter("ingest.failed"),
+            retries: tele.counter("ingest.retries"),
+        }
+    }
+}
+
 /// Normalizes raw documents into the store (and index, when given).
 pub struct Ingestor<'a> {
     store: &'a DataStore,
     indexer: Option<&'a Indexer>,
     stats: IngestStats,
+    metrics: IngestMetrics,
     faults: Option<FaultStream>,
     retry: RetryPolicy,
 }
@@ -64,6 +88,7 @@ impl<'a> Ingestor<'a> {
             store,
             indexer: None,
             stats: IngestStats::default(),
+            metrics: IngestMetrics::resolve(store),
             faults: None,
             retry: RetryPolicy::none(),
         }
@@ -88,6 +113,8 @@ impl<'a> Ingestor<'a> {
     pub fn ingest(&mut self, doc: RawDocument) -> DocId {
         self.stats.documents += 1;
         self.stats.bytes += doc.text.len();
+        self.metrics.documents.inc();
+        self.metrics.bytes.add(doc.text.len() as u64);
         self.store_doc(doc)
     }
 
@@ -101,12 +128,15 @@ impl<'a> Ingestor<'a> {
         };
         self.stats.documents += 1;
         self.stats.bytes += doc.text.len();
+        self.metrics.documents.inc();
+        self.metrics.bytes.add(doc.text.len() as u64);
         let mut elapsed = 0u64;
         for attempt in 0..=self.retry.max_retries {
             let fault = stream.draw();
             elapsed += stream.latency_ms(fault);
             if elapsed > self.retry.timeout_budget_ms {
                 self.stats.failed += 1;
+                self.metrics.failed.inc();
                 return Err(Error::Timeout(format!(
                     "ingest of {} exceeded {} sim ms",
                     doc.uri, self.retry.timeout_budget_ms
@@ -115,6 +145,7 @@ impl<'a> Ingestor<'a> {
             match fault {
                 Some(FaultKind::ServiceError) => {
                     self.stats.failed += 1;
+                    self.metrics.failed.inc();
                     return Err(Error::Service(format!(
                         "injected ingest error for {}",
                         doc.uri
@@ -125,6 +156,7 @@ impl<'a> Ingestor<'a> {
                         break;
                     }
                     self.stats.retries += 1;
+                    self.metrics.retries.inc();
                     elapsed += self.retry.backoff_for(attempt + 1);
                 }
                 Some(FaultKind::SlowResponse) | None => {
@@ -133,6 +165,7 @@ impl<'a> Ingestor<'a> {
             }
         }
         self.stats.failed += 1;
+        self.metrics.failed.inc();
         Err(Error::Unavailable(format!(
             "ingest of {} failed after {} retries",
             doc.uri, self.retry.max_retries
@@ -238,6 +271,33 @@ mod tests {
             DocId(0)
         );
         assert_eq!(ing.stats().failed, 0);
+    }
+
+    #[test]
+    fn ingest_is_instrumented() {
+        use crate::faults::FaultRates;
+        let store = DataStore::new(2).unwrap();
+        let plan = FaultPlan::new(42).with_rates(FaultRates {
+            store_conflict: 0.4,
+            service_error: 0.1,
+            ..FaultRates::default()
+        });
+        let retry = RetryPolicy {
+            max_retries: 5,
+            base_backoff_ms: 1,
+            max_backoff_ms: 8,
+            timeout_budget_ms: 10_000,
+        };
+        let mut ing = Ingestor::new(&store).with_faults(&plan, retry);
+        for i in 0..50 {
+            let _ = ing.try_ingest(RawDocument::new(format!("u{i}"), SourceKind::Web, "text"));
+        }
+        let stats = ing.stats();
+        let snap = store.telemetry().snapshot();
+        assert_eq!(snap.counter("ingest.documents"), stats.documents as u64);
+        assert_eq!(snap.counter("ingest.bytes"), stats.bytes as u64);
+        assert_eq!(snap.counter("ingest.failed"), stats.failed as u64);
+        assert_eq!(snap.counter("ingest.retries"), stats.retries);
     }
 
     #[test]

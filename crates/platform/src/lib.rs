@@ -16,7 +16,10 @@
 //! - [`ingest`]: crawler/ingestor normalization into the store;
 //! - [`cluster`]: the cluster manager binding it all together;
 //! - [`faults`]: deterministic fault injection (node outages, slow calls,
-//!   update conflicts) with retry/backoff on a simulated clock.
+//!   update conflicts) with retry/backoff on a simulated clock;
+//! - [`telemetry`]: deterministic metrics + span tracing (counters,
+//!   gauges, fixed-bucket histograms over simulated time) shared by every
+//!   component, exported as tables or canonical JSON.
 
 pub mod boilerplate;
 pub mod cluster;
@@ -34,6 +37,7 @@ pub mod query_parser;
 pub mod regex;
 pub mod stats;
 pub mod store;
+pub mod telemetry;
 pub mod vinci;
 
 pub use boilerplate::{TemplateConfig, TemplateDetector};
@@ -54,4 +58,7 @@ pub use query_parser::parse_query;
 pub use regex::Regex;
 pub use stats::{corpus_stats, CorpusStats};
 pub use store::DataStore;
+pub use telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Span, Telemetry, TelemetrySnapshot,
+};
 pub use vinci::{Service, ServiceBus};

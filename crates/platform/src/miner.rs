@@ -140,8 +140,14 @@ impl MinerPipeline {
     /// per the policy, Down nodes fail over, and worker panics are
     /// captured — the aggregate stats always satisfy
     /// `processed + failed == store.len()`.
+    ///
+    /// The run records into the store's telemetry registry: `pipeline.*`
+    /// counters mirror the returned [`PipelineStats`] exactly, and each
+    /// shard's simulated time lands in `span.pipeline.shard.sim_ms` (in
+    /// shard order, so same-seed runs snapshot identically).
     pub fn run_with(&self, store: &DataStore, ctx: &FaultContext<'_>) -> PipelineStats {
         let shard_count = store.shard_count();
+        let entities_in = store.len() as u64;
         let results: Vec<PipelineStats> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shard_count)
                 .map(|shard| scope.spawn(move || self.run_shard_guarded(store, shard, ctx)))
@@ -156,6 +162,22 @@ impl MinerPipeline {
         let mut total = PipelineStats::default();
         for r in results {
             total.absorb(r);
+        }
+        let tele = store.telemetry();
+        tele.counter("pipeline.runs").inc();
+        tele.counter("pipeline.entities_in").add(entities_in);
+        tele.counter("pipeline.processed")
+            .add(total.processed as u64);
+        tele.counter("pipeline.failed").add(total.failed as u64);
+        tele.counter("pipeline.retries").add(total.retries);
+        tele.counter("pipeline.skipped_shards")
+            .add(total.skipped_shards as u64);
+        tele.counter("pipeline.failed_over")
+            .add(total.failed_over as u64);
+        for &sim_ms in &total.shard_sim_ms {
+            let mut span = tele.span("pipeline.shard");
+            span.advance(sim_ms);
+            span.finish();
         }
         total
     }
@@ -424,6 +446,29 @@ mod tests {
         assert_eq!(stats.processed, 0);
         assert_eq!(stats.failed, 0);
         assert_eq!(stats.shard_sim_ms, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn pipeline_counters_mirror_stats() {
+        let store = DataStore::new(2).unwrap();
+        store.insert(Entity::new("a", SourceKind::Web, "content"));
+        store.insert(Entity::new("b", SourceKind::Web, ""));
+        store.insert(Entity::new("c", SourceKind::Web, "more"));
+        let pipeline = MinerPipeline::new().add(Box::new(FailOnEmpty));
+        let stats = pipeline.run(&store);
+        let snap = store.telemetry().snapshot();
+        assert_eq!(snap.counter("pipeline.runs"), 1);
+        assert_eq!(snap.counter("pipeline.entities_in"), 3);
+        assert_eq!(snap.counter("pipeline.processed"), stats.processed as u64);
+        assert_eq!(snap.counter("pipeline.failed"), stats.failed as u64);
+        assert_eq!(
+            snap.counter("pipeline.entities_in"),
+            snap.counter("pipeline.processed") + snap.counter("pipeline.failed"),
+            "counter conservation"
+        );
+        let spans = snap.histogram("span.pipeline.shard.sim_ms").unwrap();
+        assert_eq!(spans.count as usize, stats.shard_sim_ms.len());
+        assert_eq!(spans.sum, stats.shard_sim_ms.iter().sum::<u64>());
     }
 
     struct PanicMiner;

@@ -6,9 +6,11 @@
 //! RwLocks, so miners can process shards in parallel without contention.
 
 use crate::entity::Entity;
+use crate::telemetry::{Counter, Gauge, Telemetry};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use wf_types::{DocId, Error, NodeId, Result};
 
 /// One shard: the entities owned by one simulated cluster node.
@@ -17,23 +19,69 @@ struct Shard {
     entities: RwLock<BTreeMap<DocId, Entity>>,
 }
 
+/// CRUD/versioning instruments, resolved once so hot paths touch only
+/// atomics. See DESIGN.md §8 for the `store.*` taxonomy.
+#[derive(Debug)]
+struct StoreMetrics {
+    inserts: Arc<Counter>,
+    get_ok: Arc<Counter>,
+    get_miss: Arc<Counter>,
+    update_ok: Arc<Counter>,
+    update_miss: Arc<Counter>,
+    delete_ok: Arc<Counter>,
+    delete_miss: Arc<Counter>,
+    version_bumps: Arc<Counter>,
+    entities: Arc<Gauge>,
+}
+
+impl StoreMetrics {
+    fn resolve(tele: &Telemetry) -> Self {
+        StoreMetrics {
+            inserts: tele.counter("store.insert"),
+            get_ok: tele.counter("store.get.ok"),
+            get_miss: tele.counter("store.get.miss"),
+            update_ok: tele.counter("store.update.ok"),
+            update_miss: tele.counter("store.update.miss"),
+            delete_ok: tele.counter("store.delete.ok"),
+            delete_miss: tele.counter("store.delete.miss"),
+            version_bumps: tele.counter("store.version_bumps"),
+            entities: tele.gauge("store.entities"),
+        }
+    }
+}
+
 /// Sharded entity store.
 #[derive(Debug)]
 pub struct DataStore {
     shards: Vec<Shard>,
     next_id: AtomicU64,
+    telemetry: Arc<Telemetry>,
+    metrics: StoreMetrics,
 }
 
 impl DataStore {
-    /// Creates a store with `shard_count` shards (≥ 1).
+    /// Creates a store with `shard_count` shards (≥ 1) and a private
+    /// telemetry registry.
     pub fn new(shard_count: usize) -> Result<Self> {
+        Self::with_telemetry(shard_count, Telemetry::new())
+    }
+
+    /// Creates a store recording its instruments into a shared registry.
+    pub fn with_telemetry(shard_count: usize, telemetry: Arc<Telemetry>) -> Result<Self> {
         if shard_count == 0 {
             return Err(Error::Config("store needs at least one shard".into()));
         }
         Ok(DataStore {
             shards: (0..shard_count).map(|_| Shard::default()).collect(),
             next_id: AtomicU64::new(0),
+            metrics: StoreMetrics::resolve(&telemetry),
+            telemetry,
         })
+    }
+
+    /// The registry this store (and any pipeline run over it) records into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Single-shard store for tests and small runs.
@@ -61,33 +109,50 @@ impl DataStore {
         entity.id = id;
         entity.version = 1;
         self.shard_of(id).entities.write().insert(id, entity);
+        self.metrics.inserts.inc();
+        self.metrics.entities.add(1);
         id
     }
 
     /// Retrieves a clone of an entity.
     pub fn get(&self, id: DocId) -> Result<Entity> {
-        self.shard_of(id)
-            .entities
-            .read()
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| Error::NotFound(id.to_string()))
+        match self.shard_of(id).entities.read().get(&id) {
+            Some(entity) => {
+                self.metrics.get_ok.inc();
+                Ok(entity.clone())
+            }
+            None => {
+                self.metrics.get_miss.inc();
+                Err(Error::NotFound(id.to_string()))
+            }
+        }
     }
 
     /// Applies a mutation to an entity in place, bumping its version.
     pub fn update<F: FnOnce(&mut Entity)>(&self, id: DocId, f: F) -> Result<()> {
         let mut guard = self.shard_of(id).entities.write();
-        let entity = guard
-            .get_mut(&id)
-            .ok_or_else(|| Error::NotFound(id.to_string()))?;
+        let Some(entity) = guard.get_mut(&id) else {
+            self.metrics.update_miss.inc();
+            return Err(Error::NotFound(id.to_string()));
+        };
         f(entity);
         entity.version += 1;
+        self.metrics.update_ok.inc();
+        self.metrics.version_bumps.inc();
         Ok(())
     }
 
     /// Deletes an entity; returns it if present.
     pub fn delete(&self, id: DocId) -> Option<Entity> {
-        self.shard_of(id).entities.write().remove(&id)
+        let removed = self.shard_of(id).entities.write().remove(&id);
+        match removed {
+            Some(_) => {
+                self.metrics.delete_ok.inc();
+                self.metrics.entities.add(-1);
+            }
+            None => self.metrics.delete_miss.inc(),
+        }
+        removed
     }
 
     /// Total number of stored entities.
@@ -228,6 +293,30 @@ mod tests {
         let mut seen = 0;
         store.for_each(|_| seen += 1);
         assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn crud_is_instrumented() {
+        let store = DataStore::single();
+        let id = store.insert(entity("a"));
+        store.insert(entity("b"));
+        let _ = store.get(id);
+        let _ = store.get(DocId(99));
+        store.update(id, |e| e.text.push('!')).unwrap();
+        assert!(store.update(DocId(99), |_| {}).is_err());
+        store.delete(id);
+        assert!(store.delete(id).is_none());
+        let snap = store.telemetry().snapshot();
+        assert_eq!(snap.counter("store.insert"), 2);
+        assert_eq!(snap.counter("store.get.ok"), 1);
+        assert_eq!(snap.counter("store.get.miss"), 1);
+        assert_eq!(snap.counter("store.update.ok"), 1);
+        assert_eq!(snap.counter("store.update.miss"), 1);
+        assert_eq!(snap.counter("store.delete.ok"), 1);
+        assert_eq!(snap.counter("store.delete.miss"), 1);
+        assert_eq!(snap.counter("store.version_bumps"), 1);
+        assert_eq!(snap.gauge("store.entities"), 1, "two in, one deleted");
+        assert_eq!(snap.gauge("store.entities"), store.len() as i64);
     }
 
     #[test]

@@ -1,0 +1,627 @@
+//! Deterministic observability: metrics and span tracing for the
+//! simulated platform.
+//!
+//! The paper's cluster lives or dies by per-stage throughput (§5 budgets
+//! ~10 docs/sec/node for the shallow-parser path), and the next round of
+//! performance work needs a measurement substrate that can *prove* a
+//! change moved a number. This module supplies it at laptop scale:
+//!
+//! - a [`Telemetry`] registry of named atomic [`Counter`]s, [`Gauge`]s and
+//!   fixed-bucket [`Histogram`]s, shared by every platform component of a
+//!   [`Cluster`](crate::cluster::Cluster);
+//! - lightweight [`Span`]s that accumulate **simulated** milliseconds (the
+//!   same virtual clock the fault subsystem advances) — there is no
+//!   wall-clock read anywhere, so identical seeds give byte-identical
+//!   [`TelemetrySnapshot`]s;
+//! - deterministic snapshot export: a human-readable table
+//!   ([`TelemetrySnapshot::to_table`]) and canonical JSON with stable
+//!   field ordering ([`TelemetrySnapshot::to_json_string`], backed by the
+//!   `BTreeMap`-ordered `serde_json` shim), plus a parser
+//!   ([`TelemetrySnapshot::from_json_str`]) so exported files round-trip.
+//!
+//! Metric names form a dotted taxonomy (`store.update.ok`,
+//! `index.query.term`, `bus.faults.node_down`, `pipeline.processed`,
+//! `span.pipeline.shard.sim_ms`); see DESIGN.md §8 for the full list.
+//! Counters and histogram cells are plain relaxed atomics: hot paths pay
+//! one `fetch_add`, and because every recorded value is itself
+//! deterministic, concurrent merging cannot perturb a snapshot.
+
+use parking_lot::RwLock;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (entity counts, live nodes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default exponential bucket ladder: upper bounds 1, 2, 4, … 65536, plus
+/// an implicit overflow bucket. Suits both simulated-ms durations and
+/// postings-scanned counts.
+pub const DEFAULT_BUCKETS: [u64; 17] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+];
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Bucket `i` counts observations `<= bounds[i]` (and greater than the
+/// previous bound); one extra overflow bucket catches the rest. Bounds are
+/// fixed at construction, so merging concurrent observations is pure
+/// atomic addition and snapshots are deterministic.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascending");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    let c = c.load(Ordering::Relaxed);
+                    (c > 0).then(|| (self.bounds.get(i).copied(), c))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A span in flight: accumulates simulated milliseconds and records them
+/// into its histogram when finished (or dropped). Never reads wall time.
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    sim_ms: u64,
+    recorded: bool,
+}
+
+impl Span {
+    /// Advances the span's simulated clock.
+    pub fn advance(&mut self, sim_ms: u64) {
+        self.sim_ms = self.sim_ms.saturating_add(sim_ms);
+    }
+
+    /// Simulated milliseconds accumulated so far.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.sim_ms
+    }
+
+    /// Records the span and returns its duration.
+    pub fn finish(mut self) -> u64 {
+        self.record();
+        self.sim_ms
+    }
+
+    fn record(&mut self) {
+        if !self.recorded {
+            self.recorded = true;
+            self.hist.record(self.sim_ms);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// The metric registry: one per cluster (or per component under test).
+///
+/// Handles are get-or-create by name and cheap to clone; components
+/// resolve them once at construction so hot paths touch only atomics.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Telemetry {
+    /// A fresh, empty, shareable registry.
+    pub fn new() -> Arc<Telemetry> {
+        Arc::new(Telemetry::default())
+    }
+
+    /// The counter registered under `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// The gauge registered under `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::default())),
+        )
+    }
+
+    /// The histogram registered under `name` with the default exponential
+    /// buckets (created on first use).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &DEFAULT_BUCKETS)
+    }
+
+    /// The histogram registered under `name`; `bounds` applies only on
+    /// first creation (an existing histogram keeps its buckets).
+    pub fn histogram_with(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Opens a span recording into histogram `span.<name>.sim_ms`.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            hist: self.histogram(&format!("span.{name}.sim_ms")),
+            sim_ms: 0,
+            recorded: false,
+        }
+    }
+
+    /// A point-in-time copy of every metric. Deterministic: names are
+    /// ordered, and every recorded value traces back to the seeded
+    /// simulation, never to wall time.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(upper_bound, count)`; `None` is the
+    /// overflow bucket.
+    pub buckets: Vec<(Option<u64>, u64)>,
+}
+
+/// Frozen state of a whole registry; compares bit-for-bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// One counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// One gauge's value (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// One histogram's frozen state, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Renders the snapshot as an aligned human-readable table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("COUNTERS\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name:<44} {value:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("GAUGES\n");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "  {name:<44} {value:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("HISTOGRAMS\n");
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>8} {:>10} {:>8} {:>8}",
+                "name", "count", "sum", "min", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<44} {:>8} {:>10} {:>8} {:>8}",
+                    h.count, h.sum, h.min, h.max
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Canonical JSON tree: object keys are `BTreeMap`-sorted, histogram
+    /// buckets ascend, the overflow bound renders as `null`.
+    pub fn to_json(&self) -> Value {
+        let mut root = BTreeMap::new();
+        root.insert(
+            "counters".to_string(),
+            Value::Object(
+                self.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from(*v)))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "gauges".to_string(),
+            Value::Object(
+                self.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::from(*v)))
+                    .collect(),
+            ),
+        );
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let buckets: Vec<Value> = h
+                    .buckets
+                    .iter()
+                    .map(|(le, count)| {
+                        let mut b = BTreeMap::new();
+                        b.insert("le".to_string(), le.map(Value::from).unwrap_or(Value::Null));
+                        b.insert("count".to_string(), Value::from(*count));
+                        Value::Object(b)
+                    })
+                    .collect();
+                let mut o = BTreeMap::new();
+                o.insert("buckets".to_string(), Value::Array(buckets));
+                o.insert("count".to_string(), Value::from(h.count));
+                o.insert("max".to_string(), Value::from(h.max));
+                o.insert("min".to_string(), Value::from(h.min));
+                o.insert("sum".to_string(), Value::from(h.sum));
+                (k.clone(), Value::Object(o))
+            })
+            .collect();
+        root.insert("histograms".to_string(), Value::Object(histograms));
+        Value::Object(root)
+    }
+
+    /// Pretty-printed canonical JSON (the `wfsm metrics` export format).
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json()).expect("Value renders infallibly")
+    }
+
+    /// Parses a snapshot back from its JSON export.
+    pub fn from_json(value: &Value) -> Result<TelemetrySnapshot, String> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| format!("snapshot must be an object, got {}", value.kind()))?;
+        let mut snap = TelemetrySnapshot::default();
+        if let Some(counters) = obj.get("counters") {
+            for (k, v) in need_object(counters, "counters")? {
+                snap.counters
+                    .insert(k.clone(), need_u64(v, &format!("counter {k}"))?);
+            }
+        }
+        if let Some(gauges) = obj.get("gauges") {
+            for (k, v) in need_object(gauges, "gauges")? {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| format!("gauge {k} must be an integer"))?;
+                snap.gauges.insert(k.clone(), n);
+            }
+        }
+        if let Some(histograms) = obj.get("histograms") {
+            for (k, v) in need_object(histograms, "histograms")? {
+                let h = need_object(v, &format!("histogram {k}"))?;
+                let mut hs = HistogramSnapshot {
+                    count: need_u64(h.get("count").unwrap_or(&Value::Null), "count")?,
+                    sum: need_u64(h.get("sum").unwrap_or(&Value::Null), "sum")?,
+                    min: need_u64(h.get("min").unwrap_or(&Value::Null), "min")?,
+                    max: need_u64(h.get("max").unwrap_or(&Value::Null), "max")?,
+                    buckets: Vec::new(),
+                };
+                if let Some(Value::Array(buckets)) = h.get("buckets") {
+                    for b in buckets {
+                        let b = need_object(b, "bucket")?;
+                        let le = match b.get("le") {
+                            None | Some(Value::Null) => None,
+                            Some(v) => Some(need_u64(v, "bucket le")?),
+                        };
+                        let count = need_u64(b.get("count").unwrap_or(&Value::Null), "bucket")?;
+                        hs.buckets.push((le, count));
+                    }
+                }
+                snap.histograms.insert(k.clone(), hs);
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Parses a snapshot from JSON text.
+    pub fn from_json_str(text: &str) -> Result<TelemetrySnapshot, String> {
+        let value: Value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        TelemetrySnapshot::from_json(&value)
+    }
+}
+
+fn need_object<'v>(value: &'v Value, what: &str) -> Result<&'v BTreeMap<String, Value>, String> {
+    value
+        .as_object()
+        .ok_or_else(|| format!("{what} must be an object, got {}", value.kind()))
+}
+
+fn need_u64(value: &Value, what: &str) -> Result<u64, String> {
+    value.as_u64().ok_or_else(|| {
+        format!(
+            "{what} must be a non-negative integer, got {}",
+            value.kind()
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let tele = Telemetry::new();
+        let c = tele.counter("a.b");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // same name resolves to the same counter
+        tele.counter("a.b").inc();
+        assert_eq!(tele.snapshot().counter("a.b"), 6);
+        assert_eq!(tele.snapshot().counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_go_both_ways() {
+        let tele = Telemetry::new();
+        let g = tele.gauge("nodes.up");
+        g.set(4);
+        g.add(-1);
+        assert_eq!(tele.snapshot().gauge("nodes.up"), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_observations() {
+        let tele = Telemetry::new();
+        let h = tele.histogram_with("lat", &[10, 100]);
+        for v in [0, 1, 10, 11, 100, 101, 5000] {
+            h.record(v);
+        }
+        let snap = tele.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        assert_eq!(hs.count, 7);
+        assert_eq!(hs.sum, 5223);
+        assert_eq!(hs.min, 0);
+        assert_eq!(hs.max, 5000);
+        assert_eq!(
+            hs.buckets,
+            vec![(Some(10), 3), (Some(100), 2), (None, 2)],
+            "le-10, le-100 and overflow buckets"
+        );
+        assert_eq!(hs.buckets.iter().map(|(_, c)| c).sum::<u64>(), hs.count);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let tele = Telemetry::new();
+        tele.histogram("quiet");
+        let snap = tele.snapshot();
+        let hs = snap.histogram("quiet").unwrap();
+        assert_eq!((hs.count, hs.sum, hs.min, hs.max), (0, 0, 0, 0));
+        assert!(hs.buckets.is_empty());
+    }
+
+    #[test]
+    fn spans_record_simulated_time_on_finish_or_drop() {
+        let tele = Telemetry::new();
+        let mut span = tele.span("work");
+        span.advance(30);
+        span.advance(12);
+        assert_eq!(span.elapsed_ms(), 42);
+        assert_eq!(span.finish(), 42);
+        {
+            let mut dropped = tele.span("work");
+            dropped.advance(7);
+        } // recorded by Drop
+        let snap = tele.snapshot();
+        let hs = snap.histogram("span.work.sim_ms").unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.sum, 49);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let tele = Telemetry::new();
+        tele.counter("z.last").add(3);
+        tele.counter("a.first").inc();
+        tele.gauge("g").set(-2);
+        let h = tele.histogram_with("h", &[8]);
+        h.record(5);
+        h.record(500);
+        let snap = tele.snapshot();
+        let text = snap.to_json_string();
+        let back = TelemetrySnapshot::from_json_str(&text).unwrap();
+        assert_eq!(snap, back);
+        // canonical ordering: keys sorted, so a.first precedes z.last
+        let a = text.find("a.first").unwrap();
+        let z = text.find("z.last").unwrap();
+        assert!(a < z, "JSON keys must be sorted");
+    }
+
+    #[test]
+    fn concurrent_recording_is_exact() {
+        let tele = Telemetry::new();
+        let c = tele.counter("hits");
+        let h = tele.histogram("vals");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for v in 0..100u64 {
+                        c.inc();
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("hits"), 800);
+        let hs = snap.histogram("vals").unwrap();
+        assert_eq!(hs.count, 800);
+        assert_eq!(hs.sum, 8 * (0..100).sum::<u64>());
+        assert_eq!(hs.min, 0);
+        assert_eq!(hs.max, 99);
+    }
+
+    #[test]
+    fn table_lists_every_section() {
+        let tele = Telemetry::new();
+        tele.counter("c").inc();
+        tele.gauge("g").set(1);
+        tele.histogram("h").record(9);
+        let table = tele.snapshot().to_table();
+        assert!(table.contains("COUNTERS"), "{table}");
+        assert!(table.contains("GAUGES"), "{table}");
+        assert!(table.contains("HISTOGRAMS"), "{table}");
+        assert_eq!(
+            TelemetrySnapshot::default().to_table(),
+            "(no metrics recorded)\n"
+        );
+    }
+}

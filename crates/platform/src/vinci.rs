@@ -14,6 +14,7 @@
 //! [`CallOutcome`] (attempts, backoffs, injected faults, simulated time).
 
 use crate::faults::{CallOutcome, FaultKind, FaultPlan, FaultStream};
+use crate::telemetry::{Counter, Histogram, Telemetry};
 use parking_lot::{Mutex, RwLock};
 use serde_json::Value;
 use std::collections::HashMap;
@@ -36,33 +37,113 @@ where
     }
 }
 
-#[derive(Default)]
 struct ServiceEntry {
     /// The handler; `None` after [`ServiceBus::unregister`] — the entry
     /// (and its statistics) outlives the handler.
     service: RwLock<Option<Arc<dyn Service>>>,
     calls: AtomicU64,
     errors: AtomicU64,
+    /// How much of `calls`/`errors` has already been flushed into the
+    /// telemetry registry, so repeated flushes only add the delta.
+    flushed_calls: AtomicU64,
+    flushed_errors: AtomicU64,
+    /// Per-service simulated-latency histogram (`bus.service.<name>.sim_ms`).
+    latency: Arc<Histogram>,
     /// Persistent per-service fault stream so consecutive calls advance
     /// one deterministic sequence instead of replaying the same draws.
     fault_stream: Mutex<Option<FaultStream>>,
 }
 
+impl ServiceEntry {
+    fn new(telemetry: &Telemetry, name: &str) -> Self {
+        ServiceEntry {
+            service: RwLock::new(None),
+            calls: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            flushed_calls: AtomicU64::new(0),
+            flushed_errors: AtomicU64::new(0),
+            latency: telemetry.histogram(&format!("bus.service.{name}.sim_ms")),
+            fault_stream: Mutex::new(None),
+        }
+    }
+}
+
+/// Bus-wide instruments (DESIGN.md §8). Conservation: `bus.calls` ==
+/// `bus.ok` + `bus.errors`; every injected fault is counted by kind.
+struct BusMetrics {
+    calls: Arc<Counter>,
+    ok: Arc<Counter>,
+    errors: Arc<Counter>,
+    retries: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    /// Slots follow [`FaultKind`]'s variant order.
+    faults: [Arc<Counter>; 4],
+    call_sim_ms: Arc<Histogram>,
+}
+
+impl BusMetrics {
+    fn resolve(tele: &Telemetry) -> Self {
+        BusMetrics {
+            calls: tele.counter("bus.calls"),
+            ok: tele.counter("bus.ok"),
+            errors: tele.counter("bus.errors"),
+            retries: tele.counter("bus.retries"),
+            timeouts: tele.counter("bus.timeouts"),
+            faults: [
+                tele.counter("bus.faults.node_down"),
+                tele.counter("bus.faults.service_error"),
+                tele.counter("bus.faults.slow_response"),
+                tele.counter("bus.faults.store_conflict"),
+            ],
+            call_sim_ms: tele.histogram("bus.call.sim_ms"),
+        }
+    }
+
+    fn count_fault(&self, kind: FaultKind) {
+        let slot = match kind {
+            FaultKind::NodeDown => 0,
+            FaultKind::ServiceError => 1,
+            FaultKind::SlowResponse => 2,
+            FaultKind::StoreConflict => 3,
+        };
+        self.faults[slot].inc();
+    }
+}
+
 /// The service registry / bus.
-#[derive(Default)]
 pub struct ServiceBus {
     services: RwLock<HashMap<String, Arc<ServiceEntry>>>,
     fault_plan: RwLock<Option<FaultPlan>>,
     retry_policy: RwLock<RetryPolicy>,
+    telemetry: Arc<Telemetry>,
+    metrics: BusMetrics,
+}
+
+impl Default for ServiceBus {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServiceBus {
     pub fn new() -> Self {
+        Self::with_telemetry(Telemetry::new())
+    }
+
+    /// A bus recording its instruments into a shared registry.
+    pub fn with_telemetry(telemetry: Arc<Telemetry>) -> Self {
         ServiceBus {
             services: RwLock::new(HashMap::new()),
             fault_plan: RwLock::new(None),
             retry_policy: RwLock::new(RetryPolicy::none()),
+            metrics: BusMetrics::resolve(&telemetry),
+            telemetry,
         }
+    }
+
+    /// The registry this bus records into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Installs (or clears) the fault plan; resets every service's fault
@@ -91,20 +172,53 @@ impl ServiceBus {
             // replacing keeps stats and the fault stream position
             *entry.service.write() = Some(service);
         } else {
-            let entry = Arc::new(ServiceEntry::default());
+            let entry = Arc::new(ServiceEntry::new(&self.telemetry, &name));
             *entry.service.write() = Some(service);
             services.insert(name, entry);
         }
     }
 
     /// Unregisters a service's handler, keeping its statistics entry.
-    /// Subsequent calls fail with "service ... unregistered". Returns
-    /// whether a handler was actually removed.
+    /// Subsequent calls fail with "service ... unregistered". The entry's
+    /// call/error counters are flushed into the telemetry registry
+    /// (`bus.service.<name>.calls` / `.errors`) so the accounting survives
+    /// even if the entry is later dropped. Returns whether a handler was
+    /// actually removed.
     pub fn unregister(&self, name: &str) -> bool {
-        self.services
-            .read()
-            .get(name)
-            .is_some_and(|entry| entry.service.write().take().is_some())
+        let services = self.services.read();
+        let Some(entry) = services.get(name) else {
+            return false;
+        };
+        let removed = entry.service.write().take().is_some();
+        if removed {
+            self.flush_entry(name, entry);
+        }
+        removed
+    }
+
+    /// Flushes every service's call/error counters into the registry.
+    /// Idempotent: repeated flushes only add what accrued since the last
+    /// one, so snapshots taken after a flush are complete and exact.
+    pub fn flush_stats(&self) {
+        let services = self.services.read();
+        let mut names: Vec<&String> = services.keys().collect();
+        names.sort();
+        for name in names {
+            self.flush_entry(name, &services[name]);
+        }
+    }
+
+    fn flush_entry(&self, name: &str, entry: &ServiceEntry) {
+        let calls = entry.calls.load(Ordering::Relaxed);
+        let prev = entry.flushed_calls.swap(calls, Ordering::Relaxed);
+        self.telemetry
+            .counter(&format!("bus.service.{name}.calls"))
+            .add(calls.saturating_sub(prev));
+        let errors = entry.errors.load(Ordering::Relaxed);
+        let prev = entry.flushed_errors.swap(errors, Ordering::Relaxed);
+        self.telemetry
+            .counter(&format!("bus.service.{name}.errors"))
+            .add(errors.saturating_sub(prev));
     }
 
     /// Calls a service by name (retrying per the installed policy when a
@@ -117,13 +231,15 @@ impl ServiceBus {
     /// result. One logical call may span several attempts.
     pub fn call_detailed(&self, name: &str, request: &Value) -> (Result<Value>, CallOutcome) {
         let mut outcome = CallOutcome::start(name);
+        self.metrics.calls.inc();
         let entry = match self.services.read().get(name).cloned() {
             Some(entry) => entry,
             None => {
+                self.metrics.errors.inc();
                 return (
                     Err(Error::Service(format!("no such service: {name}"))),
                     outcome,
-                )
+                );
             }
         };
         entry.calls.fetch_add(1, Ordering::Relaxed);
@@ -133,6 +249,20 @@ impl ServiceBus {
             entry.errors.fetch_add(1, Ordering::Relaxed);
         }
         outcome.ok = result.is_ok();
+        self.metrics.retries.add(outcome.retries as u64);
+        for &kind in &outcome.injected {
+            self.metrics.count_fault(kind);
+        }
+        if matches!(result, Err(Error::Timeout(_))) {
+            self.metrics.timeouts.inc();
+        }
+        if result.is_ok() {
+            self.metrics.ok.inc();
+        } else {
+            self.metrics.errors.inc();
+        }
+        self.metrics.call_sim_ms.record(outcome.sim_elapsed_ms);
+        entry.latency.record(outcome.sim_elapsed_ms);
         (result, outcome)
     }
 
@@ -356,6 +486,96 @@ mod tests {
             assert_eq!(outcome.attempts, outcome.retries + 1);
         }
         assert!(saw_retry, "a 30% outage rate must trigger retries");
+    }
+
+    #[test]
+    fn calls_are_instrumented() {
+        let bus = ServiceBus::new();
+        bus.register(
+            "flaky",
+            Arc::new(|req: &Value| {
+                if req["fail"].as_bool().unwrap_or(false) {
+                    Err(Error::Service("boom".into()))
+                } else {
+                    Ok(json!("ok"))
+                }
+            }),
+        );
+        let _ = bus.call("flaky", &json!({"fail": false}));
+        let _ = bus.call("flaky", &json!({"fail": true}));
+        let _ = bus.call("missing", &json!({}));
+        let snap = bus.telemetry().snapshot();
+        assert_eq!(snap.counter("bus.calls"), 3);
+        assert_eq!(snap.counter("bus.ok"), 1);
+        assert_eq!(snap.counter("bus.errors"), 2);
+        assert_eq!(
+            snap.counter("bus.calls"),
+            snap.counter("bus.ok") + snap.counter("bus.errors"),
+            "conservation: every call is ok or error"
+        );
+        let per_service = snap.histogram("bus.service.flaky.sim_ms").unwrap();
+        assert_eq!(per_service.count, 2, "only resolved calls hit the service");
+    }
+
+    #[test]
+    fn unregister_flushes_stats_into_registry() {
+        let bus = ServiceBus::new();
+        bus.register("svc", Arc::new(|_: &Value| Ok(json!("up"))));
+        let _ = bus.call("svc", &json!({}));
+        let _ = bus.call("svc", &json!({}));
+        bus.unregister("svc");
+        let snap = bus.telemetry().snapshot();
+        assert_eq!(snap.counter("bus.service.svc.calls"), 2);
+        assert_eq!(snap.counter("bus.service.svc.errors"), 0);
+        // entry semantics unchanged: stats still queryable on the bus
+        assert_eq!(bus.stats("svc"), Some((2, 0)));
+
+        // a register → call → unregister cycle only flushes the delta
+        bus.register(
+            "svc",
+            Arc::new(|_: &Value| Err(Error::Service("down".into()))),
+        );
+        let _ = bus.call("svc", &json!({}));
+        bus.unregister("svc");
+        let snap = bus.telemetry().snapshot();
+        assert_eq!(snap.counter("bus.service.svc.calls"), 3);
+        assert_eq!(snap.counter("bus.service.svc.errors"), 1);
+    }
+
+    #[test]
+    fn flush_stats_is_idempotent() {
+        let bus = ServiceBus::new();
+        bus.register("a", Arc::new(|_: &Value| Ok(json!(1))));
+        let _ = bus.call("a", &json!({}));
+        bus.flush_stats();
+        bus.flush_stats();
+        let snap = bus.telemetry().snapshot();
+        assert_eq!(snap.counter("bus.service.a.calls"), 1);
+    }
+
+    #[test]
+    fn injected_faults_are_counted_by_kind() {
+        let bus = ServiceBus::new();
+        bus.register("svc", Arc::new(|_: &Value| Ok(json!("ok"))));
+        bus.set_fault_plan(Some(FaultPlan::new(7).with_rates(FaultRates {
+            node_down: 0.5,
+            ..FaultRates::default()
+        })));
+        bus.set_retry_policy(RetryPolicy {
+            max_retries: 8,
+            base_backoff_ms: 1,
+            max_backoff_ms: 10,
+            timeout_budget_ms: 100_000,
+        });
+        let mut retries = 0;
+        for _ in 0..40 {
+            let (_, outcome) = bus.call_detailed("svc", &json!({}));
+            retries += outcome.retries as u64;
+        }
+        let snap = bus.telemetry().snapshot();
+        assert!(snap.counter("bus.faults.node_down") > 0);
+        assert_eq!(snap.counter("bus.retries"), retries);
+        assert_eq!(snap.histogram("bus.call.sim_ms").unwrap().count, 40);
     }
 
     #[test]

@@ -290,6 +290,88 @@ fn zero_rate_plan_is_transparent() {
     }
 }
 
+/// Regression: `PipelineStats` totals must equal the telemetry
+/// registry's `pipeline.*` counters exactly, under the same three pinned
+/// chaos seeds CI's fault suite runs (an ISSUE 2 acceptance criterion —
+/// the stats struct and the metrics layer are two views of one run and
+/// may never disagree).
+#[test]
+fn pipeline_stats_reconcile_with_telemetry_counters() {
+    for seed in [20050405u64, 3405691582, 3735928559] {
+        let cluster = ChaosCluster::new(4, 80)
+            .chaos(seed, 0.15)
+            .degrade(NodeId(0))
+            .down(NodeId(3))
+            .build()
+            .unwrap();
+        let stats = cluster.run_pipeline(&touch_pipeline());
+        let snap = cluster.metrics_snapshot();
+        assert_eq!(
+            snap.counter("pipeline.entities_in"),
+            80,
+            "seed {seed}: every stored entity enters the run"
+        );
+        assert_eq!(
+            snap.counter("pipeline.processed"),
+            stats.processed as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            snap.counter("pipeline.failed"),
+            stats.failed as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            snap.counter("pipeline.retries"),
+            stats.retries,
+            "seed {seed}"
+        );
+        assert_eq!(
+            snap.counter("pipeline.skipped_shards"),
+            stats.skipped_shards as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            snap.counter("pipeline.failed_over"),
+            stats.failed_over as u64,
+            "seed {seed}"
+        );
+        let spans = snap
+            .histogram("span.pipeline.shard.sim_ms")
+            .expect("per-shard spans recorded");
+        assert_eq!(
+            spans.count as usize,
+            stats.shard_sim_ms.len(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            spans.sum,
+            stats.shard_sim_ms.iter().sum::<u64>(),
+            "seed {seed}: span histogram carries the exact shard sim-ms"
+        );
+    }
+}
+
+/// Accumulation across runs: a second pipeline pass adds onto the same
+/// registry counters rather than resetting them.
+#[test]
+fn telemetry_accumulates_across_pipeline_runs() {
+    let cluster = ChaosCluster::new(2, 30).chaos(42, 0.1).build().unwrap();
+    let first = cluster.run_pipeline(&touch_pipeline());
+    let second = cluster.run_pipeline(&touch_pipeline());
+    let snap = cluster.metrics_snapshot();
+    assert_eq!(snap.counter("pipeline.runs"), 2);
+    assert_eq!(snap.counter("pipeline.entities_in"), 60);
+    assert_eq!(
+        snap.counter("pipeline.processed"),
+        (first.processed + second.processed) as u64
+    );
+    assert_eq!(
+        snap.counter("pipeline.failed"),
+        (first.failed + second.failed) as u64
+    );
+}
+
 mod properties {
     use super::*;
     use proptest::prelude::*;
