@@ -9,7 +9,8 @@ use std::io::Read;
 use std::path::Path;
 use wf_features::{FeatureExtractor, Selection, CHI2_95};
 use wf_platform::{
-    load_store, save_store, DataStore, Indexer, MinerPipeline, PipelineStats, TelemetrySnapshot,
+    load_store, parse_query, save_store, DataStore, Indexer, Ingestor, MinerPipeline,
+    PipelineStats, RawDocument, TelemetrySnapshot,
 };
 use wf_sentiment::{
     mention_polarities, AdhocSentimentMiner, SentimentEntityMiner, SentimentMiner,
@@ -28,6 +29,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         "query" => query(args),
         "gen-corpus" => gen_corpus(args),
         "search" => search(args),
+        "trace" => trace(args),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -48,12 +50,15 @@ USAGE:
       per line.
   wfsm mine     --input DOCS.txt --snapshot OUT.jsonl [--subjects A,B]
                 [--chaos-seed S] [--fail-rate P] [--metrics M.json]
+                [--explain]
       Run the mining pipeline over one-document-per-line input and save
       an annotated store snapshot (named-entity mode when no subjects).
       With --chaos-seed, inject deterministic faults at probability P
       (default 0.05) and report retries / skipped shards. With --metrics,
       also write the run's telemetry snapshot as canonical JSON (same
-      seed ⇒ byte-identical file).
+      seed ⇒ byte-identical file). With --explain, index the mined store
+      and print a per-plan-node query profile (postings scanned, sim-ms)
+      for representative boolean / phrase / range / regex queries.
   wfsm metrics  --file M.json [--json]
   wfsm metrics  --input DOCS.txt [--subjects A,B] [--chaos-seed S]
                 [--fail-rate P] [--json]
@@ -63,7 +68,16 @@ USAGE:
   wfsm query    --snapshot OUT.jsonl --subject NAME [--polarity +|-]
       Query a mined snapshot for a subject's sentiment-bearing sentences.
   wfsm search   --snapshot OUT.jsonl --query 'camera AND (battery OR \"picture quality\")'
-      Boolean/phrase/meta/concept/regex search over a snapshot's index.
+                [--explain]
+      Boolean/phrase/meta/concept/regex/range search over a snapshot's
+      index. With --explain, also print the executed query plan with
+      per-node postings scanned, pruning and simulated cost.
+  wfsm trace    --input DOCS.txt [--subjects A,B] [--chaos-seed S]
+                [--fail-rate P] [--last N] [--format text|json|chrome]
+      Run the mining pipeline in memory and export the flight recorder's
+      last N traces (default 10): an ASCII waterfall (text), a canonical
+      JSON tree (json), or a Chrome trace_event file for chrome://tracing
+      (chrome). Same seed ⇒ byte-identical output.
   wfsm gen-corpus --domain camera|music|petroleum|pharma --out DOCS.txt
                 [--docs N] [--seed S]
       Write a synthetic gold-labeled evaluation corpus, one document per
@@ -184,13 +198,23 @@ fn run_mine_pipeline(
     }
     let docs = read_doc_lines(input)?;
     let store = DataStore::new(4).map_err(|e| e.to_string())?;
-    for (i, text) in docs.iter().enumerate() {
-        store.insert(wf_platform::Entity::new(
-            format!("file://{input}#{i}"),
-            wf_platform::SourceKind::Web,
-            text.clone(),
-        ));
-    }
+    // the whole run is one causal trace: mine → ingest.batch → pipeline.run
+    let mut root = store.telemetry().trace_root("mine");
+    let raw: Vec<RawDocument> = docs
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            RawDocument::new(
+                format!("file://{input}#{i}"),
+                wf_platform::SourceKind::Web,
+                text.clone(),
+            )
+            // zero-padded line number: lets meta:line=[..] range queries
+            // select document windows lexicographically
+            .with_metadata("line", format!("{i:04}"))
+        })
+        .collect();
+    Ingestor::new(&store).ingest_batch_traced(raw, &mut root);
     let names = args.opt_list("subjects");
     let pipeline = if names.is_empty() {
         MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()))
@@ -205,10 +229,12 @@ fn run_mine_pipeline(
                 retry: wf_types::RetryPolicy::default(),
                 health: &[],
             };
-            pipeline.run_with(&store, &ctx)
+            pipeline.run_traced(&store, &ctx, &mut root)
         }
-        None => pipeline.run(&store),
+        None => pipeline.run_traced(&store, &wf_platform::FaultContext::none(), &mut root),
     };
+    root.attr("documents", docs.len().to_string());
+    root.finish();
     Ok((store, stats, chaos_seed, fail_rate))
 }
 
@@ -233,6 +259,36 @@ fn mine(args: &ParsedArgs) -> Result<String, String> {
         std::fs::write(metrics_path, json + "\n")
             .map_err(|e| format!("cannot write {metrics_path}: {e}"))?;
         out.push_str(&format!("metrics snapshot written to {metrics_path}\n"));
+    }
+    if args.flag("explain") {
+        out.push_str(&explain_report(&store)?);
+    }
+    Ok(out)
+}
+
+/// Representative queries profiled by `mine --explain`: one per plan-node
+/// family (boolean combinators, phrase, metadata range, regex).
+const EXPLAIN_QUERIES: [&str; 4] = [
+    "excellent AND NOT terrible",
+    "\"excellent pictures\"",
+    "meta:line=[0000..0002]",
+    "regex:excel.*",
+];
+
+fn explain_report(store: &DataStore) -> Result<String, String> {
+    let indexer = Indexer::new();
+    store.for_each(|e| indexer.index_entity(e));
+    let mut out = String::from("\nQUERY PROFILES (EXPLAIN)\n");
+    for text in EXPLAIN_QUERIES {
+        let query = parse_query(text).map_err(|e| e.to_string())?;
+        let (docs, profile) = indexer.query_explained(&query).map_err(|e| e.to_string())?;
+        out.push_str(&format!("\nquery: {text}\n"));
+        out.push_str(&profile.render_text());
+        out.push_str(&format!(
+            "=> {} document(s), {} sim-ms total\n",
+            docs.len(),
+            profile.total_sim_ms()
+        ));
     }
     Ok(out)
 }
@@ -284,14 +340,13 @@ fn query(args: &ParsedArgs) -> Result<String, String> {
 }
 
 fn search(args: &ParsedArgs) -> Result<String, String> {
-    use wf_platform::parse_query;
     let snapshot = args.require("snapshot")?;
     let query_text = args.require("query")?;
     let query = parse_query(query_text).map_err(|e| e.to_string())?;
     let store = load_store(Path::new(snapshot), 4).map_err(|e| e.to_string())?;
     let indexer = Indexer::new();
     store.for_each(|e| indexer.index_entity(e));
-    let docs = indexer.query(&query).map_err(|e| e.to_string())?;
+    let (docs, profile) = indexer.query_explained(&query).map_err(|e| e.to_string())?;
     let mut out = String::new();
     for doc in &docs {
         let entity = store.get(*doc).map_err(|e| e.to_string())?;
@@ -299,7 +354,29 @@ fn search(args: &ParsedArgs) -> Result<String, String> {
         out.push_str(&format!("{doc}  {}  {preview}\n", entity.uri));
     }
     out.push_str(&format!("{} document(s)\n", docs.len()));
+    if args.flag("explain") {
+        out.push_str("\nplan:\n");
+        out.push_str(&profile.render_text());
+        out.push_str(&format!("total: {} sim-ms\n", profile.total_sim_ms()));
+    }
     Ok(out)
+}
+
+/// Runs the mining pipeline in memory and exports the flight recorder.
+fn trace(args: &ParsedArgs) -> Result<String, String> {
+    let (store, _, _, _) = run_mine_pipeline(args)?;
+    let last: usize = args
+        .opt("last")
+        .map(|v| v.parse().map_err(|e| format!("bad --last: {e}")))
+        .transpose()?
+        .unwrap_or(10);
+    let recorder = store.telemetry().recorder();
+    match args.opt("format").unwrap_or("text") {
+        "text" => Ok(recorder.export_text(last)),
+        "json" => Ok(recorder.export_json_string(last) + "\n"),
+        "chrome" => Ok(recorder.export_chrome_string(last) + "\n"),
+        other => Err(format!("unknown --format {other:?} (text|json|chrome)")),
+    }
 }
 
 fn gen_corpus(args: &ParsedArgs) -> Result<String, String> {
@@ -642,6 +719,128 @@ mod tests {
         assert!(out.contains("1 document(s)"), "{out}");
         std::fs::remove_file(docs).ok();
         std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn mine_explain_profiles_every_query_kind() {
+        let docs = temp_file(
+            "explaindocs",
+            "The Canon takes excellent pictures.\nThe Canon battery is terrible.\n\
+             The Canon lens is sharp.\nThe Canon flash misfires.\n",
+        );
+        let mut snap = std::env::temp_dir();
+        snap.push(format!("wfsm-explain-{}.jsonl", std::process::id()));
+        let out = run_tokens(&[
+            "mine",
+            "--input",
+            docs.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--subjects",
+            "Canon",
+            "--explain",
+        ])
+        .unwrap();
+        assert!(out.contains("QUERY PROFILES (EXPLAIN)"), "{out}");
+        // one profiled plan per query family, each with scan/cost columns
+        for kind in ["\nand ", "\n  not ", "phrase(", "meta_range(", "regex("] {
+            assert!(out.contains(kind), "missing {kind:?} in:\n{out}");
+        }
+        assert!(out.contains("scanned="), "{out}");
+        assert!(out.contains("sim_ms="), "{out}");
+        // the range query actually selects the 0000..0002 line window
+        assert!(out.contains("meta_range(line=[0000..0002])"), "{out}");
+        std::fs::remove_file(docs).ok();
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn search_explain_prints_the_plan() {
+        let docs = temp_file(
+            "searchexplain",
+            "The Canon takes excellent pictures.\nThe song has a great chorus.\n",
+        );
+        let mut snap = std::env::temp_dir();
+        snap.push(format!("wfsm-sexplain-{}.jsonl", std::process::id()));
+        run_tokens(&[
+            "mine",
+            "--input",
+            docs.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_tokens(&[
+            "search",
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--query",
+            "excellent AND NOT chorus",
+            "--explain",
+        ])
+        .unwrap();
+        assert!(out.contains("1 document(s)"), "{out}");
+        assert!(out.contains("plan:"), "{out}");
+        assert!(out.contains("\nand "), "{out}");
+        assert!(out.contains("term(excellent)"), "{out}");
+        std::fs::remove_file(docs).ok();
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn trace_exports_are_deterministic_across_runs() {
+        let docs = temp_file(
+            "tracedocs",
+            "The Canon takes excellent pictures.\nThe Canon battery is terrible.\n\
+             The Canon lens is sharp.\nThe Canon flash misfires.\n",
+        );
+        let run = |format: &str| {
+            run_tokens(&[
+                "trace",
+                "--input",
+                docs.to_str().unwrap(),
+                "--subjects",
+                "Canon",
+                "--chaos-seed",
+                "77",
+                "--fail-rate",
+                "0.2",
+                "--format",
+                format,
+            ])
+            .unwrap()
+        };
+        for format in ["text", "json", "chrome"] {
+            assert_eq!(
+                run(format),
+                run(format),
+                "same seed must export byte-identical {format} traces"
+            );
+        }
+        let text = run("text");
+        assert!(text.contains("mine"), "{text}");
+        assert!(text.contains("shard:"), "{text}");
+        let json = run("json");
+        assert!(json.contains("\"ingest.batch\""), "{json}");
+        assert!(json.contains("\"pipeline.run\""), "{json}");
+        let chrome = run("chrome");
+        assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+        std::fs::remove_file(docs).ok();
+    }
+
+    #[test]
+    fn trace_rejects_unknown_format() {
+        let docs = temp_file("tracefmt", "one line\n");
+        let err = run_tokens(&[
+            "trace",
+            "--input",
+            docs.to_str().unwrap(),
+            "--format",
+            "xml",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown --format"), "{err}");
+        std::fs::remove_file(docs).ok();
     }
 
     #[test]

@@ -167,7 +167,9 @@ impl Cluster {
 
     /// Runs a miner pipeline across all nodes in parallel, honoring node
     /// health (Down shards fail over; a fully-down cluster skips shards
-    /// rather than panicking) and the installed fault plan.
+    /// rather than panicking) and the installed fault plan. Each run is one
+    /// trace in the flight recorder: `cluster.run_pipeline` wrapping the
+    /// pipeline's per-shard span tree.
     pub fn run_pipeline(&self, pipeline: &MinerPipeline) -> PipelineStats {
         let plan = self.fault_plan.read().clone();
         let health = self.healths();
@@ -176,17 +178,26 @@ impl Cluster {
             retry: self.retry_policy(),
             health: &health,
         };
-        pipeline.run_with(&self.store, &ctx)
+        let mut root = self.telemetry.trace_root("cluster.run_pipeline");
+        let stats = pipeline.run_traced(&self.store, &ctx, &mut root);
+        root.attr("processed", stats.processed.to_string());
+        root.attr("failed", stats.failed.to_string());
+        root.finish();
+        stats
     }
 
     /// (Re-)indexes every stored entity, including miner annotations.
     /// Shards owned by Down nodes are indexed by a healthy stand-in; with
-    /// no healthy node left they are skipped and counted.
+    /// no healthy node left they are skipped and counted. Traced as one
+    /// `cluster.rebuild_index` trace with a span per shard (store reads
+    /// inside the scan are deliberately untraced to bound trace volume).
     pub fn rebuild_index(&self) -> IndexRebuildStats {
         let health = self.healths();
         let health_of = |n: usize| health.get(n).copied().unwrap_or(NodeHealth::Up);
         let mut stats = IndexRebuildStats::default();
+        let mut root = self.telemetry.trace_root("cluster.rebuild_index");
         for shard in 0..self.store.shard_count() {
+            let mut span = root.child(format!("shard:{shard}"));
             let executor = match health_of(shard) {
                 NodeHealth::Up | NodeHealth::Degraded => Some(shard),
                 NodeHealth::Down => {
@@ -195,18 +206,27 @@ impl Cluster {
             };
             let Some(executor) = executor else {
                 stats.skipped_shards += 1;
+                span.event("unplaced");
+                span.finish();
                 continue;
             };
             if executor != shard {
                 stats.failed_over += 1;
+                span.event(format!("failover:node:{executor}"));
             }
+            let mut indexed_here = 0usize;
             for id in self.store.shard_ids(NodeId(shard as u32)) {
                 if let Ok(entity) = self.store.get(id) {
                     self.indexer.index_entity(&entity);
-                    stats.indexed += 1;
+                    indexed_here += 1;
                 }
             }
+            stats.indexed += indexed_here;
+            span.attr("indexed", indexed_here.to_string());
+            span.finish();
         }
+        root.attr("indexed", stats.indexed.to_string());
+        root.finish();
         self.telemetry
             .counter("cluster.rebuild.indexed")
             .add(stats.indexed as u64);
@@ -348,6 +368,36 @@ mod tests {
         );
         assert_eq!(snap.counter("index.query.total"), 1);
         assert_eq!(snap.gauge("store.entities"), 6);
+    }
+
+    #[test]
+    fn cluster_ops_leave_traces_in_the_flight_recorder() {
+        let cluster = seeded_cluster(3, 9);
+        cluster.set_health(NodeId(1), NodeHealth::Down);
+        let pipeline = MinerPipeline::new().add(Box::new(LengthMiner));
+        cluster.run_pipeline(&pipeline);
+        cluster.rebuild_index();
+        let traces = cluster.telemetry().recorder().last_traces(2);
+        assert_eq!(traces.len(), 2, "one trace per top-level op");
+        let run = &traces[0].1[0];
+        assert_eq!(run.name, "cluster.run_pipeline");
+        assert!(
+            run.find("cluster.run_pipeline/pipeline.run/shard:2")
+                .is_some(),
+            "pipeline shards nest under the cluster root"
+        );
+        let rebuild = &traces[1].1[0];
+        assert_eq!(rebuild.name, "cluster.rebuild_index");
+        let shard1 = rebuild.find("shard:1").expect("shard:1 span");
+        assert!(
+            shard1
+                .events
+                .iter()
+                .any(|e| e.label.starts_with("failover:")),
+            "down node's shard records its stand-in: {:?}",
+            shard1.events
+        );
+        assert_eq!(rebuild.attrs.get("indexed").map(String::as_str), Some("9"));
     }
 
     #[test]

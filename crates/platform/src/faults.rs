@@ -37,6 +37,19 @@ pub enum FaultKind {
     StoreConflict,
 }
 
+impl FaultKind {
+    /// Stable snake_case label, matching the `bus.faults.*` counter
+    /// names and trace span-event labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::NodeDown => "node_down",
+            FaultKind::ServiceError => "service_error",
+            FaultKind::SlowResponse => "slow_response",
+            FaultKind::StoreConflict => "store_conflict",
+        }
+    }
+}
+
 /// Per-operation probabilities and latency parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultRates {

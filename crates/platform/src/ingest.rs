@@ -11,6 +11,7 @@ use crate::faults::{FaultKind, FaultPlan, FaultStream};
 use crate::index::Indexer;
 use crate::store::DataStore;
 use crate::telemetry::Counter;
+use crate::trace::TraceSpan;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use wf_types::{DocId, Error, Result, RetryPolicy};
@@ -123,6 +124,32 @@ impl<'a> Ingestor<'a> {
     /// terminal fault or exhausted budget drops the document and counts it
     /// in `stats().failed`.
     pub fn try_ingest(&mut self, doc: RawDocument) -> Result<DocId> {
+        self.try_ingest_inner(doc, None)
+    }
+
+    /// [`Ingestor::try_ingest`] as a `doc:<seq>` child span under `parent`
+    /// (`seq` is this ingestor's running document count). Injected faults,
+    /// retries and timeouts become span events; the parent clock advances
+    /// by the simulated time the ingest consumed.
+    pub fn try_ingest_traced(&mut self, doc: RawDocument, parent: &mut TraceSpan) -> Result<DocId> {
+        let seq = self.stats.documents;
+        let mut span = parent.child(format!("doc:{seq}"));
+        let result = self.try_ingest_inner(doc, Some(&mut span));
+        match &result {
+            Ok(id) => span.attr("id", id.0.to_string()),
+            Err(e) => span.event(format!("error: {e}")),
+        }
+        let elapsed = span.elapsed_sim_ms();
+        span.finish();
+        parent.advance(elapsed);
+        result
+    }
+
+    fn try_ingest_inner(
+        &mut self,
+        doc: RawDocument,
+        mut span: Option<&mut TraceSpan>,
+    ) -> Result<DocId> {
         let Some(stream) = self.faults.as_mut() else {
             return Ok(self.ingest(doc));
         };
@@ -133,8 +160,18 @@ impl<'a> Ingestor<'a> {
         let mut elapsed = 0u64;
         for attempt in 0..=self.retry.max_retries {
             let fault = stream.draw();
-            elapsed += stream.latency_ms(fault);
+            let latency = stream.latency_ms(fault);
+            elapsed += latency;
+            if let Some(s) = span.as_deref_mut() {
+                s.advance(latency);
+                if let Some(kind) = fault {
+                    s.event(format!("fault:{}", kind.label()));
+                }
+            }
             if elapsed > self.retry.timeout_budget_ms {
+                if let Some(s) = span.as_deref_mut() {
+                    s.event("timeout");
+                }
                 self.stats.failed += 1;
                 self.metrics.failed.inc();
                 return Err(Error::Timeout(format!(
@@ -157,7 +194,12 @@ impl<'a> Ingestor<'a> {
                     }
                     self.stats.retries += 1;
                     self.metrics.retries.inc();
-                    elapsed += self.retry.backoff_for(attempt + 1);
+                    let backoff = self.retry.backoff_for(attempt + 1);
+                    elapsed += backoff;
+                    if let Some(s) = span.as_deref_mut() {
+                        s.advance(backoff);
+                        s.event(format!("retry:{} backoff:{backoff}ms", attempt + 1));
+                    }
                 }
                 Some(FaultKind::SlowResponse) | None => {
                     return Ok(self.store_doc(doc));
@@ -191,6 +233,27 @@ impl<'a> Ingestor<'a> {
         docs.into_iter()
             .filter_map(|d| self.try_ingest(d).ok())
             .collect()
+    }
+
+    /// [`Ingestor::ingest_batch`] under an `ingest.batch` span: one
+    /// `doc:<seq>` child per document, ingested sequentially on the
+    /// simulated clock.
+    pub fn ingest_batch_traced<I: IntoIterator<Item = RawDocument>>(
+        &mut self,
+        docs: I,
+        parent: &mut TraceSpan,
+    ) -> Vec<DocId> {
+        let mut span = parent.child("ingest.batch");
+        let ids: Vec<DocId> = docs
+            .into_iter()
+            .filter_map(|d| self.try_ingest_traced(d, &mut span).ok())
+            .collect();
+        span.attr("stored", ids.len().to_string());
+        span.attr("documents", self.stats.documents.to_string());
+        let elapsed = span.elapsed_sim_ms();
+        span.finish();
+        parent.advance(elapsed);
+        ids
     }
 
     /// Running statistics.
@@ -298,6 +361,53 @@ mod tests {
         assert_eq!(snap.counter("ingest.bytes"), stats.bytes as u64);
         assert_eq!(snap.counter("ingest.failed"), stats.failed as u64);
         assert_eq!(snap.counter("ingest.retries"), stats.retries);
+    }
+
+    #[test]
+    fn traced_batch_ingest_builds_sequential_doc_spans() {
+        use crate::faults::FaultRates;
+        let store = DataStore::new(2).unwrap();
+        let tele = store.telemetry().clone();
+        let plan = FaultPlan::new(42).with_rates(FaultRates {
+            store_conflict: 0.4,
+            service_error: 0.1,
+            ..FaultRates::default()
+        });
+        let retry = RetryPolicy {
+            max_retries: 5,
+            base_backoff_ms: 1,
+            max_backoff_ms: 8,
+            timeout_budget_ms: 10_000,
+        };
+        let mut ing = Ingestor::new(&store).with_faults(&plan, retry);
+        let mut root = tele.trace_root("op");
+        let docs: Vec<RawDocument> = (0..20)
+            .map(|i| RawDocument::new(format!("u{i}"), SourceKind::Web, "text"))
+            .collect();
+        let ids = ing.ingest_batch_traced(docs, &mut root);
+        let elapsed = root.elapsed_sim_ms();
+        root.finish();
+        let stats = ing.stats();
+
+        let traces = tele.recorder().last_traces(1);
+        let batch = traces[0].1[0].find("op/ingest.batch").expect("batch span");
+        assert_eq!(batch.children.len(), 20, "one span per document");
+        assert_eq!(batch.duration_sim_ms, elapsed, "batch time flows upward");
+        for pair in batch.children.windows(2) {
+            assert_eq!(
+                pair[1].start_sim_ms,
+                pair[0].end_sim_ms(),
+                "docs ingest sequentially on the simulated clock"
+            );
+        }
+        let retry_events: u64 = batch
+            .children
+            .iter()
+            .flat_map(|c| &c.events)
+            .filter(|e| e.label.starts_with("retry:"))
+            .count() as u64;
+        assert_eq!(retry_events, stats.retries, "every retry marked on a span");
+        assert_eq!(batch.attrs.get("stored").unwrap(), &ids.len().to_string());
     }
 
     #[test]

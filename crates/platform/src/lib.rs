@@ -19,7 +19,11 @@
 //!   update conflicts) with retry/backoff on a simulated clock;
 //! - [`telemetry`]: deterministic metrics + span tracing (counters,
 //!   gauges, fixed-bucket histograms over simulated time) shared by every
-//!   component, exported as tables or canonical JSON.
+//!   component, exported as tables or canonical JSON;
+//! - [`trace`]: deterministic causal tracing — trace trees spanning the
+//!   bus, pipeline shards, query plans and store CRUD, retained in a
+//!   fixed-capacity flight recorder and exported as canonical JSON,
+//!   Chrome `trace_event`, or an ASCII waterfall.
 
 pub mod boilerplate;
 pub mod cluster;
@@ -38,6 +42,7 @@ pub mod regex;
 pub mod stats;
 pub mod store;
 pub mod telemetry;
+pub mod trace;
 pub mod vinci;
 
 pub use boilerplate::{TemplateConfig, TemplateDetector};
@@ -49,7 +54,7 @@ pub use faults::{
     CallOutcome, ChaosCluster, FaultKind, FaultPlan, FaultRates, FaultStream, NodeHealth,
 };
 pub use geo::{GeoMiner, Place};
-pub use index::{Indexer, Query};
+pub use index::{Indexer, Query, QueryProfile};
 pub use ingest::{IngestStats, Ingestor, RawDocument};
 pub use miner::{CorpusMiner, EntityMiner, FaultContext, MinerPipeline, PipelineStats};
 pub use pagerank::{pagerank, PageRankConfig, PageRankMiner};
@@ -60,5 +65,9 @@ pub use stats::{corpus_stats, CorpusStats};
 pub use store::DataStore;
 pub use telemetry::{
     Counter, Gauge, Histogram, HistogramSnapshot, Span, Telemetry, TelemetrySnapshot,
+};
+pub use trace::{
+    FlightRecorder, SpanEvent, SpanId, SpanRecord, TraceContext, TraceId, TraceNode, TraceSpan,
+    DEFAULT_TRACE_CAPACITY,
 };
 pub use vinci::{Service, ServiceBus};

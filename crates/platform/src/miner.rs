@@ -16,6 +16,7 @@
 use crate::entity::Entity;
 use crate::faults::{FaultKind, FaultPlan, NodeHealth};
 use crate::store::DataStore;
+use crate::trace::TraceSpan;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use wf_types::{NodeId, Result, RetryPolicy};
 
@@ -146,11 +147,58 @@ impl MinerPipeline {
     /// shard's simulated time lands in `span.pipeline.shard.sim_ms` (in
     /// shard order, so same-seed runs snapshot identically).
     pub fn run_with(&self, store: &DataStore, ctx: &FaultContext<'_>) -> PipelineStats {
+        let mut root = store.telemetry().trace_root("pipeline.run");
+        let stats = self.run_traced_inner(store, ctx, &mut root);
+        root.finish();
+        stats
+    }
+
+    /// [`MinerPipeline::run_with`] as a child span of `parent`, advancing
+    /// the parent's simulated clock by the run's elapsed time. The trace
+    /// tree gains one `shard:<n>` span per shard; injected faults, retries
+    /// and timeouts become events on their shard's span.
+    pub fn run_traced(
+        &self,
+        store: &DataStore,
+        ctx: &FaultContext<'_>,
+        parent: &mut TraceSpan,
+    ) -> PipelineStats {
+        let mut span = parent.child("pipeline.run");
+        let stats = self.run_traced_inner(store, ctx, &mut span);
+        let elapsed = span.elapsed_sim_ms();
+        span.finish();
+        parent.advance(elapsed);
+        stats
+    }
+
+    fn run_traced_inner(
+        &self,
+        store: &DataStore,
+        ctx: &FaultContext<'_>,
+        span: &mut TraceSpan,
+    ) -> PipelineStats {
         let shard_count = store.shard_count();
         let entities_in = store.len() as u64;
-        let results: Vec<PipelineStats> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..shard_count)
-                .map(|shard| scope.spawn(move || self.run_shard_guarded(store, shard, ctx)))
+        // every shard span forks from the same instant; the workers run in
+        // parallel, so afterwards the parent clock jumps to the slowest one
+        let fork_start = span.start_sim_ms() + span.elapsed_sim_ms();
+        let shard_spans: Vec<TraceSpan> = (0..shard_count)
+            .map(|s| span.child(format!("shard:{s}")))
+            .collect();
+        let results: Vec<(PipelineStats, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_spans
+                .into_iter()
+                .enumerate()
+                .map(|(shard, mut sp)| {
+                    scope.spawn(move || {
+                        let stats = self.run_shard_guarded(store, shard, ctx, &mut sp);
+                        sp.attr("processed", stats.processed.to_string());
+                        sp.attr("failed", stats.failed.to_string());
+                        let elapsed = sp.elapsed_sim_ms();
+                        sp.finish();
+                        (stats, elapsed)
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -160,9 +208,12 @@ impl MinerPipeline {
         // merged in shard order: identical fault seeds give byte-identical
         // stats no matter how the workers interleaved
         let mut total = PipelineStats::default();
-        for r in results {
+        let mut slowest = 0u64;
+        for (r, elapsed) in results {
             total.absorb(r);
+            slowest = slowest.max(elapsed);
         }
+        span.advance_to(fork_start + slowest);
         let tele = store.telemetry();
         tele.counter("pipeline.runs").inc();
         tele.counter("pipeline.entities_in").add(entities_in);
@@ -183,16 +234,21 @@ impl MinerPipeline {
     }
 
     /// One shard, panic-safe: a crash inside a miner converts the whole
-    /// shard into counted failures instead of poisoning the run.
+    /// shard into counted failures instead of poisoning the run — and
+    /// leaves a `panicked` event on the shard's span, which keeps the
+    /// simulated time it had accrued up to the crash (it used to be lost,
+    /// reported as 0).
     fn run_shard_guarded(
         &self,
         store: &DataStore,
         shard: usize,
         ctx: &FaultContext<'_>,
+        span: &mut TraceSpan,
     ) -> PipelineStats {
         let shard_len = store.shard_ids(NodeId(shard as u32)).len();
         let Some(executor) = ctx.executor_for(shard, store.shard_count()) else {
             // whole cluster down: shard cannot be placed
+            span.event("unplaced");
             return PipelineStats {
                 failed: shard_len,
                 skipped_shards: 1,
@@ -201,22 +257,28 @@ impl MinerPipeline {
             };
         };
         let failed_over = executor != shard;
+        if failed_over {
+            span.event(format!("failover:node:{executor}"));
+        }
         match catch_unwind(AssertUnwindSafe(|| {
-            self.run_shard(store, shard, executor, ctx)
+            self.run_shard(store, shard, executor, ctx, span)
         })) {
             Ok(mut stats) => {
                 stats.failed_over = usize::from(failed_over);
                 stats
             }
-            Err(_) => PipelineStats {
-                // conservative accounting: a crashed worker forfeits the
-                // shard, so every entity in it counts as failed
-                failed: shard_len,
-                skipped_shards: 1,
-                failed_over: usize::from(failed_over),
-                shard_sim_ms: vec![0],
-                ..PipelineStats::default()
-            },
+            Err(_) => {
+                span.event("panicked");
+                PipelineStats {
+                    // conservative accounting: a crashed worker forfeits the
+                    // shard, so every entity in it counts as failed
+                    failed: shard_len,
+                    skipped_shards: 1,
+                    failed_over: usize::from(failed_over),
+                    shard_sim_ms: vec![span.elapsed_sim_ms()],
+                    ..PipelineStats::default()
+                }
+            }
         }
     }
 
@@ -228,6 +290,7 @@ impl MinerPipeline {
         shard: usize,
         executor: usize,
         ctx: &FaultContext<'_>,
+        span: &mut TraceSpan,
     ) -> PipelineStats {
         let mut stats = PipelineStats::default();
         let mut sim_ms = 0u64;
@@ -240,15 +303,23 @@ impl MinerPipeline {
         for id in store.shard_ids(NodeId(shard as u32)) {
             // retry loop per entity: injected transient faults (node blip,
             // store conflict) back off and try again on the simulated
-            // clock; terminal faults and exhausted budgets count as failed
+            // clock; terminal faults and exhausted budgets count as failed.
+            // The shard span's clock advances in lockstep with
+            // `entity_elapsed`, so span duration == shard_sim_ms.
             let mut entity_elapsed = 0u64;
             let mut outcome: Option<bool> = None; // Some(ok) once decided
             for attempt in 0..=ctx.retry.max_retries {
                 let fault = stream.as_mut().and_then(|s| s.draw());
-                entity_elapsed += stream.as_ref().map(|s| s.latency_ms(fault)).unwrap_or(0);
+                let latency = stream.as_ref().map(|s| s.latency_ms(fault)).unwrap_or(0);
+                entity_elapsed += latency;
+                span.advance(latency);
                 if entity_elapsed > ctx.retry.timeout_budget_ms {
+                    span.event(format!("timeout doc={}", id.0));
                     outcome = Some(false); // budget exhausted: timeout
                     break;
+                }
+                if let Some(kind) = fault {
+                    span.event(format!("fault:{} doc={}", kind.label(), id.0));
                 }
                 match fault {
                     Some(FaultKind::ServiceError) => {
@@ -264,15 +335,23 @@ impl MinerPipeline {
                             break;
                         }
                         stats.retries += 1;
-                        entity_elapsed += ctx.retry.backoff_for(attempt + 1);
+                        let backoff = ctx.retry.backoff_for(attempt + 1);
+                        entity_elapsed += backoff;
+                        span.advance(backoff);
+                        span.event(format!(
+                            "retry:{} doc={} backoff:{backoff}ms",
+                            attempt + 1,
+                            id.0
+                        ));
                         if entity_elapsed > ctx.retry.timeout_budget_ms {
+                            span.event(format!("timeout doc={}", id.0));
                             outcome = Some(false);
                             break;
                         }
                         continue;
                     }
                     Some(FaultKind::SlowResponse) | None => {
-                        outcome = Some(self.mine_one(store, id));
+                        outcome = Some(self.mine_one(store, id, span));
                         break;
                     }
                 }
@@ -287,9 +366,13 @@ impl MinerPipeline {
         stats
     }
 
-    /// Applies the miner chain to one entity; true on clean success.
-    fn mine_one(&self, store: &DataStore, id: wf_types::DocId) -> bool {
-        let updated = store.update(id, |entity| {
+    /// Applies the miner chain to one entity; true on clean success. Store
+    /// round-trips appear as `store.update:<id>` / `store.get:<id>` child
+    /// spans — if a miner panics mid-update, the in-flight span still
+    /// records on unwind (via Drop), so the flight recorder keeps the
+    /// partial trace.
+    fn mine_one(&self, store: &DataStore, id: wf_types::DocId, span: &mut TraceSpan) -> bool {
+        let updated = store.update_traced(id, span, |entity| {
             for miner in &self.miners {
                 if miner.process(entity).is_err() {
                     // mark and stop the chain for this entity
@@ -302,7 +385,7 @@ impl MinerPipeline {
         });
         match updated {
             Ok(()) => store
-                .get(id)
+                .get_traced(id, span)
                 .ok()
                 .is_none_or(|e| !e.metadata.contains_key("miner-error")),
             Err(_) => false,
@@ -497,5 +580,79 @@ mod tests {
         assert_eq!(stats.processed + stats.failed, store.len());
         assert_eq!(stats.processed, 2, "healthy shard unaffected");
         assert_eq!(stats.failed, 2, "crashed shard counted failed");
+    }
+
+    #[test]
+    fn crashed_shard_span_keeps_accrued_time_and_panicked_event() {
+        let store = DataStore::new(2).unwrap();
+        store.insert(Entity::new("a", SourceKind::Web, "fine")); // doc 0, shard 0
+        store.insert(Entity::new("b", SourceKind::Web, "fine")); // doc 1, shard 1
+        store.insert(Entity::new("c", SourceKind::Web, "fine")); // doc 2, shard 0
+        store.insert(Entity::new("d", SourceKind::Web, "poison pill")); // doc 3, shard 1
+        let plan = FaultPlan::new(7); // zero fault rates, 1 sim-ms per op
+        let ctx = FaultContext {
+            plan: Some(&plan),
+            retry: RetryPolicy::default(),
+            health: &[],
+        };
+        let stats = MinerPipeline::new()
+            .add(Box::new(PanicMiner))
+            .run_with(&store, &ctx);
+        assert_eq!(stats.skipped_shards, 1);
+        // the crashed shard mined doc 1 (1 ms) and reached doc 3 (1 ms)
+        // before the panic: that time must not be lost
+        assert_eq!(stats.shard_sim_ms, vec![2, 2]);
+
+        let traces = store.telemetry().recorder().last_traces(1);
+        assert_eq!(traces.len(), 1);
+        let root = &traces[0].1[0];
+        assert_eq!(root.name, "pipeline.run");
+        let crashed = root.find("pipeline.run/shard:1").expect("shard:1 span");
+        assert_eq!(crashed.duration_sim_ms, 2, "accrued sim time survives");
+        assert!(
+            crashed.events.iter().any(|e| e.label == "panicked"),
+            "crash marked on the span: {:?}",
+            crashed.events
+        );
+        // the update that panicked still recorded (on unwind, via Drop)
+        assert!(root.find("shard:1/store.update:3").is_some());
+    }
+
+    #[test]
+    fn traced_run_nests_under_parent_and_advances_its_clock() {
+        let store = seeded_store(3, 9);
+        let tele = store.telemetry().clone();
+        let plan = FaultPlan::new(11);
+        let ctx = FaultContext {
+            plan: Some(&plan),
+            retry: RetryPolicy::default(),
+            health: &[],
+        };
+        let mut op = tele.trace_root("op");
+        let stats = MinerPipeline::new()
+            .add(Box::new(Tagger))
+            .run_traced(&store, &ctx, &mut op);
+        let elapsed = op.elapsed_sim_ms();
+        op.finish();
+        assert_eq!(stats.processed, 9);
+        // parallel shards: the run costs as much as its slowest shard
+        let slowest = *stats.shard_sim_ms.iter().max().unwrap();
+        assert_eq!(elapsed, slowest);
+        let traces = tele.recorder().last_traces(1);
+        let run = traces[0].1[0]
+            .find("op/pipeline.run")
+            .expect("pipeline.run");
+        assert_eq!(run.duration_sim_ms, slowest);
+        assert_eq!(
+            run.children.len(),
+            3,
+            "one span per shard: {:?}",
+            run.children.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
+        for (shard, child) in run.children.iter().enumerate() {
+            assert_eq!(child.name, format!("shard:{shard}"));
+            assert_eq!(child.duration_sim_ms, stats.shard_sim_ms[shard]);
+            assert_eq!(child.start_sim_ms, run.start_sim_ms, "forked together");
+        }
     }
 }

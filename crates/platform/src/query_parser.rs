@@ -7,7 +7,7 @@
 //! ```text
 //! camera AND (battery OR "picture quality") AND NOT music
 //! meta:domain=digital-camera AND concept:sentiment:polarity=+
-//! regex:nr[0-9]+ AND camera
+//! meta:date=[2004-02..2004-03] AND regex:nr[0-9]+
 //! ```
 //!
 //! Grammar (case-insensitive keywords, AND binds tighter than OR):
@@ -17,10 +17,14 @@
 //! and-expr  := unary (AND? unary)*        adjacent terms imply AND
 //! unary     := NOT unary | atom
 //! atom      := '(' or-expr ')' | '"' word+ '"' | meta:field=value
-//!            | concept:token | regex:pattern | word
+//!            | meta:field=[lo..hi] | concept:token | regex:pattern | word
 //! ```
+//!
+//! Regex patterns are validated at parse time, so a malformed pattern is
+//! a parse error rather than a deferred execution error.
 
 use crate::index::Query;
+use crate::regex::Regex;
 use wf_types::{Error, Result};
 
 /// Parses a query string into the indexer's [`Query`] AST.
@@ -46,6 +50,7 @@ enum Tok {
     RParen,
     Phrase(Vec<String>),
     Meta(String, String),
+    MetaRange(String, String, String),
     Concept(String),
     Regex(String),
     Word(String),
@@ -128,6 +133,23 @@ fn classify(raw: &str) -> Result<Tok> {
         if field.is_empty() || value.is_empty() {
             return Err(Error::Query(format!("empty meta field/value in {raw:?}")));
         }
+        // range form: meta:field=[lo..hi] (inclusive, lexicographic)
+        if let Some(body) = value.strip_prefix('[') {
+            let Some(body) = body.strip_suffix(']') else {
+                return Err(Error::Query(format!("unclosed range bracket in {raw:?}")));
+            };
+            let Some((lo, hi)) = body.split_once("..") else {
+                return Err(Error::Query(format!("range needs lo..hi in {raw:?}")));
+            };
+            if lo.is_empty() || hi.is_empty() {
+                return Err(Error::Query(format!("empty range bound in {raw:?}")));
+            }
+            return Ok(Tok::MetaRange(
+                field.to_string(),
+                lo.to_string(),
+                hi.to_string(),
+            ));
+        }
         return Ok(Tok::Meta(field.to_string(), value.to_string()));
     }
     if let Some(rest) = raw.strip_prefix("concept:") {
@@ -139,6 +161,11 @@ fn classify(raw: &str) -> Result<Tok> {
     if let Some(rest) = raw.strip_prefix("regex:") {
         if rest.is_empty() {
             return Err(Error::Query("empty regex pattern".into()));
+        }
+        // fail fast: a malformed pattern is a parse error, not an
+        // execution-time surprise
+        if let Err(e) = Regex::new(rest) {
+            return Err(Error::Query(format!("invalid regex {rest:?}: {e}")));
         }
         return Ok(Tok::Regex(rest.to_string()));
     }
@@ -215,6 +242,7 @@ impl QueryParser {
             }
             Tok::Phrase(words) => Query::Phrase(words),
             Tok::Meta(field, value) => Query::MetaEquals(field, value),
+            Tok::MetaRange(field, lo, hi) => Query::MetaRange { field, lo, hi },
             Tok::Concept(token) => Query::Concept(token),
             Tok::Regex(pattern) => Query::Regex(pattern),
             Tok::Word(word) => Query::Term(word),
@@ -326,6 +354,66 @@ mod tests {
         assert!(parse_query("meta:nofield").is_err());
         assert!(parse_query("concept:").is_err());
         assert!(parse_query("AND").is_err());
+    }
+
+    #[test]
+    fn range_atoms() {
+        assert_eq!(
+            parse_query("meta:date=[2004-02..2004-03]").unwrap(),
+            Query::MetaRange {
+                field: "date".into(),
+                lo: "2004-02".into(),
+                hi: "2004-03".into(),
+            }
+        );
+        assert_eq!(
+            parse_query("camera meta:line=[0001..0010]").unwrap(),
+            Query::And(vec![
+                Query::Term("camera".into()),
+                Query::MetaRange {
+                    field: "line".into(),
+                    lo: "0001".into(),
+                    hi: "0010".into(),
+                },
+            ])
+        );
+    }
+
+    fn err_of(input: &str) -> String {
+        parse_query(input).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn unbalanced_paren_errors_name_the_problem() {
+        assert!(err_of("(a OR b").contains("unclosed parenthesis"));
+        assert!(err_of("((a)").contains("unclosed parenthesis"));
+        assert!(err_of("a )").contains("trailing input"));
+        assert!(err_of(")").contains("unexpected token"));
+    }
+
+    #[test]
+    fn empty_phrase_is_rejected() {
+        assert!(err_of("\"\"").contains("empty phrase"));
+        assert!(err_of("\"   \"").contains("empty phrase"));
+        assert!(err_of("camera \"\"").contains("empty phrase"));
+    }
+
+    #[test]
+    fn malformed_ranges_are_rejected() {
+        assert!(err_of("meta:date=[2004-02..2004-03").contains("unclosed range bracket"));
+        assert!(err_of("meta:date=[2004-022004-03]").contains("range needs lo..hi"));
+        assert!(err_of("meta:date=[..2004-03]").contains("empty range bound"));
+        assert!(err_of("meta:date=[2004-02..]").contains("empty range bound"));
+        assert!(err_of("meta:=[a..b]").contains("empty meta field"));
+    }
+
+    #[test]
+    fn malformed_regex_fails_at_parse_time() {
+        // note: `(` splits bare tokens in the lexer, so broken-class
+        // patterns are the representative malformed inputs here
+        assert!(err_of("regex:[a-").contains("invalid regex"));
+        assert!(err_of("regex:[abc").contains("invalid regex"));
+        assert!(parse_query("regex:nr[0-9]+").is_ok());
     }
 
     #[test]

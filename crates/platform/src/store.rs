@@ -7,6 +7,7 @@
 
 use crate::entity::Entity;
 use crate::telemetry::{Counter, Gauge, Telemetry};
+use crate::trace::TraceSpan;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -153,6 +154,43 @@ impl DataStore {
             None => self.metrics.delete_miss.inc(),
         }
         removed
+    }
+
+    /// [`DataStore::get`] with a `store.get:<id>` child span under
+    /// `parent` (a miss becomes a `miss` span event).
+    pub fn get_traced(&self, id: DocId, parent: &mut TraceSpan) -> Result<Entity> {
+        let mut span = parent.child(format!("store.get:{}", id.0));
+        let result = self.get(id);
+        if result.is_err() {
+            span.event("miss");
+        }
+        span.finish();
+        result
+    }
+
+    /// [`DataStore::update`] with a `store.update:<id>` child span under
+    /// `parent` (a miss becomes a `miss` span event).
+    pub fn update_traced<F: FnOnce(&mut Entity)>(
+        &self,
+        id: DocId,
+        parent: &mut TraceSpan,
+        f: F,
+    ) -> Result<()> {
+        let mut span = parent.child(format!("store.update:{}", id.0));
+        let result = self.update(id, f);
+        if result.is_err() {
+            span.event("miss");
+        }
+        span.finish();
+        result
+    }
+
+    /// [`DataStore::insert`] with a `store.insert:<id>` child span under
+    /// `parent` (named by the assigned id).
+    pub fn insert_traced(&self, entity: Entity, parent: &mut TraceSpan) -> DocId {
+        let id = self.insert(entity);
+        parent.child(format!("store.insert:{}", id.0)).finish();
+        id
     }
 
     /// Total number of stored entities.

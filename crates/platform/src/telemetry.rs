@@ -26,6 +26,7 @@
 //! one `fetch_add`, and because every recorded value is itself
 //! deterministic, concurrent merging cannot perturb a snapshot.
 
+use crate::trace::{FlightRecorder, TraceSpan, DEFAULT_TRACE_CAPACITY};
 use parking_lot::RwLock;
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -131,6 +132,14 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// Estimates the `p`-th percentile (0..=100) from the bucket counts:
+    /// the upper bound of the bucket containing the rank-`⌈p·count⌉`
+    /// observation, clamped to the observed max (so single-value and
+    /// overflow-heavy histograms report exact extremes). 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.snapshot().percentile(p)
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count();
         HistogramSnapshot {
@@ -199,17 +208,53 @@ impl Drop for Span {
 ///
 /// Handles are get-or-create by name and cheap to clone; components
 /// resolve them once at construction so hot paths touch only atomics.
-#[derive(Debug, Default)]
+/// Also owns the cluster's trace [`FlightRecorder`]; the snapshot merges
+/// its `trace.spans` / `trace.evicted` totals into the counter section.
+#[derive(Debug)]
 pub struct Telemetry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    recorder: Arc<FlightRecorder>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry {
+            counters: RwLock::default(),
+            gauges: RwLock::default(),
+            histograms: RwLock::default(),
+            recorder: FlightRecorder::with_capacity(DEFAULT_TRACE_CAPACITY),
+        }
+    }
 }
 
 impl Telemetry {
-    /// A fresh, empty, shareable registry.
+    /// A fresh, empty, shareable registry with the default trace
+    /// capacity ([`DEFAULT_TRACE_CAPACITY`] retained spans).
     pub fn new() -> Arc<Telemetry> {
         Arc::new(Telemetry::default())
+    }
+
+    /// A registry whose flight recorder retains up to `capacity`
+    /// completed spans (0 disables tracing entirely).
+    pub fn with_trace_capacity(capacity: usize) -> Arc<Telemetry> {
+        Arc::new(Telemetry {
+            counters: RwLock::default(),
+            gauges: RwLock::default(),
+            histograms: RwLock::default(),
+            recorder: FlightRecorder::with_capacity(capacity),
+        })
+    }
+
+    /// The trace flight recorder owned by this registry.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Opens a new trace rooted at `name` (one per top-level operation).
+    pub fn trace_root(&self, name: impl Into<String>) -> TraceSpan {
+        self.recorder.root(name)
     }
 
     /// The counter registered under `name` (created on first use).
@@ -269,15 +314,24 @@ impl Telemetry {
 
     /// A point-in-time copy of every metric. Deterministic: names are
     /// ordered, and every recorded value traces back to the seeded
-    /// simulation, never to wall time.
+    /// simulation, never to wall time. Once any span has been recorded,
+    /// the flight recorder's totals appear as `trace.spans` /
+    /// `trace.evicted` counters.
     pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut counters: BTreeMap<String, u64> = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let recorded = self.recorder.recorded();
+        let evicted = self.recorder.evicted();
+        if recorded > 0 || evicted > 0 {
+            counters.insert("trace.spans".to_string(), recorded);
+            counters.insert("trace.evicted".to_string(), evicted);
+        }
         TelemetrySnapshot {
-            counters: self
-                .counters
-                .read()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
+            counters,
             gauges: self
                 .gauges
                 .read()
@@ -306,6 +360,34 @@ pub struct HistogramSnapshot {
     /// Non-empty buckets as `(upper_bound, count)`; `None` is the
     /// overflow bucket.
     pub buckets: Vec<(Option<u64>, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `p`-th percentile (0..=100) from the bucket counts:
+    /// the upper bound of the bucket containing the rank-`⌈p·count⌉`
+    /// observation, clamped to the observed max; the overflow bucket
+    /// reports the max. Returns 0 for an empty histogram.
+    ///
+    /// Derived purely from `(count, max, buckets)`, so it needs no extra
+    /// serialized state: exports compute it on the fly and re-exports of
+    /// parsed snapshots reproduce it bit-for-bit.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (((p.clamp(0.0, 100.0) / 100.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (bound, bucket_count) in &self.buckets {
+            cumulative += bucket_count;
+            if cumulative >= rank {
+                return match bound {
+                    Some(b) => (*b).min(self.max),
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
 }
 
 /// Frozen state of a whole registry; compares bit-for-bit.
@@ -351,14 +433,20 @@ impl TelemetrySnapshot {
             out.push_str("HISTOGRAMS\n");
             let _ = writeln!(
                 out,
-                "  {:<44} {:>8} {:>10} {:>8} {:>8}",
-                "name", "count", "sum", "min", "max"
+                "  {:<44} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "name", "count", "sum", "min", "max", "p50", "p95", "p99"
             );
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<44} {:>8} {:>10} {:>8} {:>8}",
-                    h.count, h.sum, h.min, h.max
+                    "  {name:<44} {:>8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.max,
+                    h.percentile(50.0),
+                    h.percentile(95.0),
+                    h.percentile(99.0)
                 );
             }
         }
@@ -409,6 +497,11 @@ impl TelemetrySnapshot {
                 o.insert("count".to_string(), Value::from(h.count));
                 o.insert("max".to_string(), Value::from(h.max));
                 o.insert("min".to_string(), Value::from(h.min));
+                // percentiles are derived from the buckets at export time
+                // (the parser recomputes rather than stores them)
+                o.insert("p50".to_string(), Value::from(h.percentile(50.0)));
+                o.insert("p95".to_string(), Value::from(h.percentile(95.0)));
+                o.insert("p99".to_string(), Value::from(h.percentile(99.0)));
                 o.insert("sum".to_string(), Value::from(h.sum));
                 (k.clone(), Value::Object(o))
             })
@@ -546,6 +639,58 @@ mod tests {
         let hs = snap.histogram("quiet").unwrap();
         assert_eq!((hs.count, hs.sum, hs.min, hs.max), (0, 0, 0, 0));
         assert!(hs.buckets.is_empty());
+    }
+
+    #[test]
+    fn percentiles_follow_bucket_bounds() {
+        let tele = Telemetry::new();
+        let h = tele.histogram_with("lat", &[10, 100, 1000]);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // ranks 50/95/99 land in the le-10 / le-100 buckets
+        assert_eq!(h.percentile(50.0), 100);
+        assert_eq!(h.percentile(95.0), 100);
+        assert_eq!(h.percentile(99.0), 100);
+        assert_eq!(h.percentile(0.0), 10, "rank clamps to the first bucket");
+        let snap = tele.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        assert_eq!(hs.percentile(5.0), 10);
+        assert_eq!(hs.percentile(100.0), 100);
+    }
+
+    #[test]
+    fn percentile_clamps_to_observed_extremes() {
+        let tele = Telemetry::new();
+        let h = tele.histogram("one");
+        h.record(5); // lands in the le-8 bucket
+        assert_eq!(h.percentile(50.0), 5, "clamped to max, not the bound");
+        let overflow = tele.histogram_with("over", &[4]);
+        overflow.record(1_000_000);
+        assert_eq!(
+            overflow.percentile(99.0),
+            1_000_000,
+            "overflow bucket reports the max"
+        );
+        let empty = tele.histogram("empty");
+        assert_eq!(empty.percentile(50.0), 0);
+    }
+
+    #[test]
+    fn trace_counters_merge_into_snapshot() {
+        let tele = Telemetry::with_trace_capacity(2);
+        assert_eq!(
+            tele.snapshot().counter("trace.spans"),
+            0,
+            "quiet recorder stays out of the snapshot"
+        );
+        assert!(!tele.snapshot().counters.contains_key("trace.spans"));
+        for i in 0..3 {
+            tele.trace_root(format!("op:{i}")).finish();
+        }
+        let snap = tele.snapshot();
+        assert_eq!(snap.counter("trace.spans"), 3);
+        assert_eq!(snap.counter("trace.evicted"), 1);
     }
 
     #[test]

@@ -1,0 +1,808 @@
+//! Deterministic causal tracing on the simulated-ms clock.
+//!
+//! Flat counters (see [`telemetry`](crate::telemetry)) say *how much*; a
+//! trace says *why*. A [`TraceSpan`] context is created at every
+//! top-level operation (CLI `mine`, `Cluster::run_pipeline`,
+//! `rebuild_index`, an ingest batch) and propagated through the service
+//! bus (carried in the request envelope, so retries and timeouts become
+//! child-span events), the miner pipeline (one child span per shard,
+//! per-entity retry events), index query execution (one span per
+//! query-plan node) and store CRUD. Completed spans land in a
+//! fixed-capacity [`FlightRecorder`] ring buffer owned by the shared
+//! [`Telemetry`](crate::telemetry::Telemetry) registry; eviction is
+//! oldest-first and counted.
+//!
+//! **Determinism.** Spans accumulate **simulated** milliseconds — the
+//! same virtual clock the fault subsystem advances — and never read wall
+//! time. Raw trace/span ids are allocated from atomics (and therefore
+//! interleaving-dependent), so no raw id ever appears in an export:
+//! exporters rebuild each trace as a tree, sort children by
+//! `(start_sim_ms, path)`, and assign canonical ids in depth-first
+//! order. Sibling spans are given unique names (`shard:3`,
+//! `store.update:17`, `bus:search#2`) so the sort is total. Consequence:
+//! the same chaos seed yields byte-identical JSON, Chrome
+//! `trace_event`, and ASCII-waterfall exports no matter how worker
+//! threads interleaved.
+
+use parking_lot::Mutex;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifies one causal tree of spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within the recorder. Raw values are allocation
+/// order and never exported; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// A point event inside a span (a retry, an injected fault, a panic),
+/// stamped with the absolute simulated time within its trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    pub at_sim_ms: u64,
+    pub label: String,
+}
+
+/// A completed span as stored in the flight recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub trace: TraceId,
+    pub id: SpanId,
+    pub parent: Option<SpanId>,
+    /// Last path component, unique among siblings (`shard:2`).
+    pub name: String,
+    /// Stable `/`-joined path from the trace root.
+    pub path: String,
+    /// Absolute simulated start within the trace.
+    pub start_sim_ms: u64,
+    pub duration_sim_ms: u64,
+    pub events: Vec<SpanEvent>,
+    pub attrs: BTreeMap<String, String>,
+}
+
+/// Default flight-recorder capacity (completed spans retained).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// The flight recorder: a fixed-capacity ring buffer of completed spans.
+///
+/// Pushes claim a slot with one `fetch_add` and overwrite the oldest
+/// record once the ring wraps (eviction is oldest-first and counted).
+/// Capacity 0 disables recording entirely (spans become cheap no-ops on
+/// finish).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<(u64, SpanRecord)>>>,
+    seq: AtomicU64,
+    next_trace: AtomicU64,
+    next_span: AtomicU64,
+    recorded: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining up to `capacity` completed spans.
+    pub fn with_capacity(capacity: usize) -> Arc<FlightRecorder> {
+        Arc::new(FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            seq: AtomicU64::new(0),
+            next_trace: AtomicU64::new(0),
+            next_span: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        })
+    }
+
+    /// Maximum number of retained spans.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Completed spans ever recorded (including since-evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans overwritten by newer ones after the ring wrapped.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Opens a new trace rooted at `name`.
+    pub fn root(self: &Arc<Self>, name: impl Into<String>) -> TraceSpan {
+        let name = name.into();
+        TraceSpan {
+            rec: Arc::clone(self),
+            trace: TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed) + 1),
+            id: self.next_span_id(),
+            parent: None,
+            path: name.clone(),
+            name,
+            start_sim_ms: 0,
+            elapsed_sim_ms: 0,
+            events: Vec::new(),
+            attrs: BTreeMap::new(),
+            finished: false,
+        }
+    }
+
+    fn next_span_id(&self) -> SpanId {
+        SpanId(self.next_span.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    fn push(&self, record: SpanRecord) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut slot = self.slots[(seq as usize) % self.slots.len()].lock();
+        if slot.is_some() {
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        *slot = Some((seq, record));
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Retained spans in completion order (oldest surviving first).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<(u64, SpanRecord)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| slot.lock().clone())
+            .collect();
+        out.sort_by_key(|(seq, _)| *seq);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Distinct trace ids with at least one retained span, ascending
+    /// (trace ids are allocated in top-level-operation order).
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let mut ids: Vec<TraceId> = self.records().iter().map(|r| r.trace).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// The canonical tree(s) of one trace: children sorted by
+    /// `(start_sim_ms, path)`, orphans (evicted parents) promoted to
+    /// roots. Usually exactly one root.
+    pub fn trace(&self, trace: TraceId) -> Vec<TraceNode> {
+        let records: Vec<SpanRecord> = self
+            .records()
+            .into_iter()
+            .filter(|r| r.trace == trace)
+            .collect();
+        build_trace_tree(records)
+    }
+
+    /// The last `n` traces (by trace id), oldest first.
+    pub fn last_traces(&self, n: usize) -> Vec<(TraceId, Vec<TraceNode>)> {
+        let ids = self.trace_ids();
+        let skip = ids.len().saturating_sub(n);
+        ids[skip..].iter().map(|&id| (id, self.trace(id))).collect()
+    }
+
+    /// Canonical JSON export of the last `n` traces: stable key order,
+    /// canonical ids in depth-first order.
+    pub fn export_json(&self, n: usize) -> Value {
+        let traces = self
+            .last_traces(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (_, roots))| {
+                let mut next_id = 1u64;
+                let spans: Vec<Value> = roots
+                    .iter()
+                    .map(|r| node_to_json(r, &mut next_id))
+                    .collect();
+                let mut obj = BTreeMap::new();
+                obj.insert("spans".to_string(), Value::Array(spans));
+                obj.insert("trace".to_string(), Value::from((i + 1) as u64));
+                Value::Object(obj)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("traces".to_string(), Value::Array(traces));
+        Value::Object(root)
+    }
+
+    /// Pretty-printed canonical JSON export.
+    pub fn export_json_string(&self, n: usize) -> String {
+        serde_json::to_string_pretty(&self.export_json(n)).expect("Value renders infallibly")
+    }
+
+    /// Chrome `trace_event` export (load in `about:tracing` / Perfetto):
+    /// one complete (`ph:"X"`) event per span, one instant (`ph:"i"`)
+    /// event per span event; `pid` is the canonical trace index, `tid`
+    /// the canonical span id, timestamps in microseconds of simulated
+    /// time.
+    pub fn export_chrome(&self, n: usize) -> Value {
+        let mut out = Vec::new();
+        for (i, (_, roots)) in self.last_traces(n).into_iter().enumerate() {
+            let pid = (i + 1) as u64;
+            let mut next_id = 1u64;
+            for root in &roots {
+                node_to_chrome(root, pid, &mut next_id, &mut out);
+            }
+        }
+        let mut obj = BTreeMap::new();
+        obj.insert("displayTimeUnit".to_string(), Value::from("ms"));
+        obj.insert("traceEvents".to_string(), Value::Array(out));
+        Value::Object(obj)
+    }
+
+    /// Pretty-printed Chrome export.
+    pub fn export_chrome_string(&self, n: usize) -> String {
+        serde_json::to_string_pretty(&self.export_chrome(n)).expect("Value renders infallibly")
+    }
+
+    /// ASCII waterfall of the last `n` traces, for the CLI.
+    pub fn export_text(&self, n: usize) -> String {
+        let traces = self.last_traces(n);
+        if traces.is_empty() {
+            return "(no traces recorded)\n".to_string();
+        }
+        let mut out = String::new();
+        for (i, (_, roots)) in traces.iter().enumerate() {
+            let spans: usize = roots.iter().map(TraceNode::span_count).sum();
+            let end = roots.iter().map(|r| r.end_sim_ms()).max().unwrap_or(0);
+            let _ = writeln!(out, "trace {} · {spans} span(s) · {end} sim-ms", i + 1);
+            for root in roots {
+                node_to_text(root, 1, &mut out);
+            }
+        }
+        out
+    }
+}
+
+/// A span in flight. Accumulates simulated milliseconds, point events
+/// and attributes; records itself into the flight recorder on
+/// [`TraceSpan::finish`] **or drop** — a span abandoned by a panicking
+/// worker still lands in the recorder with whatever it accumulated.
+#[derive(Debug)]
+pub struct TraceSpan {
+    rec: Arc<FlightRecorder>,
+    trace: TraceId,
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: String,
+    path: String,
+    start_sim_ms: u64,
+    elapsed_sim_ms: u64,
+    events: Vec<SpanEvent>,
+    attrs: BTreeMap<String, String>,
+    finished: bool,
+}
+
+impl TraceSpan {
+    /// Opens a child span starting at this span's current simulated
+    /// time. Give siblings unique names (`shard:2`, `doc:17`) — the
+    /// canonical export sorts by `(start, path)`.
+    pub fn child(&self, name: impl Into<String>) -> TraceSpan {
+        let name = name.into();
+        TraceSpan {
+            rec: Arc::clone(&self.rec),
+            trace: self.trace,
+            id: self.rec.next_span_id(),
+            parent: Some(self.id),
+            path: format!("{}/{}", self.path, name),
+            name,
+            start_sim_ms: self.end_sim_ms(),
+            elapsed_sim_ms: 0,
+            events: Vec::new(),
+            attrs: BTreeMap::new(),
+            finished: false,
+        }
+    }
+
+    /// Advances the span's simulated clock.
+    pub fn advance(&mut self, sim_ms: u64) {
+        self.elapsed_sim_ms = self.elapsed_sim_ms.saturating_add(sim_ms);
+    }
+
+    /// Advances to an absolute simulated time within the trace (no-op
+    /// when already past it). Used to sync a parent to its slowest
+    /// parallel child.
+    pub fn advance_to(&mut self, abs_sim_ms: u64) {
+        let target = abs_sim_ms.saturating_sub(self.start_sim_ms);
+        self.elapsed_sim_ms = self.elapsed_sim_ms.max(target);
+    }
+
+    /// Records a point event at the current simulated time.
+    pub fn event(&mut self, label: impl Into<String>) {
+        let at = self.end_sim_ms();
+        self.events.push(SpanEvent {
+            at_sim_ms: at,
+            label: label.into(),
+        });
+    }
+
+    /// Attaches a key/value attribute (later writes win).
+    pub fn attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.attrs.insert(key.into(), value.into());
+    }
+
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
+    }
+
+    pub fn span_id(&self) -> SpanId {
+        self.id
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Absolute simulated start within the trace.
+    pub fn start_sim_ms(&self) -> u64 {
+        self.start_sim_ms
+    }
+
+    /// Simulated milliseconds accumulated so far.
+    pub fn elapsed_sim_ms(&self) -> u64 {
+        self.elapsed_sim_ms
+    }
+
+    /// Absolute simulated end (start + elapsed).
+    pub fn end_sim_ms(&self) -> u64 {
+        self.start_sim_ms + self.elapsed_sim_ms
+    }
+
+    /// The propagation context for this span (what the service bus
+    /// carries in the request envelope).
+    pub fn context(&self) -> TraceContext {
+        TraceContext {
+            trace: self.trace,
+            span: self.id,
+            path: self.path.clone(),
+            at_sim_ms: self.end_sim_ms(),
+        }
+    }
+
+    /// Records the span and returns its simulated duration.
+    pub fn finish(mut self) -> u64 {
+        self.record();
+        self.elapsed_sim_ms
+    }
+
+    fn record(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        self.rec.push(SpanRecord {
+            trace: self.trace,
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            path: std::mem::take(&mut self.path),
+            start_sim_ms: self.start_sim_ms,
+            duration_sim_ms: self.elapsed_sim_ms,
+            events: std::mem::take(&mut self.events),
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Reserved request-envelope key carrying the trace context across the
+/// service bus.
+pub const TRACE_ENVELOPE_KEY: &str = "__trace__";
+
+/// A serializable trace position: enough to open a causally linked
+/// child span on the other side of a service call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceContext {
+    pub trace: TraceId,
+    pub span: SpanId,
+    pub path: String,
+    pub at_sim_ms: u64,
+}
+
+impl TraceContext {
+    /// Renders the context as a JSON value (the envelope payload).
+    pub fn to_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("at_ms".to_string(), Value::from(self.at_sim_ms));
+        obj.insert("path".to_string(), Value::from(self.path.clone()));
+        obj.insert("span".to_string(), Value::from(self.span.0));
+        obj.insert("trace".to_string(), Value::from(self.trace.0));
+        Value::Object(obj)
+    }
+
+    /// Parses a context rendered by [`TraceContext::to_value`].
+    pub fn from_value(value: &Value) -> Option<TraceContext> {
+        Some(TraceContext {
+            trace: TraceId(value.get("trace")?.as_u64()?),
+            span: SpanId(value.get("span")?.as_u64()?),
+            path: value.get("path")?.as_str()?.to_string(),
+            at_sim_ms: value.get("at_ms")?.as_u64()?,
+        })
+    }
+
+    /// Extracts the context a traced bus call embedded in a request.
+    pub fn from_request(request: &Value) -> Option<TraceContext> {
+        TraceContext::from_value(request.get(TRACE_ENVELOPE_KEY)?)
+    }
+
+    /// Returns `request` with this context attached under
+    /// [`TRACE_ENVELOPE_KEY`] (object requests only; other shapes pass
+    /// through unchanged).
+    pub fn attach(&self, request: &Value) -> Value {
+        match request.as_object() {
+            Some(obj) => {
+                let mut obj = obj.clone();
+                obj.insert(TRACE_ENVELOPE_KEY.to_string(), self.to_value());
+                Value::Object(obj)
+            }
+            None => request.clone(),
+        }
+    }
+
+    /// Opens a child span of this context in `recorder` — the callee
+    /// half of cross-service propagation.
+    pub fn child_in(&self, recorder: &Arc<FlightRecorder>, name: impl Into<String>) -> TraceSpan {
+        let name = name.into();
+        TraceSpan {
+            rec: Arc::clone(recorder),
+            trace: self.trace,
+            id: recorder.next_span_id(),
+            parent: Some(self.span),
+            path: format!("{}/{}", self.path, name),
+            name,
+            start_sim_ms: self.at_sim_ms,
+            elapsed_sim_ms: 0,
+            events: Vec::new(),
+            attrs: BTreeMap::new(),
+            finished: false,
+        }
+    }
+}
+
+/// A canonicalized span tree node (what the exporters consume).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceNode {
+    pub name: String,
+    pub path: String,
+    pub start_sim_ms: u64,
+    pub duration_sim_ms: u64,
+    pub events: Vec<SpanEvent>,
+    pub attrs: BTreeMap<String, String>,
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    /// Absolute simulated end of this node.
+    pub fn end_sim_ms(&self) -> u64 {
+        self.start_sim_ms + self.duration_sim_ms
+    }
+
+    /// Spans in this subtree, including self.
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(TraceNode::span_count)
+            .sum::<usize>()
+    }
+
+    /// Depth-first search for the first node whose path ends with
+    /// `suffix`.
+    pub fn find(&self, suffix: &str) -> Option<&TraceNode> {
+        if self.path.ends_with(suffix) {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(suffix))
+    }
+}
+
+/// Builds the canonical tree(s) for one trace's records: children
+/// sorted by `(start_sim_ms, path)`, orphans promoted to roots.
+fn build_trace_tree(records: Vec<SpanRecord>) -> Vec<TraceNode> {
+    let present: std::collections::HashSet<SpanId> = records.iter().map(|r| r.id).collect();
+    let mut children_of: BTreeMap<SpanId, Vec<SpanRecord>> = BTreeMap::new();
+    let mut roots: Vec<SpanRecord> = Vec::new();
+    for record in records {
+        match record.parent {
+            Some(parent) if present.contains(&parent) => {
+                children_of.entry(parent).or_default().push(record)
+            }
+            _ => roots.push(record),
+        }
+    }
+    fn build(record: SpanRecord, children_of: &mut BTreeMap<SpanId, Vec<SpanRecord>>) -> TraceNode {
+        let mut children: Vec<TraceNode> = children_of
+            .remove(&record.id)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|c| build(c, children_of))
+            .collect();
+        children.sort_by(|a, b| (a.start_sim_ms, &a.path).cmp(&(b.start_sim_ms, &b.path)));
+        TraceNode {
+            name: record.name,
+            path: record.path,
+            start_sim_ms: record.start_sim_ms,
+            duration_sim_ms: record.duration_sim_ms,
+            events: record.events,
+            attrs: record.attrs,
+            children,
+        }
+    }
+    let mut nodes: Vec<TraceNode> = roots
+        .into_iter()
+        .map(|r| build(r, &mut children_of))
+        .collect();
+    nodes.sort_by(|a, b| (a.start_sim_ms, &a.path).cmp(&(b.start_sim_ms, &b.path)));
+    nodes
+}
+
+fn node_to_json(node: &TraceNode, next_id: &mut u64) -> Value {
+    let id = *next_id;
+    *next_id += 1;
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "attrs".to_string(),
+        Value::Object(
+            node.attrs
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::from(v.clone())))
+                .collect(),
+        ),
+    );
+    obj.insert(
+        "children".to_string(),
+        Value::Array(
+            node.children
+                .iter()
+                .map(|c| node_to_json(c, next_id))
+                .collect(),
+        ),
+    );
+    obj.insert("dur_ms".to_string(), Value::from(node.duration_sim_ms));
+    obj.insert(
+        "events".to_string(),
+        Value::Array(
+            node.events
+                .iter()
+                .map(|e| {
+                    let mut ev = BTreeMap::new();
+                    ev.insert("at_ms".to_string(), Value::from(e.at_sim_ms));
+                    ev.insert("label".to_string(), Value::from(e.label.clone()));
+                    Value::Object(ev)
+                })
+                .collect(),
+        ),
+    );
+    obj.insert("id".to_string(), Value::from(id));
+    obj.insert("name".to_string(), Value::from(node.name.clone()));
+    obj.insert("path".to_string(), Value::from(node.path.clone()));
+    obj.insert("start_ms".to_string(), Value::from(node.start_sim_ms));
+    Value::Object(obj)
+}
+
+fn node_to_chrome(node: &TraceNode, pid: u64, next_id: &mut u64, out: &mut Vec<Value>) {
+    let tid = *next_id;
+    *next_id += 1;
+    let mut args = BTreeMap::new();
+    for (k, v) in &node.attrs {
+        args.insert(k.clone(), Value::from(v.clone()));
+    }
+    args.insert("path".to_string(), Value::from(node.path.clone()));
+    let mut ev = BTreeMap::new();
+    ev.insert("args".to_string(), Value::Object(args));
+    ev.insert("cat".to_string(), Value::from("wfsm"));
+    ev.insert("dur".to_string(), Value::from(node.duration_sim_ms * 1000));
+    ev.insert("name".to_string(), Value::from(node.name.clone()));
+    ev.insert("ph".to_string(), Value::from("X"));
+    ev.insert("pid".to_string(), Value::from(pid));
+    ev.insert("tid".to_string(), Value::from(tid));
+    ev.insert("ts".to_string(), Value::from(node.start_sim_ms * 1000));
+    out.push(Value::Object(ev));
+    for event in &node.events {
+        let mut inst = BTreeMap::new();
+        inst.insert("cat".to_string(), Value::from("wfsm"));
+        inst.insert("name".to_string(), Value::from(event.label.clone()));
+        inst.insert("ph".to_string(), Value::from("i"));
+        inst.insert("pid".to_string(), Value::from(pid));
+        inst.insert("s".to_string(), Value::from("t"));
+        inst.insert("tid".to_string(), Value::from(tid));
+        inst.insert("ts".to_string(), Value::from(event.at_sim_ms * 1000));
+        out.push(Value::Object(inst));
+    }
+    for child in &node.children {
+        node_to_chrome(child, pid, next_id, out);
+    }
+}
+
+fn node_to_text(node: &TraceNode, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let _ = write!(
+        out,
+        "{indent}{:<7} {}",
+        format!("{}..{}", node.start_sim_ms, node.end_sim_ms()),
+        node.name
+    );
+    if !node.attrs.is_empty() {
+        let attrs: Vec<String> = node.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let _ = write!(out, "  [{}]", attrs.join(" "));
+    }
+    for event in &node.events {
+        let _ = write!(out, "  !{}@{}", event.label, event.at_sim_ms);
+    }
+    out.push('\n');
+    for child in &node.children {
+        node_to_text(child, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_finish_and_drop() {
+        let rec = FlightRecorder::with_capacity(16);
+        let mut root = rec.root("op");
+        root.advance(10);
+        {
+            let mut child = root.child("step:1");
+            child.advance(5);
+            child.event("hello");
+        } // recorded by drop
+        assert_eq!(root.finish(), 10);
+        let records = rec.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(rec.recorded(), 2);
+        let child = records.iter().find(|r| r.name == "step:1").unwrap();
+        assert_eq!(child.path, "op/step:1");
+        assert_eq!(child.start_sim_ms, 10);
+        assert_eq!(child.duration_sim_ms, 5);
+        assert_eq!(child.events[0].label, "hello");
+        assert_eq!(child.events[0].at_sim_ms, 15);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first() {
+        let rec = FlightRecorder::with_capacity(3);
+        for i in 0..5 {
+            rec.root(format!("op:{i}")).finish();
+        }
+        let names: Vec<String> = rec.records().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["op:2", "op:3", "op:4"], "oldest evicted first");
+        assert_eq!(rec.evicted(), 2);
+        assert_eq!(rec.recorded(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_disables_recording() {
+        let rec = FlightRecorder::with_capacity(0);
+        rec.root("op").finish();
+        assert!(rec.records().is_empty());
+        assert_eq!(rec.recorded(), 0);
+        assert_eq!(rec.evicted(), 0);
+    }
+
+    #[test]
+    fn canonical_tree_sorts_children_by_start_then_path() {
+        let rec = FlightRecorder::with_capacity(16);
+        let root = rec.root("run");
+        // create b before a: canonical order must not care
+        let mut b = root.child("shard:1");
+        let mut a = root.child("shard:0");
+        b.advance(3);
+        a.advance(7);
+        b.finish();
+        a.finish();
+        root.finish();
+        let roots = rec.trace(TraceId(1));
+        assert_eq!(roots.len(), 1);
+        let names: Vec<&str> = roots[0].children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["shard:0", "shard:1"]);
+        assert_eq!(roots[0].span_count(), 3);
+    }
+
+    #[test]
+    fn orphans_promote_to_roots() {
+        let rec = FlightRecorder::with_capacity(2);
+        let root = rec.root("run");
+        let mut c1 = root.child("a");
+        c1.advance(1);
+        c1.finish();
+        let mut c2 = root.child("b");
+        c2.advance(2);
+        c2.finish();
+        root.finish(); // evicts "a": ring holds [b, run]
+        let roots = rec.trace(TraceId(1));
+        assert_eq!(roots.len(), 1, "b still hangs under run");
+        assert_eq!(roots[0].name, "run");
+        assert_eq!(roots[0].children[0].name, "b");
+    }
+
+    #[test]
+    fn context_round_trips_through_envelope() {
+        let rec = FlightRecorder::with_capacity(8);
+        let mut root = rec.root("caller");
+        root.advance(4);
+        let ctx = root.context();
+        let request = serde_json::json!({"q": "camera"});
+        let enveloped = ctx.attach(&request);
+        let parsed = TraceContext::from_request(&enveloped).unwrap();
+        assert_eq!(parsed, ctx);
+        // non-object requests pass through unchanged
+        let scalar = Value::from(7u64);
+        assert_eq!(ctx.attach(&scalar), scalar);
+        // callee side opens a causally linked child
+        let mut callee = parsed.child_in(&rec, "handle");
+        callee.advance(2);
+        callee.finish();
+        root.finish();
+        let roots = rec.trace(TraceId(1));
+        let handle = roots[0].find("caller/handle").unwrap();
+        assert_eq!(handle.start_sim_ms, 4);
+        assert_eq!(handle.duration_sim_ms, 2);
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_renumbered() {
+        let render = || {
+            let rec = FlightRecorder::with_capacity(16);
+            let root = rec.root("run");
+            let mut kids: Vec<TraceSpan> = (0..3).map(|i| root.child(format!("w:{i}"))).collect();
+            // finish in scrambled order with scrambled raw ids
+            kids.swap(0, 2);
+            for (i, mut k) in kids.into_iter().enumerate() {
+                k.advance(i as u64);
+                k.finish();
+            }
+            root.finish();
+            (
+                rec.export_json_string(8),
+                rec.export_chrome_string(8),
+                rec.export_text(8),
+            )
+        };
+        let (j1, c1, t1) = render();
+        let (j2, c2, t2) = render();
+        assert_eq!(j1, j2);
+        assert_eq!(c1, c2);
+        assert_eq!(t1, t2);
+        assert!(j1.contains("\"path\": \"run/w:0\""), "{j1}");
+        assert!(c1.contains("\"ph\": \"X\""), "{c1}");
+        assert!(t1.contains("trace 1"), "{t1}");
+    }
+
+    #[test]
+    fn empty_recorder_text_export() {
+        let rec = FlightRecorder::with_capacity(4);
+        assert_eq!(rec.export_text(5), "(no traces recorded)\n");
+        assert!(rec.last_traces(5).is_empty());
+    }
+
+    #[test]
+    fn advance_to_syncs_to_slowest_child() {
+        let rec = FlightRecorder::with_capacity(8);
+        let mut root = rec.root("run");
+        let mut slow = root.child("slow");
+        slow.advance(40);
+        let end = slow.end_sim_ms();
+        slow.finish();
+        root.advance_to(end);
+        root.advance_to(10); // no-op: already past
+        assert_eq!(root.elapsed_sim_ms(), 40);
+        root.finish();
+    }
+}

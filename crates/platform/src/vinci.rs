@@ -15,6 +15,7 @@
 
 use crate::faults::{CallOutcome, FaultKind, FaultPlan, FaultStream};
 use crate::telemetry::{Counter, Histogram, Telemetry};
+use crate::trace::TraceSpan;
 use parking_lot::{Mutex, RwLock};
 use serde_json::Value;
 use std::collections::HashMap;
@@ -230,11 +231,44 @@ impl ServiceBus {
     /// Calls a service and returns the full per-call record alongside the
     /// result. One logical call may span several attempts.
     pub fn call_detailed(&self, name: &str, request: &Value) -> (Result<Value>, CallOutcome) {
+        self.call_inner(name, request, None)
+    }
+
+    /// A traced call: opens a `bus:<name>#<seq>` child span under
+    /// `parent` (seq is the per-service call number, so sequential calls
+    /// to one service sort deterministically), attaches the span's
+    /// [`TraceContext`](crate::trace::TraceContext) to object-shaped
+    /// requests under `__trace__` (handlers may continue the trace via
+    /// `TraceContext::from_request`), records injected faults, retries
+    /// and timeouts as span events at their exact simulated offsets, and
+    /// advances `parent` by the call's simulated duration.
+    pub fn call_traced(
+        &self,
+        name: &str,
+        request: &Value,
+        parent: &mut TraceSpan,
+    ) -> (Result<Value>, CallOutcome) {
+        let (result, outcome) = self.call_inner(name, request, Some(parent));
+        parent.advance(outcome.sim_elapsed_ms);
+        (result, outcome)
+    }
+
+    fn call_inner(
+        &self,
+        name: &str,
+        request: &Value,
+        parent: Option<&mut TraceSpan>,
+    ) -> (Result<Value>, CallOutcome) {
         let mut outcome = CallOutcome::start(name);
         self.metrics.calls.inc();
         let entry = match self.services.read().get(name).cloned() {
             Some(entry) => entry,
             None => {
+                if let Some(parent) = parent {
+                    let mut span = parent.child(format!("bus:{name}#0"));
+                    span.event("error: no such service");
+                    span.finish();
+                }
                 self.metrics.errors.inc();
                 return (
                     Err(Error::Service(format!("no such service: {name}"))),
@@ -242,9 +276,18 @@ impl ServiceBus {
                 );
             }
         };
-        entry.calls.fetch_add(1, Ordering::Relaxed);
+        let seq = entry.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut span = parent.map(|p| p.child(format!("bus:{name}#{seq}")));
+        let enveloped;
+        let request = match &span {
+            Some(s) => {
+                enveloped = s.context().attach(request);
+                &enveloped
+            }
+            None => request,
+        };
         let policy = self.retry_policy();
-        let result = self.drive_call(name, &entry, request, policy, &mut outcome);
+        let result = self.drive_call(name, &entry, request, policy, &mut outcome, span.as_mut());
         if result.is_err() {
             entry.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -263,11 +306,21 @@ impl ServiceBus {
         }
         self.metrics.call_sim_ms.record(outcome.sim_elapsed_ms);
         entry.latency.record(outcome.sim_elapsed_ms);
+        if let Some(mut s) = span {
+            s.attr("attempts", outcome.attempts.to_string());
+            s.attr("ok", outcome.ok.to_string());
+            if let Err(err) = &result {
+                s.event(format!("error: {err}"));
+            }
+            s.finish();
+        }
         (result, outcome)
     }
 
     /// The attempt loop: draw fault → apply latency/budget → invoke →
-    /// retry transient failures with backoff.
+    /// retry transient failures with backoff. When a span is supplied it
+    /// advances in lockstep with `outcome.sim_elapsed_ms`, so events land
+    /// at exact simulated offsets.
     fn drive_call(
         &self,
         name: &str,
@@ -275,6 +328,7 @@ impl ServiceBus {
         request: &Value,
         policy: RetryPolicy,
         outcome: &mut CallOutcome,
+        mut span: Option<&mut TraceSpan>,
     ) -> Result<Value> {
         let mut stream = entry.fault_stream.lock();
         if stream.is_none() {
@@ -287,9 +341,19 @@ impl ServiceBus {
             let fault = stream.as_mut().and_then(|s| s.draw());
             if let Some(kind) = fault {
                 outcome.injected.push(kind);
+                if let Some(s) = span.as_deref_mut() {
+                    s.event(format!("fault:{}", kind.label()));
+                }
             }
-            outcome.sim_elapsed_ms += stream.as_ref().map(|s| s.latency_ms(fault)).unwrap_or(0);
+            let latency = stream.as_ref().map(|s| s.latency_ms(fault)).unwrap_or(0);
+            outcome.sim_elapsed_ms += latency;
+            if let Some(s) = span.as_deref_mut() {
+                s.advance(latency);
+            }
             if outcome.sim_elapsed_ms > policy.timeout_budget_ms {
+                if let Some(s) = span.as_deref_mut() {
+                    s.event("timeout");
+                }
                 return Err(Error::Timeout(format!(
                     "call to {name} exceeded {} sim ms",
                     policy.timeout_budget_ms
@@ -318,7 +382,14 @@ impl ServiceBus {
                     let backoff = policy.backoff_for(outcome.retries);
                     outcome.backoffs_ms.push(backoff);
                     outcome.sim_elapsed_ms += backoff;
+                    if let Some(s) = span.as_deref_mut() {
+                        s.event(format!("retry:{} backoff:{backoff}ms", outcome.retries));
+                        s.advance(backoff);
+                    }
                     if outcome.sim_elapsed_ms > policy.timeout_budget_ms {
+                        if let Some(s) = span.as_deref_mut() {
+                            s.event("timeout");
+                        }
                         return Err(Error::Timeout(format!(
                             "call to {name} exceeded {} sim ms while backing off",
                             policy.timeout_budget_ms
@@ -576,6 +647,98 @@ mod tests {
         assert!(snap.counter("bus.faults.node_down") > 0);
         assert_eq!(snap.counter("bus.retries"), retries);
         assert_eq!(snap.histogram("bus.call.sim_ms").unwrap().count, 40);
+    }
+
+    #[test]
+    fn traced_calls_record_retry_events() {
+        let bus = ServiceBus::new();
+        bus.register("svc", Arc::new(|_: &Value| Ok(json!("ok"))));
+        bus.set_fault_plan(Some(FaultPlan::new(99).with_rates(FaultRates {
+            node_down: 0.3,
+            ..FaultRates::default()
+        })));
+        bus.set_retry_policy(RetryPolicy {
+            max_retries: 8,
+            base_backoff_ms: 5,
+            max_backoff_ms: 100,
+            timeout_budget_ms: 100_000,
+        });
+        let tele = Arc::clone(bus.telemetry());
+        let mut root = tele.trace_root("op");
+        let mut total_retries = 0u32;
+        let mut total_sim = 0u64;
+        for _ in 0..50 {
+            let (result, outcome) = bus.call_traced("svc", &json!({}), &mut root);
+            assert!(result.is_ok());
+            total_retries += outcome.retries;
+            total_sim += outcome.sim_elapsed_ms;
+        }
+        assert!(total_retries > 0, "30% outage must retry");
+        assert_eq!(root.elapsed_sim_ms(), total_sim, "parent tracks call time");
+        root.finish();
+        let traces = tele.recorder().last_traces(1);
+        let roots = &traces[0].1;
+        assert_eq!(roots[0].children.len(), 50, "one span per call");
+        let retry_events: usize = roots[0]
+            .children
+            .iter()
+            .flat_map(|c| &c.events)
+            .filter(|e| e.label.starts_with("retry:"))
+            .count();
+        assert_eq!(retry_events as u32, total_retries);
+        let fault_events: usize = roots[0]
+            .children
+            .iter()
+            .flat_map(|c| &c.events)
+            .filter(|e| e.label.starts_with("fault:"))
+            .count();
+        assert!(fault_events >= retry_events);
+        // sequential calls tile the parent's simulated timeline
+        for pair in roots[0].children.windows(2) {
+            assert_eq!(pair[1].start_sim_ms, pair[0].end_sim_ms());
+        }
+    }
+
+    #[test]
+    fn trace_context_propagates_through_envelope() {
+        use crate::trace::TraceContext;
+        let bus = Arc::new(ServiceBus::new());
+        let tele = Arc::clone(bus.telemetry());
+        let recorder = Arc::clone(tele.recorder());
+        bus.register(
+            "outer",
+            Arc::new(move |req: &Value| {
+                let ctx = TraceContext::from_request(req).expect("trace context attached");
+                let mut span = ctx.child_in(&recorder, "handler");
+                span.advance(3);
+                span.finish();
+                Ok(json!("done"))
+            }),
+        );
+        let mut root = tele.trace_root("op");
+        let (result, _) = bus.call_traced("outer", &json!({"payload": 1}), &mut root);
+        assert!(result.is_ok());
+        root.finish();
+        let traces = tele.recorder().last_traces(1);
+        let handler = traces[0].1[0].find("op/bus:outer#1/handler").unwrap();
+        assert_eq!(handler.duration_sim_ms, 3);
+    }
+
+    #[test]
+    fn untraced_calls_carry_no_envelope() {
+        use crate::trace::TRACE_ENVELOPE_KEY;
+        let bus = ServiceBus::new();
+        bus.register(
+            "echo",
+            Arc::new(|req: &Value| {
+                assert!(
+                    req.get(TRACE_ENVELOPE_KEY).is_none(),
+                    "plain calls must not grow a trace envelope"
+                );
+                Ok(req.clone())
+            }),
+        );
+        assert!(bus.call("echo", &json!({"a": 1})).is_ok());
     }
 
     #[test]

@@ -155,6 +155,43 @@ fn fully_down_cluster_accounts_everything_failed() {
     assert_eq!(snap.counter("pipeline.skipped_shards"), 2);
 }
 
+/// Percentiles (p50/p95/p99) are derived from the bucket counts at
+/// export time and shown in both renderings.
+#[test]
+fn percentiles_render_in_table_and_json() {
+    let snap = chaos_snapshot(20050405);
+    let table = snap.to_table();
+    for col in ["p50", "p95", "p99"] {
+        assert!(table.contains(col), "missing {col} column in:\n{table}");
+    }
+    let json = snap.to_json_string();
+    for key in ["\"p50\"", "\"p95\"", "\"p99\""] {
+        assert!(json.contains(key), "missing {key} in JSON export");
+    }
+    // spot-check one histogram: the JSON p95 equals the recomputed value
+    let (name, hs) = snap
+        .histograms
+        .iter()
+        .find(|(_, h)| h.count > 0)
+        .expect("chaos run records histograms");
+    let needle = format!("\"p95\": {}", hs.percentile(95.0));
+    assert!(
+        json.contains(&needle),
+        "histogram {name} should export {needle}"
+    );
+}
+
+/// The chaos run's traces land in the flight recorder, and the recorder's
+/// activity shows up in the same snapshot as `trace.*` counters.
+#[test]
+fn trace_counters_join_the_snapshot() {
+    let snap = chaos_snapshot(20050405);
+    assert!(
+        snap.counter("trace.spans") > 0,
+        "pipeline + rebuild runs must record spans"
+    );
+}
+
 /// Health changes and store churn show up in gauges.
 #[test]
 fn store_gauge_tracks_mutations() {
@@ -232,6 +269,63 @@ mod properties {
                     (None, _) => prop_assert!(false, "overflow bucket must be last"),
                 }
             }
+        }
+
+        /// The JSON export is a fixpoint: export → parse → export
+        /// reproduces the exact bytes, for arbitrary snapshots including
+        /// empty histograms and zero-count buckets. (The derived
+        /// percentile keys are recomputed, not stored, so they must come
+        /// out identical on re-export.)
+        #[test]
+        fn snapshot_json_export_is_a_fixpoint(
+            counters in prop::collection::vec(0u64..1_000_000, 0..5),
+            gauges in prop::collection::vec(-500i64..500, 0..4),
+            steps in prop::collection::vec(1u64..50, 0..6),  // ascending bound increments
+            bucket_counts in prop::collection::vec(0u64..4, 0..6), // may be zero
+            overflow in 0u64..4,                             // 0 = no overflow bucket
+            sum in 0u64..100_000,
+        ) {
+            let mut snap = TelemetrySnapshot::default();
+            for (i, v) in counters.into_iter().enumerate() {
+                snap.counters.insert(format!("c.{i}"), v);
+            }
+            for (i, v) in gauges.into_iter().enumerate() {
+                snap.gauges.insert(format!("g.{i}"), v);
+            }
+            let mut bound = 0u64;
+            let mut buckets: Vec<(Option<u64>, u64)> = Vec::new();
+            let mut count = 0u64;
+            for (step, c) in steps.iter().zip(bucket_counts.iter()) {
+                bound += step; // strictly ascending bounds, counts may be 0
+                buckets.push((Some(bound), *c));
+                count += c;
+            }
+            if overflow > 0 {
+                buckets.push((None, overflow - 1)); // possibly zero-count overflow
+                count += overflow - 1;
+            }
+            snap.histograms.insert(
+                "h.main".to_string(),
+                wf_platform::HistogramSnapshot { count, sum, min: 0, max: bound, buckets },
+            );
+            // an explicitly empty histogram in every case
+            snap.histograms.insert(
+                "h.empty".to_string(),
+                wf_platform::HistogramSnapshot {
+                    count: 0,
+                    sum: 0,
+                    min: 0,
+                    max: 0,
+                    buckets: Vec::new(),
+                },
+            );
+            let text = snap.to_json_string();
+            let back = TelemetrySnapshot::from_json_str(&text).unwrap();
+            // parse must reconstruct the snapshot, and re-export must
+            // reproduce the exact bytes (the derived p50/p95/p99 keys are
+            // recomputed from the buckets, never stored)
+            prop_assert_eq!(&back, &snap);
+            prop_assert_eq!(back.to_json_string(), text);
         }
 
         /// Span durations land in the span histogram exactly.
