@@ -7,16 +7,18 @@
 use crate::args::ParsedArgs;
 use std::io::Read;
 use std::path::Path;
+use std::sync::Arc;
 use wf_features::{FeatureExtractor, Selection, CHI2_95};
 use wf_platform::{
-    load_store, parse_query, save_store, DataStore, Indexer, Ingestor, MinerPipeline,
-    PipelineStats, RawDocument, TelemetrySnapshot,
+    default_slos, load_store, parse_query, render_scoreboard, save_store, Cluster, DataStore,
+    DoctorReport, FaultPlan, HealthEngine, Indexer, Ingestor, MinerPipeline, NodeHealth,
+    PipelineStats, RawDocument, SourceKind, TelemetrySnapshot,
 };
 use wf_sentiment::{
     mention_polarities, AdhocSentimentMiner, SentimentEntityMiner, SentimentMiner,
     SentimentQueryService, SubjectList,
 };
-use wf_types::Polarity;
+use wf_types::{NodeId, Polarity, RetryPolicy};
 
 /// Dispatches a parsed command line. Returns the report to print.
 pub fn run(args: &ParsedArgs) -> Result<String, String> {
@@ -30,6 +32,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         "gen-corpus" => gen_corpus(args),
         "search" => search(args),
         "trace" => trace(args),
+        "doctor" => doctor(args),
+        "top" => top(args),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -78,6 +82,19 @@ USAGE:
       last N traces (default 10): an ASCII waterfall (text), a canonical
       JSON tree (json), or a Chrome trace_event file for chrome://tracing
       (chrome). Same seed ⇒ byte-identical output.
+  wfsm doctor   [--chaos-seed S] [--fail-rate P] [--docs N] [--rounds N]
+                [--format text|json]
+      Run a deterministic health workload on a simulated 4-node cluster
+      (ingest → bus probes → mining → index rebuild, per round) and print
+      the doctor report: SLO burn rates, the burn-rate alert log, each
+      histogram's worst exemplar (live == dumpable with `wfsm trace`),
+      and the per-node scoreboard. With --chaos-seed, faults are injected
+      and two nodes are degraded/downed so SLOs breach. Same seed ⇒
+      byte-identical output.
+  wfsm top      [--chaos-seed S] [--fail-rate P] [--docs N] [--watch N]
+      Per-node scoreboard for the same workload: one-shot by default,
+      or N deterministic refresh frames (one workload round each) with
+      --watch N.
   wfsm gen-corpus --domain camera|music|petroleum|pharma --out DOCS.txt
                 [--docs N] [--seed S]
       Write a synthetic gold-labeled evaluation corpus, one document per
@@ -377,6 +394,207 @@ fn trace(args: &ParsedArgs) -> Result<String, String> {
         "chrome" => Ok(recorder.export_chrome_string(last) + "\n"),
         other => Err(format!("unknown --format {other:?} (text|json|chrome)")),
     }
+}
+
+/// Number of `sentiment.score` bus probes per workload round: enough
+/// that a chaos fail-rate reliably lands slow responses in the p99 tail.
+const BUS_PROBES_PER_ROUND: usize = 25;
+
+/// The deterministic health workload behind `wfsm doctor` / `wfsm top`:
+/// a 4-node [`Cluster`] driven through rounds of ingest → bus probes →
+/// sentiment mining → index rebuild, with a [`HealthEngine`] observing
+/// the shared telemetry registry on the cluster's simulated clock after
+/// every phase. Under `--chaos-seed` the same fault plan is installed on
+/// the pipeline and the bus, node 1 is degraded and node 2 downed, so
+/// retries, failovers and SLO breaches all show up in the report.
+struct HealthWorkload {
+    cluster: Cluster,
+    engine: HealthEngine,
+    docs: Vec<String>,
+    round: usize,
+}
+
+/// A small positive/negative corpus cycled by the workload; the phrasing
+/// feeds both the sentiment miners and the `sentiment.score` service.
+fn synthetic_health_docs(n: usize) -> Vec<String> {
+    const MOODS: [&str; 4] = [
+        "takes excellent pictures",
+        "has a terrible battery",
+        "produces sharp images",
+        "suffers from blurry output",
+    ];
+    (0..n)
+        .map(|i| format!("The Canon camera {} in trial {i}.", MOODS[i % MOODS.len()]))
+        .collect()
+}
+
+impl HealthWorkload {
+    fn from_args(args: &ParsedArgs) -> Result<Self, String> {
+        let chaos_seed: Option<u64> = args
+            .opt("chaos-seed")
+            .map(|v| v.parse().map_err(|e| format!("bad --chaos-seed: {e}")))
+            .transpose()?;
+        let fail_rate: f64 = args
+            .opt("fail-rate")
+            .map(|v| v.parse().map_err(|e| format!("bad --fail-rate: {e}")))
+            .transpose()?
+            .unwrap_or(0.15);
+        if args.opt("fail-rate").is_some() && chaos_seed.is_none() {
+            return Err("--fail-rate requires --chaos-seed".into());
+        }
+        if !(0.0..=1.0).contains(&fail_rate) {
+            return Err(format!("--fail-rate must be in [0, 1], got {fail_rate}"));
+        }
+        let docs: usize = args
+            .opt("docs")
+            .map(|v| v.parse().map_err(|e| format!("bad --docs: {e}")))
+            .transpose()?
+            .unwrap_or(40);
+        let cluster = Cluster::new(4).map_err(|e| e.to_string())?;
+        cluster.bus().register(
+            "sentiment.score",
+            Arc::new(|req: &serde_json::Value| {
+                let text = req.as_str().unwrap_or("");
+                let plus = text.matches("excellent").count() + text.matches("sharp").count();
+                let minus = text.matches("terrible").count() + text.matches("blurry").count();
+                Ok(serde_json::Value::from(plus as i64 - minus as i64))
+            }),
+        );
+        if let Some(seed) = chaos_seed {
+            let plan = FaultPlan::uniform(seed, fail_rate);
+            let retry = RetryPolicy {
+                max_retries: 4,
+                base_backoff_ms: 5,
+                max_backoff_ms: 80,
+                timeout_budget_ms: 50_000,
+            };
+            cluster.set_fault_plan(Some(plan.clone()));
+            cluster.set_retry_policy(retry);
+            cluster.bus().set_fault_plan(Some(plan));
+            cluster.bus().set_retry_policy(retry);
+            cluster.set_health(NodeId(1), NodeHealth::Degraded);
+            cluster.set_health(NodeId(2), NodeHealth::Down);
+        }
+        let engine = HealthEngine::with_telemetry(default_slos(), Arc::clone(cluster.telemetry()));
+        Ok(HealthWorkload {
+            cluster,
+            engine,
+            docs: synthetic_health_docs(docs),
+            round: 0,
+        })
+    }
+
+    /// Re-evaluates every SLO against a fresh snapshot at the cluster's
+    /// simulated now.
+    fn observe(&mut self) {
+        let snapshot = self.cluster.metrics_snapshot();
+        self.engine.observe(self.cluster.sim_now(), &snapshot);
+    }
+
+    /// One workload round: ingest the corpus, probe the bus, mine, and
+    /// rebuild the index, observing the SLOs after each phase.
+    fn run_round(&mut self) {
+        self.round += 1;
+        let telemetry = Arc::clone(self.cluster.telemetry());
+        let mut root = telemetry.trace_root(format!("doctor.ingest#{}", self.round));
+        let raw: Vec<RawDocument> = self
+            .docs
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                RawDocument::new(
+                    format!("doctor://round{}/doc{i}", self.round),
+                    SourceKind::Web,
+                    text.clone(),
+                )
+            })
+            .collect();
+        Ingestor::new(self.cluster.store()).ingest_batch_traced(raw, &mut root);
+        self.cluster.advance_clock(root.elapsed_sim_ms());
+        root.finish();
+        self.observe();
+        let mut root = telemetry.trace_root(format!("doctor.probe#{}", self.round));
+        for i in 0..BUS_PROBES_PER_ROUND {
+            let doc = &self.docs[i % self.docs.len()];
+            let request = serde_json::Value::from(doc.as_str());
+            let _ = self
+                .cluster
+                .bus()
+                .call_traced("sentiment.score", &request, &mut root);
+        }
+        self.cluster.advance_clock(root.elapsed_sim_ms());
+        root.finish();
+        self.observe();
+        let pipeline = MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()));
+        self.cluster.run_pipeline(&pipeline);
+        self.observe();
+        self.cluster.rebuild_index();
+        self.observe();
+    }
+}
+
+/// Runs the health workload and prints the full doctor report.
+fn doctor(args: &ParsedArgs) -> Result<String, String> {
+    let rounds: usize = args
+        .opt("rounds")
+        .map(|v| v.parse().map_err(|e| format!("bad --rounds: {e}")))
+        .transpose()?
+        .unwrap_or(3);
+    let mut workload = HealthWorkload::from_args(args)?;
+    for _ in 0..rounds {
+        workload.run_round();
+    }
+    let report = DoctorReport::build(
+        &workload.cluster,
+        &workload.engine,
+        workload.cluster.sim_now(),
+    );
+    match args.opt("format").unwrap_or("text") {
+        "text" => Ok(report.to_table()),
+        "json" => Ok(report.to_json_string() + "\n"),
+        other => Err(format!("unknown --format {other:?} (text|json)")),
+    }
+}
+
+/// Runs the health workload and prints per-node scoreboard frames.
+fn top(args: &ParsedArgs) -> Result<String, String> {
+    let frames: usize = args
+        .opt("watch")
+        .map(|v| v.parse().map_err(|e| format!("bad --watch: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    if frames == 0 {
+        return Err("--watch needs at least 1 frame".into());
+    }
+    let mut workload = HealthWorkload::from_args(args)?;
+    let mut out = String::new();
+    for frame in 1..=frames {
+        workload.run_round();
+        out.push_str(&format!(
+            "FRAME {frame} @ {} sim-ms\n",
+            workload.cluster.sim_now()
+        ));
+        out.push_str(&render_scoreboard(&workload.cluster.scoreboard()));
+        let firing: Vec<&str> = workload
+            .engine
+            .status()
+            .iter()
+            .filter(|s| s.firing)
+            .map(|s| s.name.as_str())
+            .collect();
+        out.push_str(&format!(
+            "slos firing: {}\n",
+            if firing.is_empty() {
+                "-".to_string()
+            } else {
+                firing.join(",")
+            }
+        ));
+        if frame < frames {
+            out.push('\n');
+        }
+    }
+    Ok(out)
 }
 
 fn gen_corpus(args: &ParsedArgs) -> Result<String, String> {
@@ -841,6 +1059,108 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("unknown --format"), "{err}");
         std::fs::remove_file(docs).ok();
+    }
+
+    #[test]
+    fn mine_metrics_to_unwritable_path_errors() {
+        let docs = temp_file("metricbadpath", "one line\n");
+        let mut snap = std::env::temp_dir();
+        snap.push(format!("wfsm-badmetrics-{}.jsonl", std::process::id()));
+        let err = run_tokens(&[
+            "mine",
+            "--input",
+            docs.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--metrics",
+            "/nonexistent-dir/metrics.json",
+        ])
+        .unwrap_err();
+        assert!(
+            err.contains("cannot write /nonexistent-dir/metrics.json"),
+            "{err}"
+        );
+        std::fs::remove_file(docs).ok();
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn doctor_json_is_byte_identical_across_runs() {
+        let run = || {
+            run_tokens(&[
+                "doctor",
+                "--chaos-seed",
+                "20050405",
+                "--fail-rate",
+                "0.15",
+                "--docs",
+                "24",
+                "--rounds",
+                "2",
+                "--format",
+                "json",
+            ])
+            .unwrap()
+        };
+        let first = run();
+        assert_eq!(first, run(), "same seed must produce identical reports");
+        assert!(first.contains("\"slos\""), "{first}");
+        assert!(first.contains("\"bus-call-p99\""), "{first}");
+        assert!(first.contains("\"nodes\""), "{first}");
+        assert!(first.contains("\"exemplars\""), "{first}");
+    }
+
+    #[test]
+    fn doctor_text_reports_slos_alerts_and_nodes() {
+        let out = run_tokens(&[
+            "doctor",
+            "--chaos-seed",
+            "20050405",
+            "--docs",
+            "24",
+            "--rounds",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("DOCTOR REPORT @"), "{out}");
+        assert!(out.contains("SLOS"), "{out}");
+        assert!(out.contains("bus-call-p99"), "{out}");
+        assert!(out.contains("ALERTS"), "{out}");
+        assert!(out.contains("EXEMPLARS"), "{out}");
+        assert!(out.contains("NODES"), "{out}");
+        // chaos downs node 2: the scoreboard shows it
+        assert!(out.contains("Down"), "{out}");
+    }
+
+    #[test]
+    fn doctor_rejects_unknown_format() {
+        let err = run_tokens(&["doctor", "--rounds", "1", "--format", "yaml"]).unwrap_err();
+        assert!(err.contains("unknown --format"), "{err}");
+        assert!(err.contains("(text|json)"), "{err}");
+    }
+
+    #[test]
+    fn top_watch_renders_deterministic_frames() {
+        let run = || {
+            run_tokens(&[
+                "top",
+                "--chaos-seed",
+                "20050405",
+                "--docs",
+                "24",
+                "--watch",
+                "2",
+            ])
+            .unwrap()
+        };
+        let first = run();
+        assert_eq!(first, run(), "same seed must render identical frames");
+        assert!(first.contains("FRAME 1 @"), "{first}");
+        assert!(first.contains("FRAME 2 @"), "{first}");
+        assert!(first.contains("NODES"), "{first}");
+        assert!(first.contains("slos firing:"), "{first}");
+        let err = run_tokens(&["top", "--watch", "0"]).unwrap_err();
+        assert!(err.contains("--watch"), "{err}");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::store::DataStore;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use crate::vinci::ServiceBus;
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wf_types::{NodeId, Result, RetryPolicy};
 
@@ -39,6 +40,40 @@ pub struct Cluster {
     health: RwLock<Vec<NodeHealth>>,
     fault_plan: RwLock<Option<FaultPlan>>,
     retry_policy: RwLock<RetryPolicy>,
+    scoreboard: RwLock<Vec<NodeScore>>,
+    /// Cluster-wide simulated clock: the sum of every top-level
+    /// operation's elapsed simulated time, in completion order. Purely
+    /// deterministic — drives SLO windowing in the health engine.
+    sim_clock: AtomicU64,
+}
+
+/// Rolling per-node operational record: what `wfsm top` renders and the
+/// doctor report embeds. Accumulated across every [`Cluster::run_pipeline`]
+/// and [`Cluster::rebuild_index`]; `health` reflects the node's current
+/// state at read time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeScore {
+    /// Node (== shard) index.
+    pub node: u32,
+    /// Hardware flavor, from [`NodeInfo`].
+    pub model: String,
+    pub health: NodeHealth,
+    /// Pipeline runs that touched this node's shard.
+    pub runs: u64,
+    pub processed: u64,
+    pub failed: u64,
+    pub retries: u64,
+    /// Injected faults drawn while mining this node's shard.
+    pub faults: u64,
+    /// Times this node's shard had to run on a stand-in node (pipeline
+    /// or index rebuild).
+    pub failovers: u64,
+    /// Times this node's shard was abandoned whole (panic/unplaced).
+    pub skipped: u64,
+    /// Cumulative simulated ms this node's shard consumed in pipelines.
+    pub sim_ms: u64,
+    /// Most recent failure on this node's shard, if any.
+    pub last_error: Option<String>,
 }
 
 /// Snapshot of cluster state for reporting.
@@ -81,6 +116,25 @@ impl Cluster {
             .collect();
         Ok(Cluster {
             health: RwLock::new(vec![NodeHealth::Up; nodes.len()]),
+            scoreboard: RwLock::new(
+                nodes
+                    .iter()
+                    .map(|n| NodeScore {
+                        node: n.id.0,
+                        model: n.model.to_string(),
+                        health: NodeHealth::Up,
+                        runs: 0,
+                        processed: 0,
+                        failed: 0,
+                        retries: 0,
+                        faults: 0,
+                        failovers: 0,
+                        skipped: 0,
+                        sim_ms: 0,
+                        last_error: None,
+                    })
+                    .collect(),
+            ),
             nodes,
             store,
             indexer: Indexer::with_telemetry(Arc::clone(&telemetry)),
@@ -88,6 +142,7 @@ impl Cluster {
             telemetry,
             fault_plan: RwLock::new(None),
             retry_policy: RwLock::new(RetryPolicy::default()),
+            sim_clock: AtomicU64::new(0),
         })
     }
 
@@ -117,6 +172,37 @@ impl Cluster {
     pub fn metrics_snapshot(&self) -> TelemetrySnapshot {
         self.bus.flush_stats();
         self.telemetry.snapshot()
+    }
+
+    /// The cluster's simulated clock: total simulated ms consumed by
+    /// completed top-level operations (pipeline runs, index rebuilds,
+    /// plus anything added via [`Cluster::advance_clock`]).
+    pub fn sim_now(&self) -> u64 {
+        self.sim_clock.load(Ordering::Relaxed)
+    }
+
+    /// Advances the cluster clock by externally-driven simulated time
+    /// (e.g. an ingest batch performed directly against the store).
+    pub fn advance_clock(&self, sim_ms: u64) {
+        self.sim_clock.fetch_add(sim_ms, Ordering::Relaxed);
+    }
+
+    /// The per-node scoreboard, with `health` refreshed to the node's
+    /// current state.
+    pub fn scoreboard(&self) -> Vec<NodeScore> {
+        let health = self.healths();
+        self.scoreboard
+            .read()
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                s.health = health
+                    .get(s.node as usize)
+                    .copied()
+                    .unwrap_or(NodeHealth::Up);
+                s
+            })
+            .collect()
     }
 
     /// Installs (or clears) the fault plan consulted by pipeline runs.
@@ -182,7 +268,28 @@ impl Cluster {
         let stats = pipeline.run_traced(&self.store, &ctx, &mut root);
         root.attr("processed", stats.processed.to_string());
         root.attr("failed", stats.failed.to_string());
+        self.sim_clock
+            .fetch_add(root.elapsed_sim_ms(), Ordering::Relaxed);
         root.finish();
+        {
+            let mut board = self.scoreboard.write();
+            for outcome in &stats.shards {
+                let Some(score) = board.get_mut(outcome.shard) else {
+                    continue;
+                };
+                score.runs += 1;
+                score.processed += outcome.processed as u64;
+                score.failed += outcome.failed as u64;
+                score.retries += outcome.retries;
+                score.faults += outcome.faults;
+                score.failovers += u64::from(outcome.failed_over);
+                score.skipped += u64::from(outcome.skipped);
+                score.sim_ms += outcome.sim_ms;
+                if let Some(err) = &outcome.last_error {
+                    score.last_error = Some(err.clone());
+                }
+            }
+        }
         stats
     }
 
@@ -195,6 +302,8 @@ impl Cluster {
         let health = self.healths();
         let health_of = |n: usize| health.get(n).copied().unwrap_or(NodeHealth::Up);
         let mut stats = IndexRebuildStats::default();
+        // (shard, failed_over, skipped) per shard, for the scoreboard
+        let mut shard_outcomes: Vec<(usize, bool, bool)> = Vec::new();
         let mut root = self.telemetry.trace_root("cluster.rebuild_index");
         for shard in 0..self.store.shard_count() {
             let mut span = root.child(format!("shard:{shard}"));
@@ -206,12 +315,14 @@ impl Cluster {
             };
             let Some(executor) = executor else {
                 stats.skipped_shards += 1;
+                shard_outcomes.push((shard, false, true));
                 span.event("unplaced");
                 span.finish();
                 continue;
             };
             if executor != shard {
                 stats.failed_over += 1;
+                shard_outcomes.push((shard, true, false));
                 span.event(format!("failover:node:{executor}"));
             }
             let mut indexed_here = 0usize;
@@ -226,7 +337,23 @@ impl Cluster {
             span.finish();
         }
         root.attr("indexed", stats.indexed.to_string());
+        self.sim_clock
+            .fetch_add(root.elapsed_sim_ms(), Ordering::Relaxed);
         root.finish();
+        {
+            // rebuild outcomes land on the scoreboard too: a failed-over
+            // or skipped shard is an operator-visible event
+            let mut board = self.scoreboard.write();
+            for (shard, failed_over, skipped) in shard_outcomes {
+                if let Some(score) = board.get_mut(shard) {
+                    score.failovers += u64::from(failed_over);
+                    score.skipped += u64::from(skipped);
+                    if skipped {
+                        score.last_error = Some("unplaced (rebuild)".to_string());
+                    }
+                }
+            }
+        }
         self.telemetry
             .counter("cluster.rebuild.indexed")
             .add(stats.indexed as u64);

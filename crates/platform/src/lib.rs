@@ -23,7 +23,11 @@
 //! - [`trace`]: deterministic causal tracing — trace trees spanning the
 //!   bus, pipeline shards, query plans and store CRUD, retained in a
 //!   fixed-capacity flight recorder and exported as canonical JSON,
-//!   Chrome `trace_event`, or an ASCII waterfall.
+//!   Chrome `trace_event`, or an ASCII waterfall;
+//! - [`health`]: the deterministic health engine — declarative SLOs with
+//!   multi-window burn-rate alerts on the simulated clock, histogram
+//!   exemplars linking metrics back to flight-recorder traces, and the
+//!   doctor/scoreboard reports behind `wfsm doctor` / `wfsm top`.
 
 pub mod boilerplate;
 pub mod cluster;
@@ -32,6 +36,7 @@ pub mod dedup;
 pub mod entity;
 pub mod faults;
 pub mod geo;
+pub mod health;
 pub mod index;
 pub mod ingest;
 pub mod miner;
@@ -46,7 +51,7 @@ pub mod trace;
 pub mod vinci;
 
 pub use boilerplate::{TemplateConfig, TemplateDetector};
-pub use cluster::{Cluster, ClusterReport, IndexRebuildStats, NodeInfo};
+pub use cluster::{Cluster, ClusterReport, IndexRebuildStats, NodeInfo, NodeScore};
 pub use clustering::{cluster_documents, Clustering, ClusteringMiner};
 pub use dedup::{find_duplicates, DedupConfig, DuplicateDetector};
 pub use entity::{Annotation, Entity, SourceKind};
@@ -54,9 +59,15 @@ pub use faults::{
     CallOutcome, ChaosCluster, FaultKind, FaultPlan, FaultRates, FaultStream, NodeHealth,
 };
 pub use geo::{GeoMiner, Place};
+pub use health::{
+    default_slos, render_scoreboard, AlertEvent, DoctorReport, ExemplarRef, HealthEngine,
+    Objective, SloSpec, SloStatus, BURN_CLAMP_MILLI,
+};
 pub use index::{Indexer, Query, QueryProfile};
 pub use ingest::{IngestStats, Ingestor, RawDocument};
-pub use miner::{CorpusMiner, EntityMiner, FaultContext, MinerPipeline, PipelineStats};
+pub use miner::{
+    CorpusMiner, EntityMiner, FaultContext, MinerPipeline, PipelineStats, ShardOutcome,
+};
 pub use pagerank::{pagerank, PageRankConfig, PageRankMiner};
 pub use persist::{load_store, save_store};
 pub use query_parser::parse_query;
@@ -64,7 +75,7 @@ pub use regex::Regex;
 pub use stats::{corpus_stats, CorpusStats};
 pub use store::DataStore;
 pub use telemetry::{
-    Counter, Gauge, Histogram, HistogramSnapshot, Span, Telemetry, TelemetrySnapshot,
+    Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, Span, Telemetry, TelemetrySnapshot,
 };
 pub use trace::{
     FlightRecorder, SpanEvent, SpanId, SpanRecord, TraceContext, TraceId, TraceNode, TraceSpan,

@@ -54,6 +54,9 @@ pub struct PipelineStats {
     pub failed_over: usize,
     /// Simulated milliseconds consumed per shard, in shard order.
     pub shard_sim_ms: Vec<u64>,
+    /// Per-shard outcome detail, in shard order (feeds the cluster
+    /// scoreboard behind `wfsm top`).
+    pub shards: Vec<ShardOutcome>,
 }
 
 impl PipelineStats {
@@ -64,7 +67,31 @@ impl PipelineStats {
         self.skipped_shards += other.skipped_shards;
         self.failed_over += other.failed_over;
         self.shard_sim_ms.extend(other.shard_sim_ms);
+        self.shards.extend(other.shards);
     }
+}
+
+/// What happened to one shard during a pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardOutcome {
+    /// Shard (== owning node) index.
+    pub shard: usize,
+    /// Node that actually executed the shard; `None` when the whole
+    /// cluster was down and the shard could not be placed.
+    pub executor: Option<usize>,
+    pub processed: usize,
+    pub failed: usize,
+    pub retries: u64,
+    /// Injected faults drawn while mining the shard.
+    pub faults: u64,
+    /// A stand-in node executed the shard (owner was Down).
+    pub failed_over: bool,
+    /// The shard was abandoned whole (worker panic or unplaced).
+    pub skipped: bool,
+    /// Simulated milliseconds the shard consumed.
+    pub sim_ms: u64,
+    /// Most recent failure on this shard, mirroring the span event text.
+    pub last_error: Option<String>,
 }
 
 /// Fault-injection context for one pipeline run.
@@ -225,10 +252,12 @@ impl MinerPipeline {
             .add(total.skipped_shards as u64);
         tele.counter("pipeline.failed_over")
             .add(total.failed_over as u64);
+        // shard durations double as exemplars: each bucket of the shard
+        // histogram remembers the run whose shard was slowest
+        let shard_hist = tele.histogram("span.pipeline.shard.sim_ms");
+        let trace = span.trace_id();
         for &sim_ms in &total.shard_sim_ms {
-            let mut span = tele.span("pipeline.shard");
-            span.advance(sim_ms);
-            span.finish();
+            shard_hist.record_exemplar(sim_ms, trace);
         }
         total
     }
@@ -253,6 +282,14 @@ impl MinerPipeline {
                 failed: shard_len,
                 skipped_shards: 1,
                 shard_sim_ms: vec![0],
+                shards: vec![ShardOutcome {
+                    shard,
+                    executor: None,
+                    failed: shard_len,
+                    skipped: true,
+                    last_error: Some("unplaced".to_string()),
+                    ..ShardOutcome::default()
+                }],
                 ..PipelineStats::default()
             };
         };
@@ -265,6 +302,9 @@ impl MinerPipeline {
         })) {
             Ok(mut stats) => {
                 stats.failed_over = usize::from(failed_over);
+                if let Some(outcome) = stats.shards.first_mut() {
+                    outcome.failed_over = failed_over;
+                }
                 stats
             }
             Err(_) => {
@@ -276,6 +316,16 @@ impl MinerPipeline {
                     skipped_shards: 1,
                     failed_over: usize::from(failed_over),
                     shard_sim_ms: vec![span.elapsed_sim_ms()],
+                    shards: vec![ShardOutcome {
+                        shard,
+                        executor: Some(executor),
+                        failed: shard_len,
+                        failed_over,
+                        skipped: true,
+                        sim_ms: span.elapsed_sim_ms(),
+                        last_error: Some("panicked".to_string()),
+                        ..ShardOutcome::default()
+                    }],
                     ..PipelineStats::default()
                 }
             }
@@ -294,6 +344,8 @@ impl MinerPipeline {
     ) -> PipelineStats {
         let mut stats = PipelineStats::default();
         let mut sim_ms = 0u64;
+        let mut faults = 0u64;
+        let mut last_error: Option<String> = None;
         let mut stream = ctx.plan.map(|p| p.stream(&format!("shard:{shard}")));
         if let Some(s) = stream.as_mut() {
             if ctx.health_of(executor) == NodeHealth::Degraded {
@@ -308,6 +360,7 @@ impl MinerPipeline {
             // `entity_elapsed`, so span duration == shard_sim_ms.
             let mut entity_elapsed = 0u64;
             let mut outcome: Option<bool> = None; // Some(ok) once decided
+            let mut entity_error: Option<String> = None;
             for attempt in 0..=ctx.retry.max_retries {
                 let fault = stream.as_mut().and_then(|s| s.draw());
                 let latency = stream.as_ref().map(|s| s.latency_ms(fault)).unwrap_or(0);
@@ -315,22 +368,30 @@ impl MinerPipeline {
                 span.advance(latency);
                 if entity_elapsed > ctx.retry.timeout_budget_ms {
                     span.event(format!("timeout doc={}", id.0));
+                    entity_error = Some(format!("timeout doc={}", id.0));
                     outcome = Some(false); // budget exhausted: timeout
                     break;
                 }
                 if let Some(kind) = fault {
+                    faults += 1;
                     span.event(format!("fault:{} doc={}", kind.label(), id.0));
                 }
                 match fault {
                     Some(FaultKind::ServiceError) => {
+                        entity_error = Some(format!("fault:service_error doc={}", id.0));
                         outcome = Some(false); // application error: terminal
                         break;
                     }
-                    Some(FaultKind::NodeDown) | Some(FaultKind::StoreConflict) => {
+                    Some(kind @ (FaultKind::NodeDown | FaultKind::StoreConflict)) => {
                         // transient: injected *before* the store mutation,
                         // so a later successful attempt bumps the entity
                         // version exactly once
                         if attempt == ctx.retry.max_retries {
+                            entity_error = Some(format!(
+                                "fault:{} doc={} retries exhausted",
+                                kind.label(),
+                                id.0
+                            ));
                             outcome = Some(false);
                             break;
                         }
@@ -345,6 +406,7 @@ impl MinerPipeline {
                         ));
                         if entity_elapsed > ctx.retry.timeout_budget_ms {
                             span.event(format!("timeout doc={}", id.0));
+                            entity_error = Some(format!("timeout doc={}", id.0));
                             outcome = Some(false);
                             break;
                         }
@@ -358,11 +420,27 @@ impl MinerPipeline {
             }
             match outcome {
                 Some(true) => stats.processed += 1,
-                _ => stats.failed += 1,
+                _ => {
+                    stats.failed += 1;
+                    last_error =
+                        Some(entity_error.unwrap_or_else(|| format!("miner-error doc={}", id.0)));
+                }
             }
             sim_ms += entity_elapsed;
         }
         stats.shard_sim_ms = vec![sim_ms];
+        stats.shards = vec![ShardOutcome {
+            shard,
+            executor: Some(executor),
+            processed: stats.processed,
+            failed: stats.failed,
+            retries: stats.retries,
+            faults,
+            failed_over: false, // the caller fills this in
+            skipped: false,
+            sim_ms,
+            last_error,
+        }];
         stats
     }
 

@@ -26,8 +26,8 @@
 //! one `fetch_add`, and because every recorded value is itself
 //! deterministic, concurrent merging cannot perturb a snapshot.
 
-use crate::trace::{FlightRecorder, TraceSpan, DEFAULT_TRACE_CAPACITY};
-use parking_lot::RwLock;
+use crate::trace::{FlightRecorder, TraceId, TraceSpan, DEFAULT_TRACE_CAPACITY};
+use parking_lot::{Mutex, RwLock};
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -83,12 +83,30 @@ pub const DEFAULT_BUCKETS: [u64; 17] = [
     1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
 ];
 
+/// A bucket's representative observation: the trace it belongs to plus
+/// the observed value, linking a latency histogram back to the flight
+/// recorder (`wfsm trace` can dump the full causal tree).
+///
+/// Selection is deterministic: the **largest** value recorded into the
+/// bucket wins, ties broken by the **smallest** trace id. Both rules are
+/// commutative, so concurrent shard workers converge on the same exemplar
+/// regardless of interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value (simulated ms for latency histograms).
+    pub value: u64,
+    /// Raw [`TraceId`] of the trace the observation belongs to.
+    pub trace: u64,
+}
+
 /// A fixed-bucket histogram over `u64` observations.
 ///
 /// Bucket `i` counts observations `<= bounds[i]` (and greater than the
 /// previous bound); one extra overflow bucket catches the rest. Bounds are
 /// fixed at construction, so merging concurrent observations is pure
-/// atomic addition and snapshots are deterministic.
+/// atomic addition and snapshots are deterministic. Observations recorded
+/// via [`Histogram::record_exemplar`] additionally pin a per-bucket
+/// [`Exemplar`] pointing at their trace.
 #[derive(Debug)]
 pub struct Histogram {
     bounds: Vec<u64>,
@@ -97,6 +115,7 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    exemplars: Vec<Mutex<Option<Exemplar>>>,
 }
 
 impl Histogram {
@@ -109,6 +128,7 @@ impl Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplars: (0..=bounds.len()).map(|_| Mutex::new(None)).collect(),
         }
     }
 
@@ -120,6 +140,26 @@ impl Histogram {
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records one observation and offers it as the bucket's exemplar.
+    /// The bucket keeps whichever observation is worst (max value; ties
+    /// go to the smaller trace id), so an SLO breach always links to a
+    /// representative trace of the slow path.
+    pub fn record_exemplar(&self, value: u64, trace: TraceId) {
+        self.record(value);
+        let idx = self.bounds.partition_point(|&b| b < value);
+        let mut slot = self.exemplars[idx].lock();
+        let replace = match *slot {
+            None => true,
+            Some(e) => value > e.value || (value == e.value && trace.0 < e.trace),
+        };
+        if replace {
+            *slot = Some(Exemplar {
+                value,
+                trace: trace.0,
+            });
+        }
     }
 
     /// Number of observations recorded.
@@ -158,6 +198,15 @@ impl Histogram {
                 .filter_map(|(i, c)| {
                     let c = c.load(Ordering::Relaxed);
                     (c > 0).then(|| (self.bounds.get(i).copied(), c))
+                })
+                .collect(),
+            exemplars: self
+                .exemplars
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| {
+                    let e = *slot.lock();
+                    e.map(|e| (self.bounds.get(i).copied(), e))
                 })
                 .collect(),
         }
@@ -360,6 +409,10 @@ pub struct HistogramSnapshot {
     /// Non-empty buckets as `(upper_bound, count)`; `None` is the
     /// overflow bucket.
     pub buckets: Vec<(Option<u64>, u64)>,
+    /// Per-bucket exemplars as `(upper_bound, exemplar)`, ascending like
+    /// `buckets`; only buckets that received a
+    /// [`Histogram::record_exemplar`] observation appear.
+    pub exemplars: Vec<(Option<u64>, Exemplar)>,
 }
 
 impl HistogramSnapshot {
@@ -387,6 +440,15 @@ impl HistogramSnapshot {
             }
         }
         self.max
+    }
+
+    /// The worst retained exemplar: max value, ties broken by the smaller
+    /// trace id (the same total order the buckets use internally).
+    pub fn worst_exemplar(&self) -> Option<Exemplar> {
+        self.exemplars
+            .iter()
+            .map(|(_, e)| *e)
+            .max_by(|a, b| a.value.cmp(&b.value).then(b.trace.cmp(&a.trace)))
     }
 }
 
@@ -489,6 +551,12 @@ impl TelemetrySnapshot {
                         let mut b = BTreeMap::new();
                         b.insert("le".to_string(), le.map(Value::from).unwrap_or(Value::Null));
                         b.insert("count".to_string(), Value::from(*count));
+                        if let Some((_, e)) = h.exemplars.iter().find(|(bound, _)| bound == le) {
+                            let mut eo = BTreeMap::new();
+                            eo.insert("trace".to_string(), Value::from(e.trace));
+                            eo.insert("value".to_string(), Value::from(e.value));
+                            b.insert("exemplar".to_string(), Value::Object(eo));
+                        }
                         Value::Object(b)
                     })
                     .collect();
@@ -544,6 +612,7 @@ impl TelemetrySnapshot {
                     min: need_u64(h.get("min").unwrap_or(&Value::Null), "min")?,
                     max: need_u64(h.get("max").unwrap_or(&Value::Null), "max")?,
                     buckets: Vec::new(),
+                    exemplars: Vec::new(),
                 };
                 if let Some(Value::Array(buckets)) = h.get("buckets") {
                     for b in buckets {
@@ -554,6 +623,22 @@ impl TelemetrySnapshot {
                         };
                         let count = need_u64(b.get("count").unwrap_or(&Value::Null), "bucket")?;
                         hs.buckets.push((le, count));
+                        if let Some(ev) = b.get("exemplar") {
+                            let eo = need_object(ev, "exemplar")?;
+                            hs.exemplars.push((
+                                le,
+                                Exemplar {
+                                    value: need_u64(
+                                        eo.get("value").unwrap_or(&Value::Null),
+                                        "exemplar value",
+                                    )?,
+                                    trace: need_u64(
+                                        eo.get("trace").unwrap_or(&Value::Null),
+                                        "exemplar trace",
+                                    )?,
+                                },
+                            ));
+                        }
                     }
                 }
                 snap.histograms.insert(k.clone(), hs);
@@ -674,6 +759,80 @@ mod tests {
         );
         let empty = tele.histogram("empty");
         assert_eq!(empty.percentile(50.0), 0);
+    }
+
+    /// Satellite contract: `percentile` on an empty histogram is 0 for
+    /// every `p`, through both the live handle and the snapshot.
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        let tele = Telemetry::new();
+        let h = tele.histogram("never.recorded");
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 0, "empty histogram p{p} must be 0");
+        }
+        let snap = tele.snapshot();
+        let hs = snap.histogram("never.recorded").unwrap();
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(hs.percentile(p), 0);
+        }
+        assert_eq!(hs.worst_exemplar(), None, "no observations, no exemplar");
+    }
+
+    #[test]
+    fn exemplars_keep_the_worst_observation_per_bucket() {
+        let tele = Telemetry::new();
+        let h = tele.histogram_with("lat", &[10, 100]);
+        h.record_exemplar(5, TraceId(9));
+        h.record_exemplar(8, TraceId(4)); // larger value wins the le-10 bucket
+        h.record_exemplar(8, TraceId(2)); // tie: smaller trace id wins
+        h.record_exemplar(8, TraceId(3)); // tie with larger id: loses
+        h.record_exemplar(50, TraceId(7));
+        h.record(70); // plain record never displaces an exemplar
+        let snap = tele.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        assert_eq!(
+            hs.exemplars,
+            vec![
+                (Some(10), Exemplar { value: 8, trace: 2 }),
+                (
+                    Some(100),
+                    Exemplar {
+                        value: 50,
+                        trace: 7
+                    }
+                ),
+            ]
+        );
+        assert_eq!(
+            hs.worst_exemplar(),
+            Some(Exemplar {
+                value: 50,
+                trace: 7
+            })
+        );
+        assert_eq!(hs.count, 6, "record_exemplar still counts observations");
+    }
+
+    #[test]
+    fn exemplars_round_trip_through_json() {
+        let tele = Telemetry::new();
+        let h = tele.histogram_with("lat", &[10]);
+        h.record_exemplar(7, TraceId(3));
+        h.record_exemplar(900, TraceId(12)); // overflow bucket
+        h.record(2); // le-10 count without touching the exemplar
+        let snap = tele.snapshot();
+        let text = snap.to_json_string();
+        assert!(text.contains("\"exemplar\""), "{text}");
+        let back = TelemetrySnapshot::from_json_str(&text).unwrap();
+        assert_eq!(back, snap, "exemplars survive export → parse");
+        assert_eq!(back.to_json_string(), text, "re-export is a fixpoint");
+        assert_eq!(
+            back.histogram("lat").unwrap().worst_exemplar(),
+            Some(Exemplar {
+                value: 900,
+                trace: 12
+            })
+        );
     }
 
     #[test]

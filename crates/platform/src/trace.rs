@@ -167,6 +167,15 @@ impl FlightRecorder {
         ids
     }
 
+    /// Whether at least one retained span belongs to `trace` — i.e. an
+    /// exemplar pointing at this id still resolves to a dumpable trace
+    /// (the ring may have evicted it).
+    pub fn contains_trace(&self, trace: TraceId) -> bool {
+        self.slots
+            .iter()
+            .any(|slot| slot.lock().as_ref().is_some_and(|(_, r)| r.trace == trace))
+    }
+
     /// The canonical tree(s) of one trace: children sorted by
     /// `(start_sim_ms, path)`, orphans (evicted parents) promoted to
     /// roots. Usually exactly one root.

@@ -304,8 +304,21 @@ impl ServiceBus {
         } else {
             self.metrics.errors.inc();
         }
-        self.metrics.call_sim_ms.record(outcome.sim_elapsed_ms);
-        entry.latency.record(outcome.sim_elapsed_ms);
+        match &span {
+            // traced calls pin the call's trace as the latency bucket's
+            // exemplar, linking SLO breaches back to the flight recorder
+            Some(s) => {
+                let trace = s.trace_id();
+                self.metrics
+                    .call_sim_ms
+                    .record_exemplar(outcome.sim_elapsed_ms, trace);
+                entry.latency.record_exemplar(outcome.sim_elapsed_ms, trace);
+            }
+            None => {
+                self.metrics.call_sim_ms.record(outcome.sim_elapsed_ms);
+                entry.latency.record(outcome.sim_elapsed_ms);
+            }
+        }
         if let Some(mut s) = span {
             s.attr("attempts", outcome.attempts.to_string());
             s.attr("ok", outcome.ok.to_string());

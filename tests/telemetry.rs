@@ -137,6 +137,67 @@ fn golden_json_snapshot() {
     );
 }
 
+/// Parse-error paths of the snapshot format: every malformed input is a
+/// descriptive `Err`, never a panic or a silently-wrong snapshot.
+#[test]
+fn snapshot_parse_rejects_malformed_input() {
+    // not JSON at all
+    let err = TelemetrySnapshot::from_json_str("counters: 1").unwrap_err();
+    assert!(!err.is_empty());
+    // truncated file (cut mid-object, as a partial download would be)
+    let full = chaos_snapshot(5).to_json_string();
+    let truncated = &full[..full.len() / 2];
+    assert!(TelemetrySnapshot::from_json_str(truncated).is_err());
+    // root must be an object
+    let err = TelemetrySnapshot::from_json_str("[1, 2]").unwrap_err();
+    assert!(err.contains("must be an object"), "{err}");
+    // sections must be objects
+    let err = TelemetrySnapshot::from_json_str(r#"{"counters": 7}"#).unwrap_err();
+    assert!(err.contains("counters must be an object"), "{err}");
+    // counters must be non-negative integers, and the message names the key
+    let err = TelemetrySnapshot::from_json_str(r#"{"counters": {"x": -1}}"#).unwrap_err();
+    assert!(err.contains("counter x"), "{err}");
+    let err = TelemetrySnapshot::from_json_str(r#"{"counters": {"x": "many"}}"#).unwrap_err();
+    assert!(err.contains("counter x"), "{err}");
+    // gauges must be integers
+    let err = TelemetrySnapshot::from_json_str(r#"{"gauges": {"g": true}}"#).unwrap_err();
+    assert!(err.contains("gauge g"), "{err}");
+    // histogram fields and buckets are validated too
+    let err =
+        TelemetrySnapshot::from_json_str(r#"{"histograms": {"h": {"count": "x"}}}"#).unwrap_err();
+    assert!(err.contains("count"), "{err}");
+    let err = TelemetrySnapshot::from_json_str(
+        r#"{"histograms": {"h": {"count": 1, "sum": 1, "min": 1, "max": 1,
+            "buckets": [{"le": "wide", "count": 1}]}}}"#,
+    )
+    .unwrap_err();
+    assert!(err.contains("bucket le"), "{err}");
+    let err = TelemetrySnapshot::from_json_str(
+        r#"{"histograms": {"h": {"count": 1, "sum": 1, "min": 1, "max": 1,
+            "buckets": [{"le": 8, "count": 1, "exemplar": {"value": null, "trace": 1}}]}}}"#,
+    )
+    .unwrap_err();
+    assert!(err.contains("exemplar value"), "{err}");
+}
+
+/// Unknown keys are ignored (old readers accept newer exports), and
+/// missing sections default to empty.
+#[test]
+fn snapshot_parse_tolerates_unknown_keys_and_missing_sections() {
+    let snap = TelemetrySnapshot::from_json_str(
+        r#"{"counters": {"a": 1}, "future_section": {"x": [1, 2]}, "schema_version": 9}"#,
+    )
+    .unwrap();
+    assert_eq!(snap.counter("a"), 1);
+    assert!(snap.gauges.is_empty());
+    assert!(snap.histograms.is_empty());
+    // an empty object parses as the default snapshot
+    assert_eq!(
+        TelemetrySnapshot::from_json_str("{}").unwrap(),
+        TelemetrySnapshot::default()
+    );
+}
+
 /// A fully-down cluster still snapshots deterministically, with every
 /// entity accounted as failed.
 #[test]
@@ -306,7 +367,14 @@ mod properties {
             }
             snap.histograms.insert(
                 "h.main".to_string(),
-                wf_platform::HistogramSnapshot { count, sum, min: 0, max: bound, buckets },
+                wf_platform::HistogramSnapshot {
+                    count,
+                    sum,
+                    min: 0,
+                    max: bound,
+                    buckets,
+                    exemplars: Vec::new(),
+                },
             );
             // an explicitly empty histogram in every case
             snap.histograms.insert(
@@ -317,6 +385,7 @@ mod properties {
                     min: 0,
                     max: 0,
                     buckets: Vec::new(),
+                    exemplars: Vec::new(),
                 },
             );
             let text = snap.to_json_string();

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the wf-bench artifacts.
+
+Compares every ``BENCH_*.json`` in a baseline directory against a fresh
+run in a current directory:
+
+* Keys ending in ``_wall_us`` are wall-clock timings and get a one-sided
+  tolerance: the gate fails only when the current value exceeds
+  ``baseline * (1 + tolerance)`` AND the absolute growth exceeds
+  ``--floor-us`` (tiny benches jitter wildly in relative terms, so a
+  percentage alone would flap).
+* Every other leaf — counts, simulated time, seeds, the whole embedded
+  ``metrics`` snapshot — is deterministic by design and must match the
+  baseline exactly. A drift there is a behaviour change, not noise, and
+  the fix is either a code fix or a deliberate baseline regeneration.
+
+Exit codes: 0 clean, 1 regression/drift found, 2 usage or I/O error.
+
+Usage:
+    python3 tools/bench_gate.py --baseline artifacts-baseline --current artifacts
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+WALL_SUFFIX = "_wall_us"
+
+
+def walk(path, base, cur, failures, tolerance, floor_us):
+    """Recursively diff ``cur`` against ``base``, appending failure strings."""
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for key in sorted(base):
+            if key not in cur:
+                failures.append(f"{path}.{key}: missing from current run")
+            else:
+                walk(f"{path}.{key}", base[key], cur[key], failures, tolerance, floor_us)
+        for key in sorted(set(cur) - set(base)):
+            failures.append(
+                f"{path}.{key}: new key absent from baseline "
+                f"(regenerate the baseline artifact if intentional)"
+            )
+        return
+    if isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            failures.append(f"{path}: length {len(base)} -> {len(cur)}")
+            return
+        for i, (b, c) in enumerate(zip(base, cur)):
+            walk(f"{path}[{i}]", b, c, failures, tolerance, floor_us)
+        return
+
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf.endswith(WALL_SUFFIX):
+        if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+            failures.append(f"{path}: timing must be numeric, got {base!r} -> {cur!r}")
+        elif cur > base * (1.0 + tolerance) and cur - base > floor_us:
+            failures.append(
+                f"{path}: {base} us -> {cur} us "
+                f"(+{100.0 * (cur - base) / max(base, 1):.0f}%, "
+                f"tolerance {100.0 * tolerance:.0f}% + {floor_us} us floor)"
+            )
+        return
+    if base != cur:
+        failures.append(
+            f"{path}: deterministic value drifted: {base!r} -> {cur!r} "
+            f"(regenerate the baseline artifact if intentional)"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="directory of checked-in BENCH_*.json")
+    parser.add_argument("--current", required=True, help="directory of freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="allowed relative wall-clock growth (2.0 = 3x baseline; CI machines vary)",
+    )
+    parser.add_argument(
+        "--floor-us",
+        type=int,
+        default=20000,
+        help="absolute growth in microseconds a timing must also exceed to fail",
+    )
+    args = parser.parse_args()
+
+    baseline_dir = Path(args.baseline)
+    current_dir = Path(args.current)
+    for d in (baseline_dir, current_dir):
+        if not d.is_dir():
+            print(f"bench gate: not a directory: {d}", file=sys.stderr)
+            return 2
+
+    names = sorted(p.name for p in baseline_dir.glob("BENCH_*.json"))
+    if not names:
+        print(f"bench gate: no BENCH_*.json baselines in {baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in names:
+        cur_path = current_dir / name
+        if not cur_path.is_file():
+            failures.append(f"{name}: bench artifact not produced by current run")
+            continue
+        try:
+            base = json.loads((baseline_dir / name).read_text())
+            cur = json.loads(cur_path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench gate: cannot read {name}: {err}", file=sys.stderr)
+            return 2
+        walk(name, base, cur, failures, args.tolerance, args.floor_us)
+
+    for extra in sorted(p.name for p in current_dir.glob("BENCH_*.json")):
+        if extra not in names:
+            failures.append(
+                f"{extra}: produced by current run but has no checked-in baseline "
+                f"(copy it into {baseline_dir} to adopt it)"
+            )
+
+    if failures:
+        print(f"bench gate: {len(failures)} regression(s) across {len(names)} artifact(s):")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(f"bench gate: OK ({len(names)} artifact(s) within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
