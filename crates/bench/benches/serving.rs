@@ -1,0 +1,188 @@
+//! Serving-tier benchmark: mines a synthetic multi-brand corpus, builds
+//! the sharded sentiment index, and drives the deterministic many-client
+//! serve loop against it, exporting `artifacts/BENCH_serving.json`.
+//!
+//! The deterministic keys (request/outcome counts, cache hit rate,
+//! latency percentiles, sustained simulated QPS) double as regression
+//! sentinels for `tools/bench_gate.py`: they must match the checked-in
+//! baseline exactly, while the `*_wall_us` keys get a tolerance.
+//!
+//! Run with `cargo bench -p wf-bench --bench serving`.
+
+use std::sync::Arc;
+use std::time::Instant;
+use wf_platform::{Cluster, Ingestor, MinerPipeline, RawDocument, ServeLoop, ServingConfig};
+use wf_sentiment::{AdhocSentimentMiner, SentimentServingBackend, ShardedSentimentIndex};
+
+const DOCS: usize = 96;
+const NODES: usize = 4;
+const SEED: u64 = 20050405;
+const CLIENTS: u32 = 16;
+const QPS: u64 = 500;
+const REQUESTS: u64 = 1200;
+
+/// A positive/negative corpus across five brands, so the index holds
+/// several subjects with distinct polarity profiles.
+fn corpus() -> Vec<String> {
+    const BRANDS: [&str; 5] = ["Canon", "Nikon", "Sony", "Kodak", "Pentax"];
+    const MOODS: [&str; 4] = [
+        "takes excellent pictures",
+        "has a terrible battery",
+        "produces sharp images",
+        "suffers from blurry output",
+    ];
+    (0..DOCS)
+        .map(|i| {
+            format!(
+                "{} {} in trial {i}.",
+                BRANDS[i % BRANDS.len()],
+                MOODS[i % MOODS.len()]
+            )
+        })
+        .collect()
+}
+
+/// Popularity-skewed request mix: repeats make the cache earn its hit
+/// rate; the unknown subject keeps the error path honest.
+fn workload() -> Vec<String> {
+    let mut pool = Vec::new();
+    for _ in 0..4 {
+        pool.push("sentiment of canon".to_string());
+    }
+    for _ in 0..2 {
+        pool.push("sentiment of nikon".to_string());
+    }
+    pool.push("sentiment of sony".to_string());
+    pool.push("sentiment of kodak".to_string());
+    pool.push("sentiment of pentax".to_string());
+    pool.push("top 3 +".to_string());
+    pool.push("top 3 -".to_string());
+    pool.push("sentiment of zorblax".to_string());
+    pool
+}
+
+fn main() {
+    let cluster = Cluster::new(NODES).unwrap();
+    let t = Instant::now();
+    let raw: Vec<RawDocument> = corpus()
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            RawDocument::new(
+                format!("bench://serving/{i}"),
+                wf_platform::SourceKind::Web,
+                text.clone(),
+            )
+        })
+        .collect();
+    Ingestor::new(cluster.store()).ingest_batch(raw);
+    let pipeline = MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()));
+    cluster.run_pipeline(&pipeline);
+    let mine_us = t.elapsed().as_micros() as u64;
+
+    let t = Instant::now();
+    let index = ShardedSentimentIndex::build_from_store(cluster.store());
+    let index_us = t.elapsed().as_micros() as u64;
+    let postings = index.posting_count() as u64;
+    let subjects = index.subjects().len() as u64;
+    let backend = SentimentServingBackend::new(index);
+
+    let config = ServingConfig {
+        seed: SEED,
+        clients: CLIENTS,
+        qps: QPS,
+        requests: REQUESTS,
+        cache_capacity: 32,
+        queue_capacity: 24,
+        ..ServingConfig::default()
+    };
+    let t = Instant::now();
+    let report = ServeLoop::new(
+        &backend,
+        Arc::clone(cluster.telemetry()),
+        config,
+        workload(),
+    )
+    .run()
+    .unwrap();
+    let serve_us = t.elapsed().as_micros() as u64;
+
+    let mut out = std::collections::BTreeMap::new();
+    out.insert("bench".to_string(), serde_json::Value::from("serving"));
+    out.insert("docs".to_string(), serde_json::Value::from(DOCS as u64));
+    out.insert("nodes".to_string(), serde_json::Value::from(NODES as u64));
+    out.insert("seed".to_string(), serde_json::Value::from(SEED));
+    out.insert(
+        "clients".to_string(),
+        serde_json::Value::from(u64::from(CLIENTS)),
+    );
+    out.insert("target_qps".to_string(), serde_json::Value::from(QPS));
+    out.insert("postings".to_string(), serde_json::Value::from(postings));
+    out.insert("subjects".to_string(), serde_json::Value::from(subjects));
+    out.insert(
+        "requests".to_string(),
+        serde_json::Value::from(report.requests),
+    );
+    out.insert("ok".to_string(), serde_json::Value::from(report.ok));
+    out.insert("shed".to_string(), serde_json::Value::from(report.shed));
+    out.insert("errors".to_string(), serde_json::Value::from(report.errors));
+    out.insert(
+        "cache_hits".to_string(),
+        serde_json::Value::from(report.cache_hits),
+    );
+    out.insert(
+        "cache_misses".to_string(),
+        serde_json::Value::from(report.cache_misses),
+    );
+    out.insert(
+        "cache_hit_rate_milli".to_string(),
+        serde_json::Value::from(report.cache_hit_rate_milli()),
+    );
+    out.insert(
+        "latency_p50_ms".to_string(),
+        serde_json::Value::from(report.latency_p50_ms),
+    );
+    out.insert(
+        "latency_p95_ms".to_string(),
+        serde_json::Value::from(report.latency_p95_ms),
+    );
+    out.insert(
+        "latency_p99_ms".to_string(),
+        serde_json::Value::from(report.latency_p99_ms),
+    );
+    out.insert(
+        "queue_peak".to_string(),
+        serde_json::Value::from(report.queue_peak),
+    );
+    out.insert("sim_ms".to_string(), serde_json::Value::from(report.sim_ms));
+    out.insert(
+        "sustained_qps_milli".to_string(),
+        serde_json::Value::from(report.sustained_qps_milli),
+    );
+    out.insert("mine_wall_us".to_string(), serde_json::Value::from(mine_us));
+    out.insert(
+        "index_build_wall_us".to_string(),
+        serde_json::Value::from(index_us),
+    );
+    out.insert(
+        "serve_wall_us".to_string(),
+        serde_json::Value::from(serve_us),
+    );
+    let rendered = serde_json::to_string_pretty(&serde_json::Value::Object(out))
+        .expect("report renders infallibly");
+
+    let artifacts = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../artifacts");
+    std::fs::create_dir_all(&artifacts).expect("create artifacts dir");
+    let path = artifacts.join("BENCH_serving.json");
+    std::fs::write(&path, rendered + "\n").expect("write bench artifact");
+
+    println!(
+        "serving bench: {} requests in {} sim-ms ({} milli-qps, {} hit-rate-milli); \
+         mine {mine_us} us, index {index_us} us, serve {serve_us} us; wrote {}",
+        report.requests,
+        report.sim_ms,
+        report.sustained_qps_milli,
+        report.cache_hit_rate_milli(),
+        path.display()
+    );
+}

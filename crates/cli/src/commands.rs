@@ -34,6 +34,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         "trace" => trace(args),
         "doctor" => doctor(args),
         "top" => top(args),
+        "serve" => serve(args),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -95,6 +96,20 @@ USAGE:
       Per-node scoreboard for the same workload: one-shot by default,
       or N deterministic refresh frames (one workload round each) with
       --watch N.
+  wfsm serve    [--docs N] [--subject NAME | --top K [--polarity +|-|0]]
+                [--clients C] [--qps Q] [--requests R] [--cache N]
+                [--queue N] [--seed S] [--chaos-seed S] [--fail-rate P]
+                [--format text|json]
+      Mine a synthetic multi-brand corpus on a simulated 4-node cluster,
+      build the sharded sentiment index, and serve query-time sentiment
+      from it. One-shot with --subject (\"sentiment of X\") or --top K
+      (\"top k by polarity\"); otherwise drive a deterministic many-client
+      request loop (seeded arrivals at --qps on the simulated clock)
+      through the LRU result cache and bounded admission queue, and
+      report throughput, shed/error counts, latency percentiles and the
+      serving SLOs. With --chaos-seed, faults hit the serving path and
+      one index shard is lost mid-stream. Same seed ⇒ byte-identical
+      --format json output.
   wfsm gen-corpus --domain camera|music|petroleum|pharma --out DOCS.txt
                 [--docs N] [--seed S]
       Write a synthetic gold-labeled evaluation corpus, one document per
@@ -595,6 +610,226 @@ fn top(args: &ParsedArgs) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// The serving corpus: five brands cycling four moods, so the sentiment
+/// index holds several subjects with distinct polarity profiles.
+fn synthetic_serving_docs(n: usize) -> Vec<String> {
+    const BRANDS: [&str; 5] = ["Canon", "Nikon", "Sony", "Kodak", "Pentax"];
+    const MOODS: [&str; 4] = [
+        "takes excellent pictures",
+        "has a terrible battery",
+        "produces sharp images",
+        "suffers from blurry output",
+    ];
+    (0..n)
+        .map(|i| {
+            format!(
+                "{} {} in trial {i}.",
+                BRANDS[i % BRANDS.len()],
+                MOODS[i % MOODS.len()]
+            )
+        })
+        .collect()
+}
+
+/// The request mix for the serve loop: popularity-skewed subject queries
+/// (repeats give the cache something to hit), top-k analytics, and one
+/// unknown subject keeping the error path honest.
+fn serving_workload() -> Vec<String> {
+    let mut pool = Vec::new();
+    for _ in 0..4 {
+        pool.push("sentiment of canon".to_string());
+    }
+    for _ in 0..2 {
+        pool.push("sentiment of nikon".to_string());
+    }
+    pool.push("sentiment of sony".to_string());
+    pool.push("sentiment of kodak".to_string());
+    pool.push("sentiment of pentax".to_string());
+    pool.push("top 3 +".to_string());
+    pool.push("top 3 -".to_string());
+    pool.push("sentiment of zorblax".to_string());
+    pool
+}
+
+fn parse_positive<T: std::str::FromStr + PartialOrd + From<u8>>(
+    args: &ParsedArgs,
+    name: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let value = match args.opt(name) {
+        None => default,
+        Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}"))?,
+    };
+    if value < T::from(1u8) {
+        return Err(format!("--{name} must be at least 1"));
+    }
+    Ok(value)
+}
+
+/// Query-time sentiment serving: mine → build the sharded index → answer
+/// one-shot queries or drive the deterministic request loop.
+fn serve(args: &ParsedArgs) -> Result<String, String> {
+    use wf_platform::ServingBackend;
+    use wf_sentiment::{SentimentServingBackend, ShardedSentimentIndex};
+
+    let docs: usize = parse_positive(args, "docs", 40usize)?;
+    let chaos_seed: Option<u64> = args
+        .opt("chaos-seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --chaos-seed: {e}")))
+        .transpose()?;
+    let fail_rate: f64 = args
+        .opt("fail-rate")
+        .map(|v| v.parse().map_err(|e| format!("bad --fail-rate: {e}")))
+        .transpose()?
+        .unwrap_or(0.05);
+    if args.opt("fail-rate").is_some() && chaos_seed.is_none() {
+        return Err("--fail-rate requires --chaos-seed".into());
+    }
+    if !(0.0..=1.0).contains(&fail_rate) {
+        return Err(format!("--fail-rate must be in [0, 1], got {fail_rate}"));
+    }
+    let format = args.opt("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown --format {format:?} (text|json)"));
+    }
+
+    // offline half: ingest + mine the corpus, then precompute the index
+    let cluster = Cluster::new(4).map_err(|e| e.to_string())?;
+    let raw: Vec<RawDocument> = synthetic_serving_docs(docs)
+        .iter()
+        .enumerate()
+        .map(|(i, text)| RawDocument::new(format!("serve://doc{i}"), SourceKind::Web, text.clone()))
+        .collect();
+    Ingestor::new(cluster.store()).ingest_batch(raw);
+    let pipeline = MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()));
+    cluster.run_pipeline(&pipeline);
+    let index = ShardedSentimentIndex::build_from_store(cluster.store());
+    let postings = index.posting_count();
+    let subjects = index.subjects().len();
+    let backend = SentimentServingBackend::new(index);
+
+    // one-shot query paths
+    if let Some(subject) = args.opt("subject") {
+        let answer = backend
+            .execute(&format!("sentiment of {subject}"))
+            .map_err(|e| e.to_string())?;
+        return Ok(match format {
+            "json" => answer.body + "\n",
+            _ => {
+                let summary = backend
+                    .index()
+                    .summary(&subject.to_lowercase())
+                    .expect("execute succeeded");
+                format!(
+                    "{}: {} positive, {} negative, {} neutral (net {:+}) over {} posting(s)\n",
+                    summary.subject,
+                    summary.positive,
+                    summary.negative,
+                    summary.neutral,
+                    summary.net(),
+                    summary.total()
+                )
+            }
+        });
+    }
+    if let Some(k) = args.opt("top") {
+        let polarity = args.opt("polarity").unwrap_or("+");
+        let answer = backend
+            .execute(&format!("top {k} {polarity}"))
+            .map_err(|e| e.to_string())?;
+        return Ok(match format {
+            "json" => answer.body + "\n",
+            _ => {
+                let k: usize = k.parse().expect("execute validated k");
+                let polarity = Polarity::parse(polarity).expect("execute validated polarity");
+                let mut out = format!("top {k} by {polarity}:\n");
+                for (rank, s) in backend.index().top_k(k, polarity).iter().enumerate() {
+                    out.push_str(&format!(
+                        "{:>3}. {:<12} {} mention(s) (net {:+})\n",
+                        rank + 1,
+                        s.subject,
+                        s.count(polarity),
+                        s.net()
+                    ));
+                }
+                out
+            }
+        });
+    }
+
+    // request-loop mode
+    let config = wf_platform::ServingConfig {
+        seed: parse_positive(args, "seed", 20050405u64)?,
+        clients: parse_positive(args, "clients", 8u32)?,
+        qps: parse_positive(args, "qps", 200u64)?,
+        requests: parse_positive(args, "requests", 400u64)?,
+        cache_capacity: args
+            .opt("cache")
+            .map(|v| v.parse().map_err(|e| format!("bad --cache: {e}")))
+            .transpose()?
+            .unwrap_or(64),
+        queue_capacity: parse_positive(args, "queue", 32usize)?,
+        ..wf_platform::ServingConfig::default()
+    };
+    let requests = config.requests;
+    let mut engine = HealthEngine::with_telemetry(default_slos(), Arc::clone(cluster.telemetry()));
+    let mut serve_loop = wf_platform::ServeLoop::new(
+        &backend,
+        Arc::clone(cluster.telemetry()),
+        config,
+        serving_workload(),
+    );
+    if let Some(seed) = chaos_seed {
+        // chaos on the serving path, plus the doctor fixture's topology
+        // landing mid-stream: node 1 degrades, node 2's shard is lost
+        serve_loop = serve_loop
+            .with_fault_plan(FaultPlan::uniform(seed, fail_rate))
+            .with_trigger(requests / 3, || {
+                backend.set_shard_health(1, NodeHealth::Degraded)
+            })
+            .with_trigger(requests / 2, || {
+                backend.set_shard_health(2, NodeHealth::Down)
+            });
+    }
+    let report = {
+        let cluster = &cluster;
+        let engine = &mut engine;
+        serve_loop
+            .run_observed(&mut |now_sim_ms| {
+                cluster.advance_clock(now_sim_ms.saturating_sub(cluster.sim_now()));
+                let snapshot = cluster.metrics_snapshot();
+                engine.observe(cluster.sim_now(), &snapshot);
+            })
+            .map_err(|e| e.to_string())?
+    };
+    match format {
+        "json" => Ok(report.to_json_string() + "\n"),
+        _ => {
+            let mut out =
+                format!("serving {subjects} subject(s), {postings} posting(s) across 4 shard(s)\n");
+            out.push_str(&report.to_table());
+            let firing: Vec<&str> = engine
+                .status()
+                .iter()
+                .filter(|s| s.firing)
+                .map(|s| s.name.as_str())
+                .collect();
+            out.push_str(&format!(
+                "slos firing: {}\n",
+                if firing.is_empty() {
+                    "-".to_string()
+                } else {
+                    firing.join(",")
+                }
+            ));
+            Ok(out)
+        }
+    }
 }
 
 fn gen_corpus(args: &ParsedArgs) -> Result<String, String> {
@@ -1211,5 +1446,93 @@ mod tests {
         assert!(run_tokens(&["features"])
             .unwrap_err()
             .contains("positional"));
+    }
+
+    #[test]
+    fn serve_one_shot_subject_both_formats() {
+        let text = run_tokens(&["serve", "--docs", "20", "--subject", "Canon"]).unwrap();
+        assert!(text.contains("canon:"), "{text}");
+        assert!(text.contains("positive"), "{text}");
+        let json = run_tokens(&[
+            "serve",
+            "--docs",
+            "20",
+            "--subject",
+            "Canon",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(json.contains("\"subject\":\"canon\""), "{json}");
+        assert!(json.contains("\"postings\":"), "{json}");
+    }
+
+    #[test]
+    fn serve_one_shot_top_k() {
+        let out = run_tokens(&["serve", "--docs", "20", "--top", "2", "--polarity", "-"]).unwrap();
+        assert!(out.contains("top 2 by -"), "{out}");
+        assert!(out.contains("1."), "{out}");
+    }
+
+    #[test]
+    fn serve_unknown_subject_is_a_clean_error() {
+        let err = run_tokens(&["serve", "--docs", "20", "--subject", "zorblax"]).unwrap_err();
+        assert!(err.contains("not found"), "{err}");
+        assert!(err.contains("zorblax"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(run_tokens(&["serve", "--format", "yaml"])
+            .unwrap_err()
+            .contains("unknown --format"));
+        assert!(run_tokens(&["serve", "--clients", "0"])
+            .unwrap_err()
+            .contains("--clients must be at least 1"));
+        assert!(run_tokens(&["serve", "--qps", "0"])
+            .unwrap_err()
+            .contains("--qps must be at least 1"));
+        assert!(run_tokens(&["serve", "--requests", "0"])
+            .unwrap_err()
+            .contains("--requests must be at least 1"));
+        assert!(run_tokens(&["serve", "--clients", "many"])
+            .unwrap_err()
+            .contains("bad --clients"));
+        assert!(run_tokens(&["serve", "--docs", "0"])
+            .unwrap_err()
+            .contains("--docs must be at least 1"));
+        assert!(run_tokens(&["serve", "--fail-rate", "0.5"])
+            .unwrap_err()
+            .contains("requires --chaos-seed"));
+        assert!(
+            run_tokens(&["serve", "--chaos-seed", "7", "--fail-rate", "1.5"])
+                .unwrap_err()
+                .contains("must be in [0, 1]")
+        );
+    }
+
+    #[test]
+    fn serve_loop_reports_and_is_deterministic() {
+        let args = [
+            "serve",
+            "--docs",
+            "20",
+            "--clients",
+            "4",
+            "--qps",
+            "300",
+            "--requests",
+            "80",
+        ];
+        let text = run_tokens(&args).unwrap();
+        assert!(text.contains("slos firing:"), "{text}");
+        assert!(text.contains("requests"), "{text}");
+
+        let mut json_args = args.to_vec();
+        json_args.extend_from_slice(&["--format", "json"]);
+        let a = run_tokens(&json_args).unwrap();
+        let b = run_tokens(&json_args).unwrap();
+        assert_eq!(a, b, "same-seed serve runs must be byte-identical");
+        assert!(a.contains("\"requests\": 80"), "{a}");
     }
 }

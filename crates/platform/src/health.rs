@@ -141,6 +141,28 @@ pub fn default_slos() -> Vec<SloSpec> {
             slow_window_ms: 20_000,
             burn_threshold_milli: 1_000,
         },
+        SloSpec {
+            name: "serving-latency-p95".to_string(),
+            objective: Objective::LatencyBelow {
+                histogram: "serving.latency.sim_ms".to_string(),
+                percentile: 95,
+                max_sim_ms: 64,
+            },
+            fast_window_ms: 2_000,
+            slow_window_ms: 10_000,
+            burn_threshold_milli: 2_000,
+        },
+        SloSpec {
+            name: "serving-error-rate".to_string(),
+            objective: Objective::ErrorRateBelow {
+                errors: "serving.errors".to_string(),
+                total: "serving.requests".to_string(),
+                max_ratio_milli: 100,
+            },
+            fast_window_ms: 2_000,
+            slow_window_ms: 10_000,
+            burn_threshold_milli: 1_000,
+        },
     ]
 }
 

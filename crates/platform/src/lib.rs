@@ -27,7 +27,12 @@
 //! - [`health`]: the deterministic health engine — declarative SLOs with
 //!   multi-window burn-rate alerts on the simulated clock, histogram
 //!   exemplars linking metrics back to flight-recorder traces, and the
-//!   doctor/scoreboard reports behind `wfsm doctor` / `wfsm top`.
+//!   doctor/scoreboard reports behind `wfsm doctor` / `wfsm top`;
+//! - [`serving`]: the query-time serving tier — a deterministic
+//!   many-client request loop (seeded arrival process on the simulated
+//!   clock) over any precomputed backend, with an LRU result cache,
+//!   bounded-queue admission control, load shedding and backpressure,
+//!   instrumented end to end (`serving.*` metrics, per-query traces).
 
 pub mod boilerplate;
 pub mod cluster;
@@ -44,6 +49,7 @@ pub mod pagerank;
 pub mod persist;
 pub mod query_parser;
 pub mod regex;
+pub mod serving;
 pub mod stats;
 pub mod store;
 pub mod telemetry;
@@ -72,6 +78,10 @@ pub use pagerank::{pagerank, PageRankConfig, PageRankMiner};
 pub use persist::{load_store, save_store};
 pub use query_parser::parse_query;
 pub use regex::Regex;
+pub use serving::{
+    LruCache, QueryOutcome, ServeLoop, ServedAnswer, ServedQuery, ServingBackend, ServingConfig,
+    ServingReport, CACHE_HIT_COST_MS, DISPATCH_COST_MS,
+};
 pub use stats::{corpus_stats, CorpusStats};
 pub use store::DataStore;
 pub use telemetry::{

@@ -13,7 +13,11 @@
 //! - [`miner`]: the [`SentimentMiner`] facade (modes A and B);
 //! - [`record`]: output records;
 //! - [`platform_miners`]: WebFountain integration (entity miners, the
-//!   sentiment index and its query service).
+//!   sentiment index and its query service);
+//! - [`sindex`]: the precomputed, sharded sentiment index (per-(subject,
+//!   sentence) polarity postings, co-sharded with the data store);
+//! - [`serve`]: the sentiment index as a query-time serving backend for
+//!   `wf_platform::serving` ("sentiment of X", "top k by polarity").
 
 pub mod analyzer;
 pub mod aspects;
@@ -22,6 +26,8 @@ pub mod miner;
 pub mod phrase;
 pub mod platform_miners;
 pub mod record;
+pub mod serve;
+pub mod sindex;
 pub mod trends;
 
 pub use analyzer::{AnalyzerConfig, Evidence, SentimentAnalyzer, SentimentAssignment};
@@ -32,6 +38,8 @@ pub use platform_miners::{
     AdhocSentimentMiner, SentimentEntityMiner, SentimentHit, SentimentQueryService, SpotterMiner,
 };
 pub use record::{dominant_polarity, EvidenceKind, SubjectSentiment};
+pub use serve::{SentimentServingBackend, ServeRequest, DEGRADED_SHARD_PENALTY_MS};
+pub use sindex::{SentimentIndexShard, SentimentPosting, ShardedSentimentIndex, SubjectSummary};
 pub use trends::{sentiment_trends, TrendDirection, TrendPoint, TrendSeries};
 // re-export so downstream users need only this crate for mode A
 pub use wf_spotter::{SubjectList, SubjectListBuilder};
