@@ -9,6 +9,7 @@
 
 use crate::tags::PosTag;
 use crate::tokenizer::Token;
+use crate::view::{LoweredTokens, TokenAccess};
 
 /// Kind of a base phrase chunk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,6 +84,11 @@ fn is_np_premodifier(tag: PosTag) -> bool {
 /// ADJP := RB* (JJ|JJR|JJS)+               (only outside an NP)
 /// ```
 pub fn chunk(tokens: &[Token], tags: &[PosTag]) -> Vec<Chunk> {
+    chunk_tokens(&LoweredTokens::new(tokens), tags)
+}
+
+/// Chunks one tagged sentence over any token view.
+pub fn chunk_tokens<T: TokenAccess>(tokens: &T, tags: &[PosTag]) -> Vec<Chunk> {
     assert_eq!(tokens.len(), tags.len(), "tokens/tags length mismatch");
     let mut chunks = Vec::new();
     let mut i = 0;
@@ -103,7 +109,7 @@ pub fn chunk(tokens: &[Token], tags: &[PosTag]) -> Vec<Chunk> {
         }
         // Subordinating conjunctions open a new clause rather than a PP;
         // the clause analyzer splits on them.
-        if tag == PosTag::IN && is_subordinator(&tokens[i].lower()) {
+        if tag == PosTag::IN && is_subordinator(tokens.lower(i)) {
             chunks.push(Chunk {
                 kind: ChunkKind::Other,
                 start: i,

@@ -11,6 +11,7 @@ use crate::chunk::{Chunk, ChunkKind};
 use crate::lemma::lemmatize_verb;
 use crate::tags::PosTag;
 use crate::tokenizer::Token;
+use crate::view::{LoweredTokens, TokenAccess};
 
 /// Negating adverbs/determiners per the paper: "not, no, never, hardly,
 /// seldom, or little".
@@ -82,13 +83,23 @@ pub struct Clause {
 }
 
 /// Full clause analysis of one sentence.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SentenceAnalysis {
     pub clauses: Vec<Clause>,
 }
 
-/// Splits chunk indices into clause boundaries and analyzes each clause.
+/// Splits chunk indices into clause boundaries and analyzes each clause
+/// (compatibility wrapper over owned tokens).
 pub fn analyze_clauses(tokens: &[Token], tags: &[PosTag], chunks: &[Chunk]) -> SentenceAnalysis {
+    analyze_clause_tokens(&LoweredTokens::new(tokens), tags, chunks)
+}
+
+/// Clause analysis over any token view.
+pub fn analyze_clause_tokens<T: TokenAccess>(
+    tokens: &T,
+    tags: &[PosTag],
+    chunks: &[Chunk],
+) -> SentenceAnalysis {
     let boundaries = clause_boundaries(tokens, tags, chunks);
     let mut clauses = Vec::new();
     for window in boundaries.windows(2) {
@@ -114,7 +125,7 @@ pub fn analyze_clauses(tokens: &[Token], tags: &[PosTag], chunks: &[Chunk]) -> S
 /// - a relative pronoun (which/who/that-WDT),
 /// - a subordinating conjunction heading its own subject+verb,
 /// - a semicolon.
-fn clause_boundaries(tokens: &[Token], tags: &[PosTag], chunks: &[Chunk]) -> Vec<usize> {
+fn clause_boundaries<T: TokenAccess>(tokens: &T, tags: &[PosTag], chunks: &[Chunk]) -> Vec<usize> {
     let mut bounds = vec![0];
     let has_vp_in =
         |range: std::ops::Range<usize>| range.clone().any(|ci| chunks[ci].kind == ChunkKind::VP);
@@ -123,18 +134,18 @@ fn clause_boundaries(tokens: &[Token], tags: &[PosTag], chunks: &[Chunk]) -> Vec
         if c.kind != ChunkKind::Other {
             continue;
         }
-        let tok = &tokens[c.start];
         let tag = tags[c.start];
         let prev_bound = *bounds.last().expect("non-empty");
         let is_cc_split =
             tag == PosTag::CC && has_vp_in(prev_bound..ci) && has_vp_in(ci + 1..chunks.len());
         let is_relative = matches!(tag, PosTag::WDT | PosTag::WP);
-        let is_semicolon = tok.text == ";";
-        let is_subordinator = tag == PosTag::IN && crate::chunk::is_subordinator(&tok.lower());
+        let is_semicolon = tokens.text(c.start) == ";";
+        let is_subordinator =
+            tag == PosTag::IN && crate::chunk::is_subordinator(tokens.lower(c.start));
         // a comma separates clauses only when finite material sits on both
         // sides and an NP opens the right side ("the lens is sharp, the
         // menu is confusing"); appositive commas fail the VP tests
-        let is_comma_split = tok.text == ","
+        let is_comma_split = tokens.text(c.start) == ","
             && has_vp_in(prev_bound..ci)
             && chunks.get(ci + 1).is_some_and(|c| c.kind == ChunkKind::NP)
             && has_vp_in(ci + 1..chunks.len());
@@ -148,8 +159,8 @@ fn clause_boundaries(tokens: &[Token], tags: &[PosTag], chunks: &[Chunk]) -> Vec
 }
 
 /// Analyzes the clause spanning chunks `[start, end)`.
-fn analyze_one(
-    tokens: &[Token],
+fn analyze_one<T: TokenAccess>(
+    tokens: &T,
     tags: &[PosTag],
     chunks: &[Chunk],
     start: usize,
@@ -173,21 +184,25 @@ fn analyze_one(
     // Main verb: the VP head (last verb token). Passive when a be/get form
     // precedes a final past participle inside the VP.
     let head_token = vp_chunk.head;
-    let lemma = lemmatize_verb(&tokens[head_token].lower());
+    let lemma = lemmatize_verb(tokens.lower(head_token));
     let mut passive = false;
     if tags[head_token] == PosTag::VBN {
         passive = (vp_chunk.start..head_token).any(|ti| {
-            matches!(lemmatize_verb(&tokens[ti].lower()).as_str(), "be" | "get")
-                && tags[ti].is_verb()
+            tags[ti].is_verb() && matches!(lemmatize_verb(tokens.lower(ti)).as_str(), "be" | "get")
         });
     }
 
     // Negation: negating adverb inside the VP, or a negative-implicative
     // matrix verb before the head ("fails to meet").
     let mut negated = (vp_chunk.start..vp_chunk.end)
-        .any(|ti| tags[ti].is_adverb() && is_negation_word(&tokens[ti].lower()));
-    for ti in vp_chunk.start..head_token {
-        if tags[ti].is_verb() && is_negative_implicative(&lemmatize_verb(&tokens[ti].lower())) {
+        .any(|ti| tags[ti].is_adverb() && is_negation_word(tokens.lower(ti)));
+    for (ti, tag) in tags
+        .iter()
+        .enumerate()
+        .take(head_token)
+        .skip(vp_chunk.start)
+    {
+        if tag.is_verb() && is_negative_implicative(&lemmatize_verb(tokens.lower(ti))) {
             negated = !negated;
         }
     }
@@ -207,7 +222,7 @@ fn analyze_one(
         match chunks[ci].kind {
             ChunkKind::NP if subject.is_none() => subject = Some(ci),
             ChunkKind::PP => {
-                let prep = tokens[chunks[ci].head].lower();
+                let prep = tokens.lower(chunks[ci].head).to_string();
                 if subject.is_none() {
                     clause.subject_pps.push((prep, ci));
                 } else {
@@ -222,12 +237,12 @@ fn analyze_one(
     clause.subject = subject;
 
     // Object / complement / trailing PPs.
-    for ci in vp + 1..end {
-        match chunks[ci].kind {
+    for (ci, chunk) in chunks.iter().enumerate().take(end).skip(vp + 1) {
+        match chunk.kind {
             ChunkKind::NP if clause.object.is_none() => clause.object = Some(ci),
             ChunkKind::ADJP if clause.complement.is_none() => clause.complement = Some(ci),
             ChunkKind::PP => {
-                let prep = tokens[chunks[ci].head].lower();
+                let prep = tokens.lower(chunk.head).to_string();
                 clause.pps.push((prep, ci));
             }
             ChunkKind::VP => break, // a second verb group ends this clause's scope
@@ -249,7 +264,7 @@ fn analyze_one(
     // support").
     if let Some(obj) = clause.object {
         let c = &chunks[obj];
-        if (c.start..c.end).any(|ti| tags[ti] == PosTag::DT && tokens[ti].lower() == "no") {
+        if (c.start..c.end).any(|ti| tags[ti] == PosTag::DT && tokens.lower(ti) == "no") {
             clause.negated = !clause.negated;
         }
     }

@@ -20,11 +20,13 @@ pub mod chunk;
 pub mod clause;
 pub mod dict;
 pub mod lemma;
+pub mod naive;
 pub mod ner;
 pub mod pos;
 pub mod sentence;
 pub mod tags;
 pub mod tokenizer;
+pub mod view;
 
 pub use chunk::{Chunk, ChunkKind};
 pub use clause::{Clause, Predicate, SentenceAnalysis};
@@ -33,10 +35,11 @@ pub use pos::PosTagger;
 pub use sentence::Sentence;
 pub use tags::PosTag;
 pub use tokenizer::{Token, TokenKind};
+pub use view::{DocScratch, DocView, LoweredTokens, SpanToken, SubView, TokenAccess};
 
 /// A fully analyzed sentence: tokens (sentence-local), tags, chunks and
 /// clause structure.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalyzedSentence {
     /// Byte span of the sentence in the source document.
     pub span: wf_types::Span,
@@ -62,6 +65,15 @@ impl AnalyzedSentence {
     }
 }
 
+/// Everything the pipeline derives from one document in one pass:
+/// per-sentence analyses plus named entities. Entity token indices are
+/// into the document-level token stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DocAnnotations {
+    pub sentences: Vec<AnalyzedSentence>,
+    pub entities: Vec<NamedEntity>,
+}
+
 /// End-to-end text analysis pipeline: tokenize → split → tag → chunk →
 /// clause-analyze.
 pub struct Pipeline {
@@ -83,40 +95,55 @@ impl Pipeline {
 
     /// Analyzes raw text into per-sentence structures.
     pub fn analyze(&self, text: &str) -> Vec<AnalyzedSentence> {
-        let tokens = tokenizer::tokenize(text);
-        let sentences = sentence::split_sentences(&tokens);
+        let mut scratch = DocScratch::new();
+        self.analyze_with(text, &mut scratch)
+    }
+
+    /// Like [`Pipeline::analyze`] but reuses caller-provided scratch, so a
+    /// batch of documents shares one set of tokenizer allocations.
+    pub fn analyze_with(&self, text: &str, scratch: &mut DocScratch) -> Vec<AnalyzedSentence> {
+        view::scan(text, scratch);
+        let doc = scratch.view(text);
+        let sentences = sentence::split_tokens(&doc);
         sentences
             .iter()
-            .map(|s| {
-                let toks: Vec<Token> = s.tokens(&tokens).to_vec();
-                let tags = self.tagger.tag_sentence(&toks);
-                let chunks = chunk::chunk(&toks, &tags);
-                let analysis = clause::analyze_clauses(&toks, &tags, &chunks);
-                AnalyzedSentence {
-                    span: s.span,
-                    tokens: toks,
-                    tags,
-                    chunks,
-                    analysis,
-                }
-            })
+            .map(|s| self.analyze_span(&doc, s))
             .collect()
+    }
+
+    /// Runs tag → chunk → clause over one sentence of a scanned document and
+    /// materializes the owned [`AnalyzedSentence`].
+    fn analyze_span(&self, doc: &DocView<'_>, s: &Sentence) -> AnalyzedSentence {
+        let sub = SubView::new(doc, s.start_token, s.end_token);
+        let tags = self.tagger.tag_tokens(&sub);
+        let chunks = chunk::chunk_tokens(&sub, &tags);
+        let analysis = clause::analyze_clause_tokens(&sub, &tags, &chunks);
+        AnalyzedSentence {
+            span: s.span,
+            tokens: doc.to_tokens(s.start_token, s.end_token),
+            tags,
+            chunks,
+            analysis,
+        }
     }
 
     /// Analyzes a single sentence that is already isolated (no splitting).
     pub fn analyze_sentence(&self, text: &str) -> AnalyzedSentence {
-        let toks = tokenizer::tokenize(text);
-        let tags = self.tagger.tag_sentence(&toks);
-        let chunks = chunk::chunk(&toks, &tags);
-        let analysis = clause::analyze_clauses(&toks, &tags, &chunks);
-        let span = if toks.is_empty() {
+        let mut scratch = DocScratch::new();
+        view::scan(text, &mut scratch);
+        let doc = scratch.view(text);
+        let n = TokenAccess::len(&doc);
+        let tags = self.tagger.tag_tokens(&doc);
+        let chunks = chunk::chunk_tokens(&doc, &tags);
+        let analysis = clause::analyze_clause_tokens(&doc, &tags, &chunks);
+        let span = if n == 0 {
             wf_types::Span::new(0, 0)
         } else {
-            wf_types::Span::new(toks[0].span.start, toks[toks.len() - 1].span.end)
+            wf_types::Span::new(doc.span(0).start, doc.span(n - 1).end)
         };
         AnalyzedSentence {
             span,
-            tokens: toks,
+            tokens: doc.to_tokens(0, n),
             tags,
             chunks,
             analysis,
@@ -125,13 +152,47 @@ impl Pipeline {
 
     /// Detects named entities across all sentences of `text`.
     pub fn named_entities(&self, text: &str) -> Vec<NamedEntity> {
-        let tokens = tokenizer::tokenize(text);
-        let sentences = sentence::split_sentences(&tokens);
+        let mut scratch = DocScratch::new();
+        view::scan(text, &mut scratch);
+        let doc = scratch.view(text);
+        let sentences = sentence::split_tokens(&doc);
         let mut out = Vec::new();
         for s in &sentences {
-            out.extend(ner::spot_entities(&tokens, s));
+            out.extend(ner::spot_tokens(&doc, s));
         }
         out
+    }
+
+    /// Full document annotation — sentence analyses *and* named entities —
+    /// from a single tokenization pass over `text`.
+    pub fn analyze_doc(&self, text: &str, scratch: &mut DocScratch) -> DocAnnotations {
+        view::scan(text, scratch);
+        let doc = scratch.view(text);
+        let sentences = sentence::split_tokens(&doc);
+        let mut entities = Vec::new();
+        for s in &sentences {
+            entities.extend(ner::spot_tokens(&doc, s));
+        }
+        let sentences = sentences
+            .iter()
+            .map(|s| self.analyze_span(&doc, s))
+            .collect();
+        DocAnnotations {
+            sentences,
+            entities,
+        }
+    }
+
+    /// Annotates a batch of documents, reusing one scratch buffer across
+    /// the whole batch so steady-state per-token allocation is amortized
+    /// away. Output is order-aligned with `texts` and identical to calling
+    /// [`Pipeline::analyze_doc`] per document.
+    pub fn annotate_batch<S: AsRef<str>>(&self, texts: &[S]) -> Vec<DocAnnotations> {
+        let mut scratch = DocScratch::new();
+        texts
+            .iter()
+            .map(|t| self.analyze_doc(t.as_ref(), &mut scratch))
+            .collect()
     }
 }
 

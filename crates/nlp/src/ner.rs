@@ -10,6 +10,7 @@
 
 use crate::sentence::Sentence;
 use crate::tokenizer::{Token, TokenKind};
+use crate::view::{LoweredTokens, TokenAccess};
 use wf_types::Span;
 
 /// A detected named entity.
@@ -42,24 +43,29 @@ fn is_title(word: &str) -> bool {
 
 /// Common sentence-initial words that are capitalized only by position and
 /// must not seed a candidate name on their own.
-fn likely_sentence_case(token: &Token) -> bool {
+fn likely_sentence_case(lower: &str) -> bool {
     // Known lowercase dictionary word: its capitalization is positional.
     crate::dict::TagDictionary::global()
-        .lookup(&token.lower())
+        .lookup(lower)
         .is_some_and(|tags| !tags.iter().any(|t| t.is_proper_noun()))
 }
 
-/// Detects named entities in one sentence.
+/// Detects named entities in one sentence (compatibility wrapper).
 pub fn spot_entities(tokens: &[Token], sentence: &Sentence) -> Vec<NamedEntity> {
+    spot_tokens(&LoweredTokens::new(tokens), sentence)
+}
+
+/// Detects named entities in one sentence of any token view. Indices in the
+/// result are into the full (document-level) token stream.
+pub fn spot_tokens<T: TokenAccess>(tokens: &T, sentence: &Sentence) -> Vec<NamedEntity> {
     let mut entities = Vec::new();
     let range = sentence.start_token..sentence.end_token;
     let mut i = range.start;
     while i < range.end {
-        let tok = &tokens[i];
         let sentence_initial = i == sentence.start_token;
-        let opens = tok.kind == TokenKind::Word
-            && tok.is_capitalized()
-            && !(sentence_initial && likely_sentence_case(tok));
+        let opens = tokens.kind(i) == TokenKind::Word
+            && tokens.is_capitalized(i)
+            && !(sentence_initial && likely_sentence_case(tokens.lower(i)));
         if !opens {
             i += 1;
             continue;
@@ -70,17 +76,17 @@ pub fn spot_entities(tokens: &[Token], sentence: &Sentence) -> Vec<NamedEntity> 
         let start = i;
         let mut end = i + 1;
         while end < range.end {
-            let t = &tokens[end];
-            let capitalized_word = t.kind == TokenKind::Word && t.is_capitalized();
-            let infix_then_cap = t.kind == TokenKind::Word
-                && is_infix(&t.lower())
+            let capitalized_word =
+                tokens.kind(end) == TokenKind::Word && tokens.is_capitalized(end);
+            let infix_then_cap = tokens.kind(end) == TokenKind::Word
+                && is_infix(tokens.lower(end))
                 && end + 1 < range.end
-                && tokens[end + 1].kind == TokenKind::Word
-                && tokens[end + 1].is_capitalized();
-            let abbrev_period = t.text == "."
+                && tokens.kind(end + 1) == TokenKind::Word
+                && tokens.is_capitalized(end + 1);
+            let abbrev_period = tokens.text(end) == "."
                 && end == start + 1
-                && is_title(&tokens[start].text)
-                && t.span.start == tokens[end - 1].span.end;
+                && is_title(tokens.text(start))
+                && tokens.span(end).start == tokens.span(end - 1).end;
             if capitalized_word || infix_then_cap || abbrev_period {
                 end += 1;
             } else {
@@ -96,11 +102,16 @@ pub fn spot_entities(tokens: &[Token], sentence: &Sentence) -> Vec<NamedEntity> 
 
 /// Splits a candidate token range at conjunctions, prepositions and
 /// possessives, emitting one entity per piece.
-fn split_candidate(tokens: &[Token], start: usize, end: usize, out: &mut Vec<NamedEntity>) {
+fn split_candidate<T: TokenAccess>(
+    tokens: &T,
+    start: usize,
+    end: usize,
+    out: &mut Vec<NamedEntity>,
+) {
     let mut piece_start = start;
     let mut k = start;
     while k < end {
-        let lower = tokens[k].lower();
+        let lower = tokens.lower(k);
         let splits_here =
             (lower == "of" || lower == "and" || lower == "for") && k > piece_start && k + 1 < end;
         let possessive = lower == "'s" || lower == "’s";
@@ -113,25 +124,25 @@ fn split_candidate(tokens: &[Token], start: usize, end: usize, out: &mut Vec<Nam
     emit(tokens, piece_start, end, out);
 }
 
-fn emit(tokens: &[Token], start: usize, end: usize, out: &mut Vec<NamedEntity>) {
+fn emit<T: TokenAccess>(tokens: &T, start: usize, end: usize, out: &mut Vec<NamedEntity>) {
     if start >= end {
         return;
     }
     // Drop a bare title with no name, and bare infix leftovers.
-    if end - start == 1 && (is_infix(&tokens[start].lower()) || tokens[start].text == ".") {
+    if end - start == 1 && (is_infix(tokens.lower(start)) || tokens.text(start) == ".") {
         return;
     }
     let mut text = String::new();
-    for (n, t) in tokens[start..end].iter().enumerate() {
+    for k in start..end {
         // glue the abbreviation period without a space: "Prof."
-        if n > 0 && t.text != "." {
+        if k > start && tokens.text(k) != "." {
             text.push(' ');
         }
-        text.push_str(&t.text);
+        text.push_str(tokens.text(k));
     }
     out.push(NamedEntity {
         text,
-        span: Span::new(tokens[start].span.start, tokens[end - 1].span.end),
+        span: Span::new(tokens.span(start).start, tokens.span(end - 1).end),
         start_token: start,
         end_token: end,
     });

@@ -13,6 +13,8 @@
 use crate::dict::TagDictionary;
 use crate::tags::PosTag;
 use crate::tokenizer::{Token, TokenKind};
+use crate::view::{LoweredTokens, TokenAccess};
+use std::collections::HashMap;
 
 /// Dictionary-driven rule-based POS tagger.
 pub struct PosTagger {
@@ -33,26 +35,75 @@ impl PosTagger {
         }
     }
 
-    /// Tags one sentence worth of tokens.
+    /// Tags one sentence worth of owned tokens (compatibility wrapper).
     pub fn tag_sentence(&self, tokens: &[Token]) -> Vec<PosTag> {
-        let mut tags: Vec<PosTag> = tokens
-            .iter()
-            .enumerate()
-            .map(|(i, t)| self.initial_tag(t, i == 0))
+        self.tag_tokens(&LoweredTokens::new(tokens))
+    }
+
+    /// Tags one sentence over any token view; allocation-free per token.
+    ///
+    /// Each token's dictionary entry is looked up exactly once: the initial
+    /// pass and every contextual rule share the memoized entry, so the hot
+    /// path hashes each word form a single time instead of once per rule.
+    pub fn tag_tokens<T: TokenAccess>(&self, tokens: &T) -> Vec<PosTag> {
+        // Batch-only memo over the global dictionary: word forms repeat
+        // heavily across a corpus, and the FNV-keyed cache makes the repeat
+        // lookups several times cheaper than re-hashing with SipHash. The
+        // dictionary is immutable and 'static, so cached entries never go
+        // stale. Capped to stay bounded on adversarial vocabularies.
+        const CACHE_CAP: usize = 16384;
+        thread_local! {
+            static DICT_ENTRIES: std::cell::RefCell<
+                HashMap<String, Option<&'static [PosTag]>, crate::lemma::FnvBuild>,
+            > = std::cell::RefCell::new(HashMap::default());
+            /// Pooled per-sentence entry buffer (the dictionary is 'static,
+            /// so the borrows it holds never dangle).
+            static ENTRIES_BUF: std::cell::Cell<Vec<Option<&'static [PosTag]>>> =
+                const { std::cell::Cell::new(Vec::new()) };
+        }
+        let mut entries = ENTRIES_BUF.take();
+        entries.clear();
+        DICT_ENTRIES.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            entries.extend((0..tokens.len()).map(|i| match tokens.kind(i) {
+                TokenKind::Word => {
+                    let lower = tokens.lower(i);
+                    if let Some(&entry) = cache.get(lower) {
+                        entry
+                    } else {
+                        let entry = self.dict.lookup(lower);
+                        if cache.len() >= CACHE_CAP {
+                            cache.clear();
+                        }
+                        cache.insert(lower.to_string(), entry);
+                        entry
+                    }
+                }
+                _ => None,
+            }));
+        });
+        let mut tags: Vec<PosTag> = (0..tokens.len())
+            .map(|i| self.initial_tag(tokens, entries[i], i, i == 0))
             .collect();
-        self.apply_contextual_rules(tokens, &mut tags);
+        self.apply_contextual_rules(tokens, &entries, &mut tags);
+        ENTRIES_BUF.set(entries);
         tags
     }
 
     /// Initial tag assignment from surface form and dictionary.
-    fn initial_tag(&self, token: &Token, sentence_initial: bool) -> PosTag {
-        match token.kind {
+    fn initial_tag<T: TokenAccess>(
+        &self,
+        tokens: &T,
+        entry: Option<&[PosTag]>,
+        i: usize,
+        sentence_initial: bool,
+    ) -> PosTag {
+        match tokens.kind(i) {
             TokenKind::Number => return PosTag::CD,
-            TokenKind::Punct => return punct_tag(&token.text),
+            TokenKind::Punct => return punct_tag(tokens.text(i)),
             TokenKind::Word => {}
         }
-        let lower = token.lower();
-        if let Some(tags) = self.dict.lookup(&lower) {
+        if let Some(tags) = entry {
             // Known word: most likely tag — but a capitalized known word in
             // the middle of a sentence that is capitalized in the source is
             // more likely a proper-noun use ("Apple offers...") only when
@@ -60,21 +111,31 @@ impl PosTagger {
             return tags[0];
         }
         // Unknown word: capitalization dominates.
-        if token.is_capitalized() && !sentence_initial {
+        if tokens.is_capitalized(i) && !sentence_initial {
             return PosTag::NNP;
         }
-        if sentence_initial && token.is_all_caps() && token.text.len() > 1 {
+        if sentence_initial && tokens.is_all_caps(i) && tokens.text(i).len() > 1 {
             return PosTag::NNP;
         }
-        guess_by_suffix(&lower)
+        guess_by_suffix(tokens.lower(i))
     }
 
     /// Contextual repair rules, Brill-style. Applied in order, twice, so a
-    /// correction can enable a later rule on the second pass.
-    fn apply_contextual_rules(&self, tokens: &[Token], tags: &mut [PosTag]) {
+    /// correction can enable a later rule on the second pass; a pass that
+    /// changes nothing short-circuits the second, identical pass. `entries`
+    /// is the per-token memoized dictionary entry from
+    /// [`PosTagger::tag_tokens`].
+    fn apply_contextual_rules<T: TokenAccess>(
+        &self,
+        tokens: &T,
+        entries: &[Option<&[PosTag]>],
+        tags: &mut [PosTag],
+    ) {
         for _pass in 0..2 {
+            let mut changed = false;
             for i in 0..tokens.len() {
-                let lower = tokens[i].lower();
+                let lower = tokens.lower(i);
+                let entry = entries[i];
                 let prev = previous_non_adverb(tags, i);
                 let cur = tags[i];
 
@@ -84,20 +145,13 @@ impl PosTagger {
                     if matches!(p, PosTag::DT | PosTag::PRPS | PosTag::JJ | PosTag::CD)
                         && cur.is_verb()
                     {
-                        if self.dict.allows(&lower, PosTag::NN)
-                            && self
-                                .dict
-                                .lookup(&lower)
-                                .is_some_and(|t| t.contains(&PosTag::NN))
-                        {
+                        if entry.is_some_and(|t| t.contains(&PosTag::NN)) {
+                            changed = true;
                             tags[i] = PosTag::NN;
                             continue;
                         }
-                        if self
-                            .dict
-                            .lookup(&lower)
-                            .is_some_and(|t| t.contains(&PosTag::NNS))
-                        {
+                        if entry.is_some_and(|t| t.contains(&PosTag::NNS)) {
+                            changed = true;
                             tags[i] = PosTag::NNS;
                             continue;
                         }
@@ -108,11 +162,9 @@ impl PosTagger {
                 if let Some(p) = prev {
                     if matches!(p, PosTag::TO | PosTag::MD)
                         && (cur.is_verb() || cur.is_noun())
-                        && self
-                            .dict
-                            .lookup(&lower)
-                            .is_some_and(|t| t.contains(&PosTag::VB))
+                        && entry.is_some_and(|t| t.contains(&PosTag::VB))
                     {
+                        changed = true;
                         tags[i] = PosTag::VB;
                         continue;
                     }
@@ -133,11 +185,9 @@ impl PosTagger {
                             || n.is_noun()
                             || n.is_adverb()
                     });
-                    let allowed = match self.dict.lookup(&lower) {
-                        Some(t) => t.contains(&PosTag::VBZ),
-                        None => true,
-                    };
+                    let allowed = entry.is_none_or(|t| t.contains(&PosTag::VBZ));
                     if prev_is_subject && next_opens_np && allowed {
+                        changed = true;
                         tags[i] = PosTag::VBZ;
                         continue;
                     }
@@ -146,15 +196,11 @@ impl PosTagger {
                 // R5: noun-tagged word after a plural noun or pronoun that
                 // the dictionary also lists as VBP is a present-tense verb
                 // when followed by NP/adverb/preposition material.
-                if cur == PosTag::NN
-                    && self
-                        .dict
-                        .lookup(&lower)
-                        .is_some_and(|t| t.contains(&PosTag::VBP))
-                {
+                if cur == PosTag::NN && entry.is_some_and(|t| t.contains(&PosTag::VBP)) {
                     let prev_is_plural_subject =
                         prev.is_some_and(|p| matches!(p, PosTag::PRP | PosTag::NNS | PosTag::NNPS));
                     if prev_is_plural_subject {
+                        changed = true;
                         tags[i] = PosTag::VBP;
                         continue;
                     }
@@ -162,20 +208,23 @@ impl PosTagger {
 
                 // R6: "that" right after a verb is a complementizer (IN).
                 if lower == "that" && prev.is_some_and(|p| p.is_verb()) {
+                    changed = true;
                     tags[i] = PosTag::IN;
                     continue;
                 }
 
                 // R7: VBD/VBN disambiguation by auxiliary lookback.
                 if matches!(cur, PosTag::VBD | PosTag::VBN)
-                    && self.dict.allows(&lower, PosTag::VBD)
-                    && self.dict.allows(&lower, PosTag::VBN)
+                    && entry.is_none_or(|t| t.contains(&PosTag::VBD))
+                    && entry.is_none_or(|t| t.contains(&PosTag::VBN))
                 {
                     if has_aux_before(tokens, tags, i) {
+                        changed = true;
                         tags[i] = PosTag::VBN;
                     } else if prev.is_some_and(|p| {
                         matches!(p, PosTag::PRP | PosTag::NNP) || p.is_common_noun()
                     }) {
+                        changed = true;
                         tags[i] = PosTag::VBD;
                     }
                     continue;
@@ -183,9 +232,15 @@ impl PosTagger {
 
                 // R8: possessive 's after a noun, verbal 's otherwise.
                 if (lower == "'s" || lower == "’s") && prev.is_some_and(|p| !p.is_noun()) {
+                    changed = true;
                     tags[i] = PosTag::VBZ;
                     continue;
                 }
+            }
+            // A pass that rewrote nothing leaves the tags exactly as it
+            // found them, so the next pass would be the identity — skip it.
+            if !changed {
+                break;
             }
         }
     }
@@ -199,15 +254,15 @@ fn previous_non_adverb(tags: &[PosTag], i: usize) -> Option<PosTag> {
 
 /// True when a form of be/have (or a modal + be) appears within the three
 /// non-adverb tokens before `i` — the passive/perfect auxiliary window.
-fn has_aux_before(tokens: &[Token], tags: &[PosTag], i: usize) -> bool {
+fn has_aux_before<T: TokenAccess>(tokens: &T, tags: &[PosTag], i: usize) -> bool {
     let mut seen = 0;
     for j in (0..i).rev() {
         if tags[j].is_adverb() {
             continue;
         }
-        let lower = tokens[j].lower();
+        let lower = tokens.lower(j);
         if matches!(
-            lower.as_str(),
+            lower,
             "be" | "am"
                 | "is"
                 | "are"

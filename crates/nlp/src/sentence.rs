@@ -5,6 +5,7 @@
 //! unit of analysis throughout the system.
 
 use crate::tokenizer::{Token, TokenKind};
+use crate::view::{LoweredTokens, TokenAccess};
 use wf_types::Span;
 
 /// A sentence: a contiguous range of tokens plus its covering byte span.
@@ -41,24 +42,29 @@ const ABBREVIATIONS: &[&str] = &[
     "oct", "nov", "dec", "no", "vol", "fig", "approx", "dept", "est",
 ];
 
-fn is_abbreviation(word: &str) -> bool {
-    let lower = word.to_lowercase();
-    ABBREVIATIONS.contains(&lower.as_str())
-        || (word.len() == 1 && word.chars().all(|c| c.is_alphabetic()))
+/// Abbreviation test over the precomputed lowercase form plus the surface
+/// (the single-initial rule looks at the surface byte length).
+fn is_abbreviation_lower(lower: &str, surface: &str) -> bool {
+    ABBREVIATIONS.contains(&lower)
+        || (surface.len() == 1 && surface.chars().all(|c| c.is_alphabetic()))
 }
 
-/// Splits a token stream into sentences.
+/// Splits a token stream into sentences (compatibility wrapper).
+pub fn split_sentences(tokens: &[Token]) -> Vec<Sentence> {
+    split_tokens(&LoweredTokens::new(tokens))
+}
+
+/// Splits any token view into sentences.
 ///
 /// A sentence ends at `.`, `!` or `?` unless the period follows a known
 /// abbreviation or a single initial ("Prof. Wilson"). Trailing closing
 /// quotes/brackets are absorbed into the sentence.
-pub fn split_sentences(tokens: &[Token]) -> Vec<Sentence> {
+pub fn split_tokens<T: TokenAccess>(tokens: &T) -> Vec<Sentence> {
     let mut sentences = Vec::new();
     let mut start = 0;
     let mut i = 0;
     while i < tokens.len() {
-        let tok = &tokens[i];
-        let ends = match tok.text.as_str() {
+        let ends = match tokens.text(i) {
             "!" | "?" => true,
             "." => {
                 // A period ends the sentence unless the previous token is an
@@ -66,9 +72,9 @@ pub fn split_sentences(tokens: &[Token]) -> Vec<Sentence> {
                 // opener (capitalized word far enough away is ambiguous; we
                 // follow the conservative rule: abbreviation → no break).
                 let prev_is_abbrev = i > 0
-                    && tokens[i - 1].kind == TokenKind::Word
-                    && is_abbreviation(&tokens[i - 1].text)
-                    && tokens[i - 1].span.end == tok.span.start;
+                    && tokens.kind(i - 1) == TokenKind::Word
+                    && is_abbreviation_lower(tokens.lower(i - 1), tokens.text(i - 1))
+                    && tokens.span(i - 1).end == tokens.span(i).start;
                 !prev_is_abbrev
             }
             _ => false,
@@ -79,7 +85,7 @@ pub fn split_sentences(tokens: &[Token]) -> Vec<Sentence> {
             let mut end = i + 1;
             while end < tokens.len()
                 && matches!(
-                    tokens[end].text.as_str(),
+                    tokens.text(end),
                     "\"" | "'" | ")" | "]" | "”" | "’" | "." | "!" | "?"
                 )
             {
@@ -96,11 +102,11 @@ pub fn split_sentences(tokens: &[Token]) -> Vec<Sentence> {
     sentences
 }
 
-fn push_sentence(tokens: &[Token], start: usize, end: usize, out: &mut Vec<Sentence>) {
+fn push_sentence<T: TokenAccess>(tokens: &T, start: usize, end: usize, out: &mut Vec<Sentence>) {
     if start >= end {
         return;
     }
-    let span = Span::new(tokens[start].span.start, tokens[end - 1].span.end);
+    let span = Span::new(tokens.span(start).start, tokens.span(end - 1).end);
     out.push(Sentence {
         start_token: start,
         end_token: end,

@@ -67,106 +67,15 @@ impl Token {
 ///   tokens (Penn Treebank convention);
 /// - a `.` between digits stays inside a number ("2.4");
 /// - every other non-whitespace character is a single punctuation token.
+///
+/// This is the owned-`Token` convenience wrapper over the zero-copy span
+/// scanner ([`crate::view::scan`]); hot paths should scan into a reused
+/// [`crate::view::DocScratch`] instead and materialize only what they keep.
 pub fn tokenize(text: &str) -> Vec<Token> {
-    let bytes = text.as_bytes();
-    let mut tokens = Vec::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        let c = text[i..].chars().next().expect("in-bounds char");
-        if c.is_whitespace() {
-            i += c.len_utf8();
-            continue;
-        }
-        if c.is_alphanumeric() {
-            let start = i;
-            let mut end = i;
-            let mut has_alpha = false;
-            let mut has_digit = false;
-            let mut chars = text[i..].char_indices().peekable();
-            while let Some((off, ch)) = chars.next() {
-                let abs = i + off;
-                if ch.is_alphanumeric() {
-                    has_alpha |= ch.is_alphabetic();
-                    has_digit |= ch.is_ascii_digit();
-                    end = abs + ch.len_utf8();
-                } else if (ch == '-' || ch == '\'' || ch == '’')
-                    && end == abs
-                    && abs > start
-                    && chars
-                        .peek()
-                        .is_some_and(|&(_, next)| next.is_alphanumeric())
-                {
-                    // internal joiner — but check clitic split below
-                    end = abs + ch.len_utf8();
-                } else if ch == '.'
-                    && end == abs
-                    && has_digit
-                    && !has_alpha
-                    && chars.peek().is_some_and(|&(_, next)| next.is_ascii_digit())
-                {
-                    end = abs + 1;
-                } else {
-                    break;
-                }
-            }
-            // If the run ends with a dangling joiner (e.g. "well-" before a
-            // non-alphanumeric), back it off.
-            let mut surface = &text[start..end];
-            while surface.ends_with('-') || surface.ends_with('\'') || surface.ends_with('’') {
-                end -= surface.chars().next_back().expect("non-empty").len_utf8();
-                surface = &text[start..end];
-            }
-            split_clitics(text, start, end, has_alpha, &mut tokens);
-            i = end;
-        } else {
-            let end = i + c.len_utf8();
-            tokens.push(Token {
-                text: text[i..end].to_string(),
-                span: Span::new(i, end),
-                kind: TokenKind::Punct,
-            });
-            i = end;
-        }
-    }
-    tokens
-}
-
-/// Splits Penn-Treebank clitics off the end of a word run and pushes the
-/// resulting token(s).
-fn split_clitics(text: &str, start: usize, end: usize, has_alpha: bool, out: &mut Vec<Token>) {
-    let surface = &text[start..end];
-    let lower = surface.to_lowercase();
-    // clitic suffixes, longest first; n't must win over 't
-    const CLITICS: &[&str] = &["n't", "n’t", "'s", "’s", "'re", "'ve", "'ll", "'d", "'m"];
-    for clitic in CLITICS {
-        if lower.ends_with(clitic) && lower.len() > clitic.len() {
-            let split = end - clitic.len();
-            push_word(text, start, split, has_alpha, out);
-            out.push(Token {
-                text: text[split..end].to_string(),
-                span: Span::new(split, end),
-                kind: TokenKind::Word,
-            });
-            return;
-        }
-    }
-    push_word(text, start, end, has_alpha, out);
-}
-
-fn push_word(text: &str, start: usize, end: usize, has_alpha: bool, out: &mut Vec<Token>) {
-    if start == end {
-        return;
-    }
-    let kind = if has_alpha {
-        TokenKind::Word
-    } else {
-        TokenKind::Number
-    };
-    out.push(Token {
-        text: text[start..end].to_string(),
-        span: Span::new(start, end),
-        kind,
-    });
+    let mut scratch = crate::view::DocScratch::new();
+    crate::view::scan(text, &mut scratch);
+    let view = scratch.view(text);
+    view.to_tokens(0, crate::view::TokenAccess::len(&view))
 }
 
 #[cfg(test)]

@@ -47,6 +47,7 @@ pub mod ingest;
 pub mod miner;
 pub mod pagerank;
 pub mod persist;
+pub mod postings;
 pub mod query_parser;
 pub mod regex;
 pub mod serving;
@@ -69,13 +70,14 @@ pub use health::{
     default_slos, render_scoreboard, AlertEvent, DoctorReport, ExemplarRef, HealthEngine,
     Objective, SloSpec, SloStatus, BURN_CLAMP_MILLI,
 };
-pub use index::{Indexer, Query, QueryProfile};
+pub use index::{IndexConfig, Indexer, Query, QueryProfile};
 pub use ingest::{IngestStats, Ingestor, RawDocument};
 pub use miner::{
     CorpusMiner, EntityMiner, FaultContext, MinerPipeline, PipelineStats, ShardOutcome,
 };
 pub use pagerank::{pagerank, PageRankConfig, PageRankMiner};
 pub use persist::{load_store, save_store};
+pub use postings::{CompressedPostings, Cursor as PostingsCursor};
 pub use query_parser::parse_query;
 pub use regex::Regex;
 pub use serving::{

@@ -27,6 +27,16 @@ pub trait EntityMiner: Send + Sync {
 
     /// Processes one entity in place.
     fn process(&self, entity: &mut Entity) -> Result<()>;
+
+    /// Processes a batch of entities, returning one result per entity in
+    /// order. The default delegates to [`EntityMiner::process`] per
+    /// entity; miners with a batch-aware hot path (shared scratch
+    /// buffers, one-pass document analysis) override this to amortize
+    /// per-document setup. Implementations must leave each entity exactly
+    /// as `process` would have.
+    fn process_batch(&self, batch: &mut [Entity]) -> Vec<Result<()>> {
+        batch.iter_mut().map(|e| self.process(e)).collect()
+    }
 }
 
 /// A corpus-level miner: sees the whole store.
@@ -162,6 +172,130 @@ impl MinerPipeline {
     /// propagated: a malformed page must not stall the cluster.
     pub fn run(&self, store: &DataStore) -> PipelineStats {
         self.run_with(store, &FaultContext::none())
+    }
+
+    /// Runs the chain over every entity of the store in document batches
+    /// of `batch_size` per shard (one worker thread per shard,
+    /// fault-free), routing each batch through
+    /// [`EntityMiner::process_batch`] so batch-aware miners amortize
+    /// per-document setup. Per-entity semantics match [`MinerPipeline::run`]
+    /// exactly: the chain stops at the first failing miner (which marks
+    /// `miner-error`), every surviving entity gets exactly one version
+    /// bump, and `processed + failed == store.len()`.
+    pub fn run_batched(&self, store: &DataStore, batch_size: usize) -> PipelineStats {
+        let batch_size = batch_size.max(1);
+        let shard_count = store.shard_count();
+        let entities_in = store.len() as u64;
+        let results: Vec<PipelineStats> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shard_count)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            self.run_shard_batched(store, shard, batch_size)
+                        }))
+                        .unwrap_or_else(|_| {
+                            let shard_len = store.shard_ids(NodeId(shard as u32)).len();
+                            PipelineStats {
+                                failed: shard_len,
+                                skipped_shards: 1,
+                                shard_sim_ms: vec![0],
+                                shards: vec![ShardOutcome {
+                                    shard,
+                                    executor: Some(shard),
+                                    failed: shard_len,
+                                    skipped: true,
+                                    last_error: Some("panicked".to_string()),
+                                    ..ShardOutcome::default()
+                                }],
+                                ..PipelineStats::default()
+                            }
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker wrapper never panics"))
+                .collect()
+        });
+        let mut total = PipelineStats::default();
+        for r in results {
+            total.absorb(r);
+        }
+        let tele = store.telemetry();
+        tele.counter("pipeline.runs").inc();
+        tele.counter("pipeline.entities_in").add(entities_in);
+        tele.counter("pipeline.processed")
+            .add(total.processed as u64);
+        tele.counter("pipeline.failed").add(total.failed as u64);
+        tele.counter("pipeline.skipped_shards")
+            .add(total.skipped_shards as u64);
+        total
+    }
+
+    /// One shard of [`MinerPipeline::run_batched`]: fetch a batch, run the
+    /// chain (batch calls while every entity is still healthy, per-entity
+    /// for the stragglers once one has failed), then write back with one
+    /// update per entity.
+    fn run_shard_batched(
+        &self,
+        store: &DataStore,
+        shard: usize,
+        batch_size: usize,
+    ) -> PipelineStats {
+        let mut stats = PipelineStats::default();
+        for chunk in store.shard_ids(NodeId(shard as u32)).chunks(batch_size) {
+            let mut ids = Vec::with_capacity(chunk.len());
+            let mut batch = Vec::with_capacity(chunk.len());
+            for &id in chunk {
+                match store.get(id) {
+                    Ok(e) => {
+                        ids.push(id);
+                        batch.push(e);
+                    }
+                    Err(_) => stats.failed += 1,
+                }
+            }
+            let mut active = vec![true; batch.len()];
+            for miner in &self.miners {
+                if active.iter().all(|&a| a) {
+                    for (i, res) in miner.process_batch(&mut batch).into_iter().enumerate() {
+                        if res.is_err() {
+                            batch[i]
+                                .metadata
+                                .insert("miner-error".into(), miner.name().to_string());
+                            active[i] = false;
+                        }
+                    }
+                } else {
+                    for (i, entity) in batch.iter_mut().enumerate() {
+                        if active[i] && miner.process(entity).is_err() {
+                            entity
+                                .metadata
+                                .insert("miner-error".into(), miner.name().to_string());
+                            active[i] = false;
+                        }
+                    }
+                }
+            }
+            for ((id, mined), ok) in ids.into_iter().zip(batch).zip(active) {
+                let written = store.update(id, |slot| *slot = mined).is_ok();
+                if written && ok {
+                    stats.processed += 1;
+                } else {
+                    stats.failed += 1;
+                }
+            }
+        }
+        stats.shard_sim_ms = vec![0];
+        stats.shards = vec![ShardOutcome {
+            shard,
+            executor: Some(shard),
+            processed: stats.processed,
+            failed: stats.failed,
+            ..ShardOutcome::default()
+        }];
+        stats
     }
 
     /// Runs the chain under a fault context: injected faults are retried
@@ -630,6 +764,63 @@ mod tests {
         let spans = snap.histogram("span.pipeline.shard.sim_ms").unwrap();
         assert_eq!(spans.count as usize, stats.shard_sim_ms.len());
         assert_eq!(spans.sum, stats.shard_sim_ms.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn run_batched_matches_run_exactly() {
+        let sequential = seeded_store(4, 20);
+        let batched = seeded_store(4, 20);
+        let pipeline = MinerPipeline::new()
+            .add(Box::new(UppercaseCounter))
+            .add(Box::new(Tagger));
+        let a = pipeline.run(&sequential);
+        let b = pipeline.run_batched(&batched, 7);
+        assert_eq!((a.processed, a.failed), (b.processed, b.failed));
+        for id in sequential.ids() {
+            assert_eq!(
+                sequential.get(id).unwrap(),
+                batched.get(id).unwrap(),
+                "batched entity diverged for {id:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_batched_falls_back_per_entity_after_a_failure() {
+        let sequential = DataStore::new(2).unwrap();
+        let batched = DataStore::new(2).unwrap();
+        for store in [&sequential, &batched] {
+            store.insert(Entity::new("a", SourceKind::Web, "content"));
+            store.insert(Entity::new("b", SourceKind::Web, ""));
+            store.insert(Entity::new("c", SourceKind::Web, "more"));
+            store.insert(Entity::new("d", SourceKind::Web, ""));
+        }
+        let pipeline = MinerPipeline::new()
+            .add(Box::new(FailOnEmpty))
+            .add(Box::new(UppercaseCounter));
+        let a = pipeline.run(&sequential);
+        let b = pipeline.run_batched(&batched, 16);
+        assert_eq!((a.processed, a.failed), (b.processed, b.failed));
+        assert_eq!(b.processed, 2);
+        assert_eq!(b.failed, 2);
+        for id in sequential.ids() {
+            assert_eq!(sequential.get(id).unwrap(), batched.get(id).unwrap());
+        }
+    }
+
+    #[test]
+    fn run_batched_batch_size_edges() {
+        for batch_size in [0, 1, 1000] {
+            let store = seeded_store(3, 10);
+            let stats = MinerPipeline::new()
+                .add(Box::new(Tagger))
+                .run_batched(&store, batch_size);
+            assert_eq!(stats.processed, 10, "batch_size {batch_size}");
+            assert_eq!(stats.failed, 0);
+            for id in store.ids() {
+                assert_eq!(store.get(id).unwrap().version, 2, "one bump each");
+            }
+        }
     }
 
     struct PanicMiner;

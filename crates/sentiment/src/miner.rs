@@ -6,7 +6,7 @@
 
 use crate::analyzer::{AnalyzerConfig, Evidence, SentimentAnalyzer, SentimentAssignment};
 use crate::record::{EvidenceKind, SubjectSentiment};
-use wf_nlp::{AnalyzedSentence, Pipeline};
+use wf_nlp::{AnalyzedSentence, DocAnnotations, DocScratch, NamedEntity, Pipeline};
 use wf_spotter::{Spot, Spotter, SubjectList};
 use wf_types::{Polarity, Span};
 
@@ -116,29 +116,78 @@ impl SentimentMiner {
     }
 
     /// Query-time mode (mode B building block): subjects are the named
-    /// entities the NE spotter finds in the text itself.
+    /// entities the NE spotter finds in the text itself. The document is
+    /// tokenized once; entity spotting and sentence analysis share the pass.
     pub fn analyze_named_entities(&self, text: &str) -> Vec<SubjectSentiment> {
-        let entities = self.pipeline.named_entities(text);
-        let sentences = self.pipeline.analyze(text);
+        let mut scratch = DocScratch::new();
+        let annotations = self.pipeline.analyze_doc(text, &mut scratch);
+        self.records_from_annotations(&annotations)
+    }
+
+    /// Batch form of [`SentimentMiner::analyze_named_entities`]: one scratch
+    /// buffer is reused across all documents, so steady-state per-token
+    /// allocation amortizes away. Output is order-aligned with `texts` and
+    /// identical to the per-document call.
+    pub fn analyze_named_entities_batch<S: AsRef<str>>(
+        &self,
+        texts: &[S],
+    ) -> Vec<Vec<SubjectSentiment>> {
+        let mut scratch = DocScratch::new();
+        texts
+            .iter()
+            .map(|t| {
+                let annotations = self.pipeline.analyze_doc(t.as_ref(), &mut scratch);
+                self.records_from_annotations(&annotations)
+            })
+            .collect()
+    }
+
+    /// Reference implementation of [`SentimentMiner::analyze_named_entities`]
+    /// built on the frozen naive NLP path (`wf_nlp::naive`). Exists as the
+    /// oracle for the differential-equivalence test harness; do not use in
+    /// production paths.
+    pub fn analyze_named_entities_reference(&self, text: &str) -> Vec<SubjectSentiment> {
+        let entities = wf_nlp::naive::named_entities(text);
+        let sentences = wf_nlp::naive::analyze(text);
         let mut out = Vec::new();
         for sentence in &sentences {
-            let in_sentence: Vec<_> = entities
-                .iter()
-                .filter(|e| sentence.span.contains_offset(e.span.start))
-                .collect();
-            if in_sentence.is_empty() {
-                continue;
-            }
-            let assignments = self.analyzer.analyze(sentence);
-            for entity in in_sentence {
-                out.extend(associate_spot(
-                    sentence,
-                    &assignments,
-                    entity.span,
-                    entity.text.clone(),
-                    None,
-                ));
-            }
+            out.extend(self.records_for_sentence(sentence, &entities));
+        }
+        out
+    }
+
+    /// Shared mode-B association step: pairs each sentence analysis with the
+    /// named entities it contains.
+    fn records_from_annotations(&self, annotations: &DocAnnotations) -> Vec<SubjectSentiment> {
+        let mut out = Vec::new();
+        for sentence in &annotations.sentences {
+            out.extend(self.records_for_sentence(sentence, &annotations.entities));
+        }
+        out
+    }
+
+    fn records_for_sentence(
+        &self,
+        sentence: &AnalyzedSentence,
+        entities: &[NamedEntity],
+    ) -> Vec<SubjectSentiment> {
+        let in_sentence: Vec<_> = entities
+            .iter()
+            .filter(|e| sentence.span.contains_offset(e.span.start))
+            .collect();
+        if in_sentence.is_empty() {
+            return Vec::new();
+        }
+        let assignments = self.analyzer.analyze(sentence);
+        let mut out = Vec::new();
+        for entity in in_sentence {
+            out.extend(associate_spot(
+                sentence,
+                &assignments,
+                entity.span,
+                entity.text.clone(),
+                None,
+            ));
         }
         out
     }

@@ -169,6 +169,22 @@ impl EntityMiner for AdhocSentimentMiner {
         }
         Ok(())
     }
+
+    fn process_batch(&self, batch: &mut [Entity]) -> Vec<Result<()>> {
+        let texts: Vec<String> = batch.iter().map(|e| e.text.clone()).collect();
+        let record_sets = self.miner.analyze_named_entities_batch(&texts);
+        for (entity, records) in batch.iter_mut().zip(&record_sets) {
+            entity.clear_annotations("sentiment");
+            for (subject, sentence_span, polarity) in mention_polarities(records) {
+                entity.annotate(
+                    Annotation::new("sentiment", sentence_span)
+                        .with_attr("subject", subject.to_lowercase())
+                        .with_attr("polarity", polarity.to_string()),
+                );
+            }
+        }
+        batch.iter().map(|_| Ok(())).collect()
+    }
 }
 
 /// One hit served by the sentiment query service.
@@ -400,6 +416,42 @@ mod tests {
                 .unwrap();
         assert_eq!(indexed.len(), runtime.len());
         assert_eq!(indexed[0].sentence, runtime[0].sentence);
+    }
+
+    #[test]
+    fn adhoc_batch_matches_per_entity_processing() {
+        let docs = [
+            "Petrocorp polluted the river. Medicore delivered excellent results.",
+            "The NR70 takes excellent pictures. The battery drains quickly.",
+            "Nothing about products here at all.",
+            "",
+        ];
+        let seed = |cluster: &Cluster| {
+            let mut ing = wf_platform::Ingestor::new(cluster.store());
+            for (i, text) in docs.iter().enumerate() {
+                ing.ingest(RawDocument::new(
+                    format!("uri://{i}"),
+                    SourceKind::News,
+                    *text,
+                ));
+            }
+        };
+        let per_entity = Cluster::new(2).unwrap();
+        seed(&per_entity);
+        let batched = Cluster::new(2).unwrap();
+        seed(&batched);
+
+        let pipeline = MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()));
+        let stats_run = pipeline.run(per_entity.store());
+        let stats_batched = pipeline.run_batched(batched.store(), 2);
+        assert_eq!(stats_run.processed, stats_batched.processed);
+        assert_eq!(stats_run.failed, stats_batched.failed);
+
+        for i in 0..docs.len() {
+            let a = per_entity.store().get(DocId(i as u64)).unwrap();
+            let b = batched.store().get(DocId(i as u64)).unwrap();
+            assert_eq!(a, b, "entity {i} diverged between run and run_batched");
+        }
     }
 
     #[test]

@@ -13,6 +13,13 @@ run in a current directory:
   ``metrics`` snapshot — is deterministic by design and must match the
   baseline exactly. A drift there is a behaviour change, not noise, and
   the fix is either a code fix or a deliberate baseline regeneration.
+* An artifact that carries ``naive_wall_us``, ``batch_wall_us`` and
+  ``speedup_floor_milli`` additionally promises a throughput ratio: the
+  gate fails when ``batch_wall_us * speedup_floor_milli >
+  naive_wall_us * 1000``, i.e. when the optimized path dips below the
+  declared multiple of the reference path *in the current run*. Unlike
+  the per-key tolerance this compares two timings from the same machine
+  and run, so it holds regardless of how fast the CI host is.
 
 Exit codes: 0 clean, 1 regression/drift found, 2 usage or I/O error.
 
@@ -68,6 +75,24 @@ def walk(path, base, cur, failures, tolerance, floor_us):
         )
 
 
+def check_speedup_floor(name, cur, failures):
+    """Enforces an artifact's self-declared speedup floor, if present."""
+    if not isinstance(cur, dict):
+        return
+    keys = ("naive_wall_us", "batch_wall_us", "speedup_floor_milli")
+    if not all(isinstance(cur.get(k), (int, float)) for k in keys):
+        return
+    naive_us = cur["naive_wall_us"]
+    batch_us = cur["batch_wall_us"]
+    floor_milli = cur["speedup_floor_milli"]
+    if batch_us * floor_milli > naive_us * 1000:
+        actual_milli = naive_us * 1000 / max(batch_us, 1)
+        failures.append(
+            f"{name}: speedup floor violated: naive {naive_us} us / batch {batch_us} us "
+            f"= {actual_milli:.0f} milli-x < declared floor {floor_milli} milli-x"
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, help="directory of checked-in BENCH_*.json")
@@ -111,6 +136,7 @@ def main():
             print(f"bench gate: cannot read {name}: {err}", file=sys.stderr)
             return 2
         walk(name, base, cur, failures, args.tolerance, args.floor_us)
+        check_speedup_floor(name, cur, failures)
 
     for extra in sorted(p.name for p in current_dir.glob("BENCH_*.json")):
         if extra not in names:
