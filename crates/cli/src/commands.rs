@@ -12,7 +12,8 @@ use wf_features::{FeatureExtractor, Selection, CHI2_95};
 use wf_platform::{
     default_slos, load_store, parse_query, render_scoreboard, save_store, Cluster, DataStore,
     DoctorReport, FaultPlan, HealthEngine, Indexer, Ingestor, MinerPipeline, NodeHealth,
-    PipelineStats, RawDocument, SourceKind, TelemetrySnapshot,
+    PipelineStats, Profile, RawDocument, SourceKind, Telemetry, TelemetrySnapshot, TimeSeriesStore,
+    DEFAULT_SCRAPE_INTERVAL_MS, DEFAULT_TIMELINE_CAPACITY,
 };
 use wf_sentiment::{
     mention_polarities, AdhocSentimentMiner, SentimentEntityMiner, SentimentMiner,
@@ -35,6 +36,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         "doctor" => doctor(args),
         "top" => top(args),
         "serve" => serve(args),
+        "timeline" => timeline(args),
+        "profile" => profile(args),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -64,12 +67,13 @@ USAGE:
       seed ⇒ byte-identical file). With --explain, index the mined store
       and print a per-plan-node query profile (postings scanned, sim-ms)
       for representative boolean / phrase / range / regex queries.
-  wfsm metrics  --file M.json [--json]
+  wfsm metrics  --file M.json [--format table|json]
   wfsm metrics  --input DOCS.txt [--subjects A,B] [--chaos-seed S]
-                [--fail-rate P] [--json]
+                [--fail-rate P] [--format table|json]
       Render a telemetry snapshot — either one exported by `mine
       --metrics`, or from a fresh in-memory mining run — as a
-      human-readable table (default) or canonical JSON (--json).
+      human-readable table (default) or canonical JSON (--format json;
+      --json is accepted as an alias).
   wfsm query    --snapshot OUT.jsonl --subject NAME [--polarity +|-]
       Query a mined snapshot for a subject's sentiment-bearing sentences.
   wfsm search   --snapshot OUT.jsonl --query 'camera AND (battery OR \"picture quality\")'
@@ -110,6 +114,24 @@ USAGE:
       serving SLOs. With --chaos-seed, faults hit the serving path and
       one index shard is lost mid-stream. Same seed ⇒ byte-identical
       --format json output.
+  wfsm timeline [--workload serve|mine] [--interval MS] [--docs N]
+                [--chaos-seed S] [--fail-rate P] [--format table|json]
+      Run a deterministic workload — the serving request loop (default)
+      or a batched mining run — scraping the telemetry registry into a
+      fixed-capacity time-series ring on the simulated clock, and render
+      the windowed rollups: counter rate/increase, gauge last/min/max,
+      histogram-delta p50/p95/p99 per scrape window. Serving flags
+      (--clients --qps --requests --cache --queue --seed) apply to the
+      serve workload. Same seed ⇒ byte-identical --format json output.
+  wfsm profile  [--workload serve|mine] [--last N]
+                [--format text|collapsed|json] [--docs N]
+                [--chaos-seed S] [--fail-rate P]
+      Run the same workload and fold the flight recorder's spans (last N
+      traces, default all) into a deterministic self/total-time profile
+      tree with per-stage attribution: cache-lookup / shard-fanout /
+      postings-merge on the serving path, nlp.tokenize … nlp.ner in the
+      mining path. Formats: annotated tree with top hotspots (text),
+      flamegraph collapsed stacks (collapsed), canonical JSON (json).
   wfsm gen-corpus --domain camera|music|petroleum|pharma --out DOCS.txt
                 [--docs N] [--seed S]
       Write a synthetic gold-labeled evaluation corpus, one document per
@@ -339,10 +361,15 @@ fn metrics(args: &ParsedArgs) -> Result<String, String> {
     } else {
         return Err("metrics needs --file SNAPSHOT.json or --input DOCS.txt".into());
     };
-    if args.flag("json") {
-        Ok(snapshot.to_json_string() + "\n")
-    } else {
-        Ok(snapshot.to_table())
+    let format = match args.opt("format") {
+        Some(f) => f,
+        None if args.flag("json") => "json",
+        None => "table",
+    };
+    match format {
+        "json" => Ok(snapshot.to_json_string() + "\n"),
+        "table" => Ok(snapshot.to_table()),
+        other => Err(format!("unknown --format {other:?} (table|json)")),
     }
 }
 
@@ -830,6 +857,153 @@ fn serve(args: &ParsedArgs) -> Result<String, String> {
             Ok(out)
         }
     }
+}
+
+/// Runs the deterministic workload behind `wfsm timeline` / `wfsm
+/// profile`: the serving request loop (`--workload serve`, the default)
+/// or a batched mining run (`--workload mine`), with a time-series store
+/// scraping the shared telemetry registry on the simulated clock.
+/// Returns the registry (whose flight recorder holds the workload's
+/// traces) and the scraped timeline.
+fn observed_workload(args: &ParsedArgs) -> Result<(Arc<Telemetry>, Arc<TimeSeriesStore>), String> {
+    let chaos_seed: Option<u64> = args
+        .opt("chaos-seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --chaos-seed: {e}")))
+        .transpose()?;
+    let fail_rate: f64 = args
+        .opt("fail-rate")
+        .map(|v| v.parse().map_err(|e| format!("bad --fail-rate: {e}")))
+        .transpose()?
+        .unwrap_or(0.05);
+    if args.opt("fail-rate").is_some() && chaos_seed.is_none() {
+        return Err("--fail-rate requires --chaos-seed".into());
+    }
+    if !(0.0..=1.0).contains(&fail_rate) {
+        return Err(format!("--fail-rate must be in [0, 1], got {fail_rate}"));
+    }
+    let docs: usize = parse_positive(args, "docs", 40usize)?;
+    let interval: u64 = parse_positive(args, "interval", DEFAULT_SCRAPE_INTERVAL_MS)?;
+    match args.opt("workload").unwrap_or("serve") {
+        "serve" => {
+            use wf_sentiment::{SentimentServingBackend, ShardedSentimentIndex};
+            let cluster = Cluster::new(4).map_err(|e| e.to_string())?;
+            let raw: Vec<RawDocument> = synthetic_serving_docs(docs)
+                .iter()
+                .enumerate()
+                .map(|(i, text)| {
+                    RawDocument::new(format!("serve://doc{i}"), SourceKind::Web, text.clone())
+                })
+                .collect();
+            Ingestor::new(cluster.store()).ingest_batch(raw);
+            let pipeline = MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()));
+            cluster.run_pipeline(&pipeline);
+            let index = ShardedSentimentIndex::build_from_store(cluster.store());
+            let backend = SentimentServingBackend::new(index);
+            let telemetry = Arc::clone(cluster.telemetry());
+            let timeline = Arc::new(TimeSeriesStore::new(DEFAULT_TIMELINE_CAPACITY, interval));
+            let config = wf_platform::ServingConfig {
+                seed: parse_positive(args, "seed", 20050405u64)?,
+                clients: parse_positive(args, "clients", 8u32)?,
+                qps: parse_positive(args, "qps", 200u64)?,
+                requests: parse_positive(args, "requests", 400u64)?,
+                cache_capacity: args
+                    .opt("cache")
+                    .map(|v| v.parse().map_err(|e| format!("bad --cache: {e}")))
+                    .transpose()?
+                    .unwrap_or(64),
+                queue_capacity: parse_positive(args, "queue", 32usize)?,
+                ..wf_platform::ServingConfig::default()
+            };
+            let requests = config.requests;
+            let mut serve_loop = wf_platform::ServeLoop::new(
+                &backend,
+                Arc::clone(&telemetry),
+                config,
+                serving_workload(),
+            )
+            .with_timeline(Arc::clone(&timeline));
+            if let Some(seed) = chaos_seed {
+                serve_loop = serve_loop
+                    .with_fault_plan(FaultPlan::uniform(seed, fail_rate))
+                    .with_trigger(requests / 3, || {
+                        backend.set_shard_health(1, NodeHealth::Degraded)
+                    })
+                    .with_trigger(requests / 2, || {
+                        backend.set_shard_health(2, NodeHealth::Down)
+                    });
+            }
+            serve_loop.run().map_err(|e| e.to_string())?;
+            Ok((telemetry, timeline))
+        }
+        "mine" => {
+            let cluster = Cluster::new(4).map_err(|e| e.to_string())?;
+            let timeline = cluster.enable_timeline(DEFAULT_TIMELINE_CAPACITY, interval);
+            let telemetry = Arc::clone(cluster.telemetry());
+            let raw: Vec<RawDocument> = synthetic_serving_docs(docs)
+                .iter()
+                .enumerate()
+                .map(|(i, text)| {
+                    RawDocument::new(format!("mine://doc{i}"), SourceKind::Web, text.clone())
+                })
+                .collect();
+            let mut root = telemetry.trace_root("mine");
+            Ingestor::new(cluster.store()).ingest_batch_traced(raw, &mut root);
+            cluster.advance_clock(root.elapsed_sim_ms());
+            let pipeline = MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()));
+            match chaos_seed {
+                Some(seed) => {
+                    // chaos runs take the fault-aware per-entity path
+                    root.finish();
+                    cluster.set_fault_plan(Some(FaultPlan::uniform(seed, fail_rate)));
+                    cluster.run_pipeline(&pipeline);
+                }
+                None => {
+                    // batched hot path: per-stage nlp.* attribution
+                    let ingest_ms = root.elapsed_sim_ms();
+                    pipeline.run_batched_traced(cluster.store(), 8, &mut root);
+                    cluster.advance_clock(root.elapsed_sim_ms() - ingest_ms);
+                    root.finish();
+                }
+            }
+            cluster.flush_timeline();
+            Ok((telemetry, timeline))
+        }
+        other => Err(format!("unknown --workload {other:?} (serve|mine)")),
+    }
+}
+
+/// Metrics-over-time for a deterministic workload run.
+fn timeline(args: &ParsedArgs) -> Result<String, String> {
+    let format = args.opt("format").unwrap_or("table");
+    if !matches!(format, "table" | "json") {
+        return Err(format!("unknown --format {format:?} (table|json)"));
+    }
+    let (_telemetry, store) = observed_workload(args)?;
+    let timeline = store.timeline();
+    Ok(match format {
+        "json" => timeline.to_json_string() + "\n",
+        _ => timeline.to_table(),
+    })
+}
+
+/// Self/total-time profile of a deterministic workload's trace spans.
+fn profile(args: &ParsedArgs) -> Result<String, String> {
+    let format = args.opt("format").unwrap_or("text");
+    if !matches!(format, "text" | "collapsed" | "json") {
+        return Err(format!("unknown --format {format:?} (text|collapsed|json)"));
+    }
+    let last: usize = args
+        .opt("last")
+        .map(|v| v.parse().map_err(|e| format!("bad --last: {e}")))
+        .transpose()?
+        .unwrap_or(usize::MAX);
+    let (telemetry, _timeline) = observed_workload(args)?;
+    let profile = Profile::from_recorder(telemetry.recorder(), last);
+    Ok(match format {
+        "collapsed" => profile.to_collapsed(),
+        "json" => profile.to_json_string() + "\n",
+        _ => profile.to_text(),
+    })
 }
 
 fn gen_corpus(args: &ParsedArgs) -> Result<String, String> {
@@ -1509,6 +1683,152 @@ mod tests {
                 .unwrap_err()
                 .contains("must be in [0, 1]")
         );
+    }
+
+    #[test]
+    fn metrics_rejects_unknown_format_and_bad_values() {
+        let docs = temp_file("metricfmt", "The Canon takes excellent pictures.\n");
+        let err = run_tokens(&[
+            "metrics",
+            "--input",
+            docs.to_str().unwrap(),
+            "--format",
+            "yaml",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown --format"), "{err}");
+        assert!(err.contains("(table|json)"), "{err}");
+        let err = run_tokens(&[
+            "metrics",
+            "--input",
+            docs.to_str().unwrap(),
+            "--chaos-seed",
+            "not-a-number",
+        ])
+        .unwrap_err();
+        assert!(err.contains("bad --chaos-seed"), "{err}");
+        std::fs::remove_file(docs).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_seed_queue_and_cache_values() {
+        assert!(run_tokens(&["serve", "--seed", "soon"])
+            .unwrap_err()
+            .contains("bad --seed"));
+        assert!(run_tokens(&["serve", "--queue", "0"])
+            .unwrap_err()
+            .contains("--queue must be at least 1"));
+        assert!(run_tokens(&["serve", "--cache", "lots"])
+            .unwrap_err()
+            .contains("bad --cache"));
+        assert!(run_tokens(&["serve", "--chaos-seed", "x"])
+            .unwrap_err()
+            .contains("bad --chaos-seed"));
+    }
+
+    #[test]
+    fn timeline_serve_workload_is_deterministic() {
+        let args = [
+            "timeline",
+            "--docs",
+            "20",
+            "--clients",
+            "4",
+            "--qps",
+            "300",
+            "--requests",
+            "60",
+            "--interval",
+            "25",
+            "--format",
+            "json",
+        ];
+        let a = run_tokens(&args).unwrap();
+        let b = run_tokens(&args).unwrap();
+        assert_eq!(a, b, "same seed must export byte-identical timelines");
+        assert!(a.contains("\"serving.requests\""), "{a}");
+        assert!(a.contains("\"increase\""), "{a}");
+        let mut table_args = args.to_vec();
+        table_args.truncate(table_args.len() - 2);
+        let table = run_tokens(&table_args).unwrap();
+        assert!(table.contains("TIMELINE"), "{table}");
+        assert!(table.contains("serving.requests"), "{table}");
+    }
+
+    #[test]
+    fn timeline_mine_workload_scrapes_cluster_ops() {
+        let out = run_tokens(&[
+            "timeline",
+            "--workload",
+            "mine",
+            "--docs",
+            "16",
+            "--interval",
+            "5",
+        ])
+        .unwrap();
+        assert!(out.contains("pipeline.processed"), "{out}");
+    }
+
+    #[test]
+    fn timeline_and_profile_reject_bad_flags() {
+        assert!(run_tokens(&["timeline", "--format", "csv"])
+            .unwrap_err()
+            .contains("unknown --format"));
+        assert!(run_tokens(&["timeline", "--workload", "bake"])
+            .unwrap_err()
+            .contains("unknown --workload"));
+        assert!(run_tokens(&["timeline", "--interval", "0"])
+            .unwrap_err()
+            .contains("--interval must be at least 1"));
+        assert!(run_tokens(&["profile", "--format", "svg"])
+            .unwrap_err()
+            .contains("unknown --format"));
+        assert!(run_tokens(&["profile", "--last", "few"])
+            .unwrap_err()
+            .contains("bad --last"));
+        assert!(run_tokens(&["profile", "--fail-rate", "0.5"])
+            .unwrap_err()
+            .contains("requires --chaos-seed"));
+    }
+
+    #[test]
+    fn profile_serve_workload_attributes_stages() {
+        let args = [
+            "profile",
+            "--docs",
+            "20",
+            "--clients",
+            "4",
+            "--qps",
+            "300",
+            "--requests",
+            "60",
+        ];
+        let text = run_tokens(&args).unwrap();
+        assert!(text.contains("serve.query"), "{text}");
+        assert!(text.contains("cache_lookup"), "{text}");
+        assert!(text.contains("shard_fanout"), "{text}");
+        let mut collapsed_args = args.to_vec();
+        collapsed_args.extend_from_slice(&["--format", "collapsed"]);
+        let a = run_tokens(&collapsed_args).unwrap();
+        let b = run_tokens(&collapsed_args).unwrap();
+        assert_eq!(a, b, "same seed must export byte-identical stacks");
+        assert!(a.contains("serve.query;"), "{a}");
+    }
+
+    #[test]
+    fn profile_mine_workload_shows_nlp_stages() {
+        let out = run_tokens(&["profile", "--workload", "mine", "--docs", "16"]).unwrap();
+        for stage in [
+            "nlp.tokenize",
+            "nlp.pos",
+            "nlp.chunk",
+            "nlp.clause",
+            "nlp.ner",
+        ] {
+            assert!(out.contains(stage), "missing {stage} in:\n{out}");
+        }
     }
 
     #[test]

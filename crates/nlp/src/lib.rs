@@ -74,6 +74,58 @@ pub struct DocAnnotations {
     pub entities: Vec<NamedEntity>,
 }
 
+/// Deterministic per-stage unit costs for analyzed documents, in
+/// simulated milliseconds: one unit per token for `tokenize` and `pos`,
+/// one per chunk, one per clause, one per named entity. Derived purely
+/// from the annotation output, so same text ⇒ same costs on any host —
+/// the currency the continuous profiler's `nlp.*` stage spans charge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCosts {
+    pub tokenize: u64,
+    pub pos: u64,
+    pub chunk: u64,
+    pub clause: u64,
+    pub ner: u64,
+}
+
+impl StageCosts {
+    /// Adds one document's stage units.
+    pub fn absorb(&mut self, doc: &DocAnnotations) {
+        for sentence in &doc.sentences {
+            let tokens = sentence.tokens.len() as u64;
+            self.tokenize += tokens;
+            self.pos += tokens;
+            self.chunk += sentence.chunks.len() as u64;
+            self.clause += sentence.analysis.clauses.len() as u64;
+        }
+        self.ner += doc.entities.len() as u64;
+    }
+
+    /// Folds a whole batch.
+    pub fn from_annotations(docs: &[DocAnnotations]) -> StageCosts {
+        let mut costs = StageCosts::default();
+        for doc in docs {
+            costs.absorb(doc);
+        }
+        costs
+    }
+
+    /// `(stage name, units)` pairs in pipeline order.
+    pub fn stages(&self) -> [(&'static str, u64); 5] {
+        [
+            ("tokenize", self.tokenize),
+            ("pos", self.pos),
+            ("chunk", self.chunk),
+            ("clause", self.clause),
+            ("ner", self.ner),
+        ]
+    }
+
+    pub fn total(&self) -> u64 {
+        self.tokenize + self.pos + self.chunk + self.clause + self.ner
+    }
+}
+
 /// End-to-end text analysis pipeline: tokenize → split → tag → chunk →
 /// clause-analyze.
 pub struct Pipeline {
@@ -194,6 +246,17 @@ impl Pipeline {
             .map(|t| self.analyze_doc(t.as_ref(), &mut scratch))
             .collect()
     }
+
+    /// [`Pipeline::annotate_batch`] plus the batch's per-stage unit
+    /// costs, for callers that attribute the work to profiler spans.
+    pub fn annotate_batch_costed<S: AsRef<str>>(
+        &self,
+        texts: &[S],
+    ) -> (Vec<DocAnnotations>, StageCosts) {
+        let docs = self.annotate_batch(texts);
+        let costs = StageCosts::from_annotations(&docs);
+        (docs, costs)
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +302,31 @@ mod tests {
         assert!(names.contains(&"Canon"));
         assert!(names.contains(&"Nikon"));
         assert!(names.contains(&"Sony"));
+    }
+
+    #[test]
+    fn stage_costs_follow_annotation_output() {
+        let p = Pipeline::new();
+        let texts = ["Canon makes cameras. Nikon competes.", ""];
+        let (docs, costs) = p.annotate_batch_costed(&texts);
+        assert_eq!(
+            docs,
+            p.annotate_batch(&texts),
+            "costing never changes output"
+        );
+        let tokens: u64 = docs
+            .iter()
+            .flat_map(|d| &d.sentences)
+            .map(|s| s.tokens.len() as u64)
+            .sum();
+        assert_eq!(costs.tokenize, tokens);
+        assert_eq!(costs.pos, tokens);
+        assert_eq!(costs.ner, 2, "Canon and Nikon");
+        assert!(costs.chunk > 0 && costs.clause > 0);
+        assert_eq!(
+            costs.total(),
+            costs.stages().iter().map(|(_, c)| c).sum::<u64>()
+        );
     }
 
     #[test]

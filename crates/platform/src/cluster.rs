@@ -14,6 +14,7 @@ use crate::index::Indexer;
 use crate::miner::{FaultContext, MinerPipeline, PipelineStats};
 use crate::store::DataStore;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use crate::timeseries::TimeSeriesStore;
 use crate::vinci::ServiceBus;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,6 +46,10 @@ pub struct Cluster {
     /// operation's elapsed simulated time, in completion order. Purely
     /// deterministic — drives SLO windowing in the health engine.
     sim_clock: AtomicU64,
+    /// Optional metrics-over-time store: when attached, every clock
+    /// advance offers the registry a scrape, so pipeline / chaos / serve
+    /// runs produce timelines for free.
+    timeline: RwLock<Option<Arc<TimeSeriesStore>>>,
 }
 
 /// Rolling per-node operational record: what `wfsm top` renders and the
@@ -143,6 +148,7 @@ impl Cluster {
             fault_plan: RwLock::new(None),
             retry_policy: RwLock::new(RetryPolicy::default()),
             sim_clock: AtomicU64::new(0),
+            timeline: RwLock::new(None),
         })
     }
 
@@ -185,6 +191,42 @@ impl Cluster {
     /// (e.g. an ingest batch performed directly against the store).
     pub fn advance_clock(&self, sim_ms: u64) {
         self.sim_clock.fetch_add(sim_ms, Ordering::Relaxed);
+        self.tick_timeline();
+    }
+
+    /// Attaches a metrics-over-time store and returns it: from now on
+    /// every clock advance (pipeline run, index rebuild,
+    /// [`Cluster::advance_clock`]) offers the shared registry a scrape at
+    /// the cluster's simulated time.
+    pub fn enable_timeline(&self, capacity: usize, interval_ms: u64) -> Arc<TimeSeriesStore> {
+        let store = Arc::new(TimeSeriesStore::new(capacity, interval_ms));
+        *self.timeline.write() = Some(Arc::clone(&store));
+        self.tick_timeline();
+        store
+    }
+
+    /// The attached metrics-over-time store, if any.
+    pub fn timeline(&self) -> Option<Arc<TimeSeriesStore>> {
+        self.timeline.read().clone()
+    }
+
+    /// Scrapes the registry into the attached timeline when a sample is
+    /// due at the current simulated time. No-op without a timeline.
+    pub fn tick_timeline(&self) {
+        let Some(timeline) = self.timeline.read().clone() else {
+            return;
+        };
+        timeline.tick(self.sim_now(), || self.metrics_snapshot());
+    }
+
+    /// Forces a scrape at the current simulated time regardless of the
+    /// scrape interval — call once after a workload so the timeline's
+    /// last sample is the final state. No-op without a timeline.
+    pub fn flush_timeline(&self) {
+        let Some(timeline) = self.timeline.read().clone() else {
+            return;
+        };
+        timeline.scrape_at(self.sim_now(), self.metrics_snapshot());
     }
 
     /// The per-node scoreboard, with `health` refreshed to the node's
@@ -271,6 +313,7 @@ impl Cluster {
         self.sim_clock
             .fetch_add(root.elapsed_sim_ms(), Ordering::Relaxed);
         root.finish();
+        self.tick_timeline();
         {
             let mut board = self.scoreboard.write();
             for outcome in &stats.shards {
@@ -340,6 +383,7 @@ impl Cluster {
         self.sim_clock
             .fetch_add(root.elapsed_sim_ms(), Ordering::Relaxed);
         root.finish();
+        self.tick_timeline();
         {
             // rebuild outcomes land on the scoreboard too: a failed-over
             // or skipped shard is an operator-visible event
@@ -525,6 +569,30 @@ mod tests {
             shard1.events
         );
         assert_eq!(rebuild.attrs.get("indexed").map(String::as_str), Some("9"));
+    }
+
+    #[test]
+    fn attached_timeline_scrapes_cluster_ops() {
+        let cluster = seeded_cluster(3, 9);
+        let timeline = cluster.enable_timeline(64, 1);
+        let pipeline = MinerPipeline::new().add(Box::new(LengthMiner));
+        cluster.run_pipeline(&pipeline);
+        cluster.rebuild_index();
+        cluster.advance_clock(10);
+        cluster.flush_timeline();
+        let tl = timeline.timeline();
+        assert!(tl.scrapes >= 2, "ops scraped: {}", tl.scrapes);
+        assert_eq!(tl.end_ms, cluster.sim_now());
+        // the summed increases telescope to the final counter value
+        let snap = cluster.metrics_snapshot();
+        assert_eq!(
+            tl.total_increase("pipeline.processed"),
+            snap.counter("pipeline.processed")
+        );
+        assert_eq!(
+            tl.total_increase("cluster.rebuild.indexed"),
+            snap.counter("cluster.rebuild.indexed")
+        );
     }
 
     #[test]

@@ -32,7 +32,14 @@
 //!   many-client request loop (seeded arrival process on the simulated
 //!   clock) over any precomputed backend, with an LRU result cache,
 //!   bounded-queue admission control, load shedding and backpressure,
-//!   instrumented end to end (`serving.*` metrics, per-query traces).
+//!   instrumented end to end (`serving.*` metrics, per-query traces);
+//! - [`timeseries`]: deterministic metrics-over-time — a fixed-capacity
+//!   ring of telemetry scrapes on the simulated clock with windowed
+//!   rollups (counter rate/increase, gauge extrema, histogram-delta
+//!   percentiles) and canonical table/JSON export;
+//! - [`profile`]: the continuous profiler — flight-recorder spans folded
+//!   by path into a self/total-time tree with collapsed-stack
+//!   (flamegraph-compatible) export and hotspot ranking.
 
 pub mod boilerplate;
 pub mod cluster;
@@ -48,12 +55,14 @@ pub mod miner;
 pub mod pagerank;
 pub mod persist;
 pub mod postings;
+pub mod profile;
 pub mod query_parser;
 pub mod regex;
 pub mod serving;
 pub mod stats;
 pub mod store;
 pub mod telemetry;
+pub mod timeseries;
 pub mod trace;
 pub mod vinci;
 
@@ -78,6 +87,7 @@ pub use miner::{
 pub use pagerank::{pagerank, PageRankConfig, PageRankMiner};
 pub use persist::{load_store, save_store};
 pub use postings::{CompressedPostings, Cursor as PostingsCursor};
+pub use profile::{Hotspot, Profile, ProfileNode};
 pub use query_parser::parse_query;
 pub use regex::Regex;
 pub use serving::{
@@ -88,6 +98,10 @@ pub use stats::{corpus_stats, CorpusStats};
 pub use store::DataStore;
 pub use telemetry::{
     Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, Span, Telemetry, TelemetrySnapshot,
+};
+pub use timeseries::{
+    CounterWindow, GaugeWindow, HistogramWindow, TimeSeriesStore, Timeline,
+    DEFAULT_SCRAPE_INTERVAL_MS, DEFAULT_TIMELINE_CAPACITY,
 };
 pub use trace::{
     FlightRecorder, SpanEvent, SpanId, SpanRecord, TraceContext, TraceId, TraceNode, TraceSpan,

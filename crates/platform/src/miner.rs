@@ -37,6 +37,16 @@ pub trait EntityMiner: Send + Sync {
     fn process_batch(&self, batch: &mut [Entity]) -> Vec<Result<()>> {
         batch.iter_mut().map(|e| self.process(e)).collect()
     }
+
+    /// [`EntityMiner::process_batch`] under a trace span. Miners that can
+    /// attribute their work to stages (e.g. the NLP chain) override this
+    /// to record per-stage child spans and advance `span` by the batch's
+    /// simulated cost; the default delegates untraced and leaves the span
+    /// untouched. Entity outcomes must match `process_batch` exactly.
+    fn process_batch_traced(&self, batch: &mut [Entity], span: &mut TraceSpan) -> Vec<Result<()>> {
+        let _ = span;
+        self.process_batch(batch)
+    }
 }
 
 /// A corpus-level miner: sees the whole store.
@@ -293,6 +303,158 @@ impl MinerPipeline {
             executor: Some(shard),
             processed: stats.processed,
             failed: stats.failed,
+            ..ShardOutcome::default()
+        }];
+        stats
+    }
+
+    /// [`MinerPipeline::run_batched`] as a child span of `parent`: one
+    /// `shard:<n>` span per shard forked at the same instant, batches
+    /// routed through [`EntityMiner::process_batch_traced`] so stage-aware
+    /// miners attribute their work (the sentiment chain records
+    /// `nlp.tokenize` … `nlp.ner` children), and the parent clock advanced
+    /// by the slowest shard. Entity outcomes match `run_batched` exactly.
+    pub fn run_batched_traced(
+        &self,
+        store: &DataStore,
+        batch_size: usize,
+        parent: &mut TraceSpan,
+    ) -> PipelineStats {
+        let batch_size = batch_size.max(1);
+        let shard_count = store.shard_count();
+        let entities_in = store.len() as u64;
+        let mut span = parent.child("pipeline.run");
+        let fork_start = span.start_sim_ms() + span.elapsed_sim_ms();
+        let shard_spans: Vec<TraceSpan> = (0..shard_count)
+            .map(|s| span.child(format!("shard:{s}")))
+            .collect();
+        let results: Vec<(PipelineStats, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_spans
+                .into_iter()
+                .enumerate()
+                .map(|(shard, mut sp)| {
+                    scope.spawn(move || {
+                        let stats = match catch_unwind(AssertUnwindSafe(|| {
+                            self.run_shard_batched_traced(store, shard, batch_size, &mut sp)
+                        })) {
+                            Ok(stats) => stats,
+                            Err(_) => {
+                                sp.event("panicked");
+                                let shard_len = store.shard_ids(NodeId(shard as u32)).len();
+                                PipelineStats {
+                                    failed: shard_len,
+                                    skipped_shards: 1,
+                                    shard_sim_ms: vec![sp.elapsed_sim_ms()],
+                                    shards: vec![ShardOutcome {
+                                        shard,
+                                        executor: Some(shard),
+                                        failed: shard_len,
+                                        skipped: true,
+                                        sim_ms: sp.elapsed_sim_ms(),
+                                        last_error: Some("panicked".to_string()),
+                                        ..ShardOutcome::default()
+                                    }],
+                                    ..PipelineStats::default()
+                                }
+                            }
+                        };
+                        sp.attr("processed", stats.processed.to_string());
+                        sp.attr("failed", stats.failed.to_string());
+                        let elapsed = sp.elapsed_sim_ms();
+                        sp.finish();
+                        (stats, elapsed)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker wrapper never panics"))
+                .collect()
+        });
+        // merged in shard order, independent of worker interleaving
+        let mut total = PipelineStats::default();
+        let mut slowest = 0u64;
+        for (r, elapsed) in results {
+            total.absorb(r);
+            slowest = slowest.max(elapsed);
+        }
+        span.advance_to(fork_start + slowest);
+        let elapsed = span.elapsed_sim_ms();
+        span.finish();
+        parent.advance(elapsed);
+        let tele = store.telemetry();
+        tele.counter("pipeline.runs").inc();
+        tele.counter("pipeline.entities_in").add(entities_in);
+        tele.counter("pipeline.processed")
+            .add(total.processed as u64);
+        tele.counter("pipeline.failed").add(total.failed as u64);
+        tele.counter("pipeline.skipped_shards")
+            .add(total.skipped_shards as u64);
+        total
+    }
+
+    /// One shard of [`MinerPipeline::run_batched_traced`]: identical
+    /// entity semantics to [`MinerPipeline::run_shard_batched`], but each
+    /// batch runs under the shard's span so stage-aware miners charge it.
+    fn run_shard_batched_traced(
+        &self,
+        store: &DataStore,
+        shard: usize,
+        batch_size: usize,
+        span: &mut TraceSpan,
+    ) -> PipelineStats {
+        let mut stats = PipelineStats::default();
+        for chunk in store.shard_ids(NodeId(shard as u32)).chunks(batch_size) {
+            let mut ids = Vec::with_capacity(chunk.len());
+            let mut batch = Vec::with_capacity(chunk.len());
+            for &id in chunk {
+                match store.get(id) {
+                    Ok(e) => {
+                        ids.push(id);
+                        batch.push(e);
+                    }
+                    Err(_) => stats.failed += 1,
+                }
+            }
+            let mut active = vec![true; batch.len()];
+            for miner in &self.miners {
+                if active.iter().all(|&a| a) {
+                    let results = miner.process_batch_traced(&mut batch, span);
+                    for (i, res) in results.into_iter().enumerate() {
+                        if res.is_err() {
+                            batch[i]
+                                .metadata
+                                .insert("miner-error".into(), miner.name().to_string());
+                            active[i] = false;
+                        }
+                    }
+                } else {
+                    for (i, entity) in batch.iter_mut().enumerate() {
+                        if active[i] && miner.process(entity).is_err() {
+                            entity
+                                .metadata
+                                .insert("miner-error".into(), miner.name().to_string());
+                            active[i] = false;
+                        }
+                    }
+                }
+            }
+            for ((id, mined), ok) in ids.into_iter().zip(batch).zip(active) {
+                let written = store.update(id, |slot| *slot = mined).is_ok();
+                if written && ok {
+                    stats.processed += 1;
+                } else {
+                    stats.failed += 1;
+                }
+            }
+        }
+        stats.shard_sim_ms = vec![span.elapsed_sim_ms()];
+        stats.shards = vec![ShardOutcome {
+            shard,
+            executor: Some(shard),
+            processed: stats.processed,
+            failed: stats.failed,
+            sim_ms: span.elapsed_sim_ms(),
             ..ShardOutcome::default()
         }];
         stats
@@ -805,6 +967,60 @@ mod tests {
         assert_eq!(b.failed, 2);
         for id in sequential.ids() {
             assert_eq!(sequential.get(id).unwrap(), batched.get(id).unwrap());
+        }
+    }
+
+    struct CostedTagger;
+    impl EntityMiner for CostedTagger {
+        fn name(&self) -> &str {
+            "costed-tagger"
+        }
+        fn process(&self, entity: &mut Entity) -> Result<()> {
+            Tagger.process(entity)
+        }
+        fn process_batch_traced(
+            &self,
+            batch: &mut [Entity],
+            span: &mut TraceSpan,
+        ) -> Vec<Result<()>> {
+            let mut stage = span.child("tag");
+            stage.advance(batch.len() as u64);
+            stage.finish();
+            span.advance(batch.len() as u64);
+            self.process_batch(batch)
+        }
+    }
+
+    #[test]
+    fn run_batched_traced_matches_run_batched_and_charges_stage_spans() {
+        let plain = seeded_store(3, 12);
+        let traced = seeded_store(3, 12);
+        let pipeline = MinerPipeline::new().add(Box::new(CostedTagger));
+        let a = pipeline.run_batched(&plain, 5);
+        let tele = traced.telemetry().clone();
+        let mut op = tele.trace_root("op");
+        let b = pipeline.run_batched_traced(&traced, 5, &mut op);
+        let elapsed = op.elapsed_sim_ms();
+        op.finish();
+        assert_eq!((a.processed, a.failed), (b.processed, b.failed));
+        for id in plain.ids() {
+            assert_eq!(plain.get(id).unwrap(), traced.get(id).unwrap());
+        }
+        // each shard holds 4 docs in one batch of 5 ⇒ 4 sim-ms per shard,
+        // shards run in parallel ⇒ the run costs as much as the slowest
+        let slowest = *b.shard_sim_ms.iter().max().unwrap();
+        assert_eq!(elapsed, slowest);
+        assert_eq!(b.shard_sim_ms, vec![4, 4, 4]);
+        let traces = tele.recorder().last_traces(1);
+        let run = traces[0].1[0]
+            .find("op/pipeline.run")
+            .expect("pipeline.run");
+        assert_eq!(run.children.len(), 3);
+        for (shard, child) in run.children.iter().enumerate() {
+            assert_eq!(child.name, format!("shard:{shard}"));
+            assert_eq!(child.duration_sim_ms, b.shard_sim_ms[shard]);
+            assert_eq!(child.children.len(), 1, "one batch ⇒ one stage span");
+            assert_eq!(child.children[0].name, "tag");
         }
     }
 

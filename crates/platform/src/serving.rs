@@ -29,6 +29,8 @@
 
 use crate::faults::{FaultKind, FaultPlan, FaultStream};
 use crate::telemetry::Telemetry;
+use crate::timeseries::TimeSeriesStore;
+use crate::trace::TraceSpan;
 use serde_json::Value;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::fmt::Write as _;
@@ -49,6 +51,16 @@ pub trait ServingBackend: Send + Sync {
     /// Executes one request, returning the canonical answer plus its
     /// simulated cost.
     fn execute(&self, request: &str) -> Result<ServedAnswer>;
+
+    /// Like [`ServingBackend::execute`], with a query span to hang stage
+    /// child spans on (shard fanout, postings merge, ...). A backend that
+    /// opens children must also advance `span` by the time they consume,
+    /// so later stages start at the right simulated instant. The default
+    /// records no stages.
+    fn execute_traced(&self, request: &str, span: &mut TraceSpan) -> Result<ServedAnswer> {
+        let _ = span;
+        self.execute(request)
+    }
 }
 
 /// One backend answer: the canonical body and what it cost to compute.
@@ -382,6 +394,7 @@ pub struct ServeLoop<'a> {
     workload: Vec<String>,
     plan: Option<FaultPlan>,
     triggers: Vec<(u64, Trigger<'a>)>,
+    timeline: Option<Arc<TimeSeriesStore>>,
 }
 
 impl<'a> ServeLoop<'a> {
@@ -401,7 +414,16 @@ impl<'a> ServeLoop<'a> {
             workload,
             plan: None,
             triggers: Vec::new(),
+            timeline: None,
         }
+    }
+
+    /// Attaches a time-series store scraped at every observation point
+    /// (every [`ServingConfig::observe_every`] completions and once at
+    /// the end), so a serving run produces a metrics timeline for free.
+    pub fn with_timeline(mut self, timeline: Arc<TimeSeriesStore>) -> Self {
+        self.timeline = Some(timeline);
+        self
     }
 
     /// Injects faults on the backend path (cache hits bypass chaos, as a
@@ -502,6 +524,9 @@ impl<'a> ServeLoop<'a> {
                     if self.config.observe_every > 0
                         && completed.is_multiple_of(self.config.observe_every)
                     {
+                        if let Some(timeline) = &self.timeline {
+                            timeline.tick(free_at, || self.telemetry.snapshot());
+                        }
                         observer(free_at);
                     }
                     continue;
@@ -558,6 +583,9 @@ impl<'a> ServeLoop<'a> {
                 report.latency_p99_ms = h.percentile(99.0);
             }
         }
+        if let Some(timeline) = &self.timeline {
+            timeline.scrape_at(end_ms, self.telemetry.snapshot());
+        }
         if self.config.observe_every > 0 {
             observer(end_ms);
         }
@@ -584,18 +612,36 @@ impl<'a> ServeLoop<'a> {
         counter_ok: &Arc<crate::telemetry::Counter>,
         counter_errors: &Arc<crate::telemetry::Counter>,
     ) -> u64 {
-        let mut span = self.telemetry.trace_root(format!("serve.q{seq}"));
+        // constant root name: the profiler folds every request into one
+        // serve.query tree; the sequence number lives in an attr
+        let mut span = self.telemetry.trace_root("serve.query");
+        span.attr("seq", seq.to_string());
         span.attr("client", req.client.to_string());
         span.attr("request", req.request.clone());
         let queue_wait = start - req.arrival_ms;
         if queue_wait > 0 {
+            let mut wait = span.child("queue_wait");
+            wait.advance(queue_wait);
+            wait.finish();
             span.advance(queue_wait);
             span.event("dequeued");
         }
+        // absolute simulated instant service begins; every stage below is
+        // a child span partitioning the same service_ms as before
+        let service_start = span.end_sim_ms();
         let (outcome, body, cached, service_ms) = if let Some(body) = cache.get(&req.request) {
             span.event("cache_hit");
+            let mut lookup = span.child("cache_lookup");
+            lookup.attr("hit", "1");
+            lookup.advance(CACHE_HIT_COST_MS);
+            lookup.finish();
             (QueryOutcome::Ok, body, true, CACHE_HIT_COST_MS)
         } else {
+            let mut lookup = span.child("cache_lookup");
+            lookup.attr("hit", "0");
+            lookup.advance(DISPATCH_COST_MS);
+            lookup.finish();
+            span.advance(DISPATCH_COST_MS);
             // chaos only touches real backend work, as a result cache
             // in front of the shards would
             let fault = fault_stream.as_mut().and_then(|s| s.draw());
@@ -609,7 +655,7 @@ impl<'a> ServeLoop<'a> {
                 }
                 _ => 0,
             };
-            match fault {
+            let executed = match fault {
                 Some(kind) if kind != FaultKind::SlowResponse => {
                     span.event(format!("fault:{}", kind.label()));
                     let err = Error::Unavailable(format!("injected {}", kind.label()));
@@ -620,7 +666,7 @@ impl<'a> ServeLoop<'a> {
                         DISPATCH_COST_MS,
                     )
                 }
-                _ => match self.backend.execute(&req.request) {
+                _ => match self.backend.execute_traced(&req.request, &mut span) {
                     Ok(answer) => {
                         cache.insert(req.request.clone(), answer.body.clone());
                         (
@@ -637,9 +683,17 @@ impl<'a> ServeLoop<'a> {
                         DISPATCH_COST_MS + slow_ms,
                     ),
                 },
+            };
+            if slow_ms > 0 {
+                // the injected delay lands after whatever the backend did
+                span.advance_to(service_start + executed.3 - slow_ms);
+                let mut delay = span.child("fault_delay");
+                delay.advance(slow_ms);
+                delay.finish();
             }
+            executed
         };
-        span.advance(service_ms);
+        span.advance_to(service_start + service_ms);
         let latency = queue_wait + service_ms;
         match outcome {
             QueryOutcome::Ok => {

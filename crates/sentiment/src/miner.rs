@@ -132,14 +132,27 @@ impl SentimentMiner {
         &self,
         texts: &[S],
     ) -> Vec<Vec<SubjectSentiment>> {
+        self.analyze_named_entities_batch_costed(texts).0
+    }
+
+    /// [`SentimentMiner::analyze_named_entities_batch`] plus the batch's
+    /// per-stage NLP unit costs ([`wf_nlp::StageCosts`]), so traced miner
+    /// runs can attribute the work to tokenize/pos/chunk/clause/ner spans.
+    pub fn analyze_named_entities_batch_costed<S: AsRef<str>>(
+        &self,
+        texts: &[S],
+    ) -> (Vec<Vec<SubjectSentiment>>, wf_nlp::StageCosts) {
         let mut scratch = DocScratch::new();
-        texts
+        let mut costs = wf_nlp::StageCosts::default();
+        let records = texts
             .iter()
             .map(|t| {
                 let annotations = self.pipeline.analyze_doc(t.as_ref(), &mut scratch);
+                costs.absorb(&annotations);
                 self.records_from_annotations(&annotations)
             })
-            .collect()
+            .collect();
+        (records, costs)
     }
 
     /// Reference implementation of [`SentimentMiner::analyze_named_entities`]

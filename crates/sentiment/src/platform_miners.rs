@@ -11,7 +11,7 @@
 //! real-time queries through [`SentimentQueryService`].
 
 use crate::miner::{mention_polarities, SentimentMiner};
-use wf_platform::{Annotation, Entity, EntityMiner, Indexer, Query};
+use wf_platform::{Annotation, Entity, EntityMiner, Indexer, Query, TraceSpan};
 use wf_spotter::{Spotter, SubjectList};
 use wf_types::{DocId, Polarity, Result};
 
@@ -173,6 +173,38 @@ impl EntityMiner for AdhocSentimentMiner {
     fn process_batch(&self, batch: &mut [Entity]) -> Vec<Result<()>> {
         let texts: Vec<String> = batch.iter().map(|e| e.text.clone()).collect();
         let record_sets = self.miner.analyze_named_entities_batch(&texts);
+        for (entity, records) in batch.iter_mut().zip(&record_sets) {
+            entity.clear_annotations("sentiment");
+            for (subject, sentence_span, polarity) in mention_polarities(records) {
+                entity.annotate(
+                    Annotation::new("sentiment", sentence_span)
+                        .with_attr("subject", subject.to_lowercase())
+                        .with_attr("polarity", polarity.to_string()),
+                );
+            }
+        }
+        batch.iter().map(|_| Ok(())).collect()
+    }
+
+    /// The batched hot path with per-stage attribution: charges the
+    /// batch's deterministic NLP unit costs to `nlp.tokenize` …
+    /// `nlp.ner` child spans (one unit per token / chunk / clause /
+    /// entity, see [`wf_nlp::StageCosts`]) and advances the shard span in
+    /// lockstep, so the continuous profiler sees where mining time goes.
+    /// Entity outcomes are identical to [`EntityMiner::process_batch`].
+    fn process_batch_traced(&self, batch: &mut [Entity], span: &mut TraceSpan) -> Vec<Result<()>> {
+        let texts: Vec<String> = batch.iter().map(|e| e.text.clone()).collect();
+        let (record_sets, costs) = self.miner.analyze_named_entities_batch_costed(&texts);
+        for (stage, units) in costs.stages() {
+            if units == 0 {
+                continue;
+            }
+            let mut stage_span = span.child(format!("nlp.{stage}"));
+            stage_span.advance(units);
+            stage_span.attr("units", units.to_string());
+            stage_span.finish();
+            span.advance(units);
+        }
         for (entity, records) in batch.iter_mut().zip(&record_sets) {
             entity.clear_annotations("sentiment");
             for (subject, sentence_span, polarity) in mention_polarities(records) {
@@ -451,6 +483,65 @@ mod tests {
             let a = per_entity.store().get(DocId(i as u64)).unwrap();
             let b = batched.store().get(DocId(i as u64)).unwrap();
             assert_eq!(a, b, "entity {i} diverged between run and run_batched");
+        }
+    }
+
+    #[test]
+    fn adhoc_traced_batch_matches_and_attributes_nlp_stages() {
+        let docs = [
+            "Petrocorp polluted the river. Medicore delivered excellent results.",
+            "The NR70 takes excellent pictures. The battery drains quickly.",
+            "Nothing about products here at all.",
+        ];
+        let seed = |cluster: &Cluster| {
+            let mut ing = wf_platform::Ingestor::new(cluster.store());
+            for (i, text) in docs.iter().enumerate() {
+                ing.ingest(RawDocument::new(
+                    format!("uri://{i}"),
+                    SourceKind::News,
+                    *text,
+                ));
+            }
+        };
+        let plain = Cluster::new(2).unwrap();
+        seed(&plain);
+        let traced = Cluster::new(2).unwrap();
+        seed(&traced);
+
+        let pipeline = MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()));
+        let a = pipeline.run_batched(plain.store(), 4);
+        let tele = traced.store().telemetry().clone();
+        let mut op = tele.trace_root("mine.batched");
+        let b = pipeline.run_batched_traced(traced.store(), 4, &mut op);
+        op.finish();
+        assert_eq!((a.processed, a.failed), (b.processed, b.failed));
+        for i in 0..docs.len() {
+            let x = plain.store().get(DocId(i as u64)).unwrap();
+            let y = traced.store().get(DocId(i as u64)).unwrap();
+            assert_eq!(x, y, "entity {i} diverged under tracing");
+        }
+
+        let traces = tele.recorder().last_traces(1);
+        let run = traces[0].1[0]
+            .find("mine.batched/pipeline.run")
+            .expect("pipeline.run span");
+        let mut stage_names = std::collections::BTreeSet::new();
+        for shard in &run.children {
+            // the NLP stage children exactly cover the shard's time
+            let covered: u64 = shard.children.iter().map(|c| c.duration_sim_ms).sum();
+            assert_eq!(covered, shard.duration_sim_ms, "{}", shard.name);
+            for stage in &shard.children {
+                stage_names.insert(stage.name.clone());
+            }
+        }
+        for expected in [
+            "nlp.tokenize",
+            "nlp.pos",
+            "nlp.chunk",
+            "nlp.clause",
+            "nlp.ner",
+        ] {
+            assert!(stage_names.contains(expected), "missing {expected} span");
         }
     }
 

@@ -24,7 +24,7 @@ use crate::sindex::ShardedSentimentIndex;
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
-use wf_platform::{NodeHealth, ServedAnswer, ServingBackend};
+use wf_platform::{NodeHealth, ServedAnswer, ServingBackend, TraceSpan};
 use wf_types::{Error, Polarity, Result};
 
 /// Simulated cost charged per degraded shard consulted by a query.
@@ -123,6 +123,39 @@ impl SentimentServingBackend {
         Ok((Value::Object(o), postings.len() as u64))
     }
 
+    /// Shared query resolution: `(body, postings scanned, degraded
+    /// shards)` — the error paths (`Query`/`Unavailable`/`NotFound`) are
+    /// identical for the traced and untraced execute.
+    fn resolve(&self, request: &str) -> Result<(Value, u64, usize)> {
+        let parsed = ServeRequest::parse(request)?;
+        let (down, degraded) = self.shard_weather();
+        // both query forms fan out over every shard
+        if down > 0 {
+            return Err(Error::Unavailable(format!(
+                "{down} sentiment index shard(s) down"
+            )));
+        }
+        let (body, scanned) = match parsed {
+            ServeRequest::Subject(subject) => self.subject_answer(&subject)?,
+            ServeRequest::TopK(k, polarity) => self.top_k_answer(k, polarity),
+        };
+        Ok((body, scanned, degraded))
+    }
+
+    /// Postings each shard contributes to `request`, in shard order —
+    /// what the fanout stage span reports.
+    fn per_shard_scanned(&self, request: &str) -> Vec<usize> {
+        match ServeRequest::parse(request) {
+            Ok(ServeRequest::Subject(subject)) => (0..self.index.shard_count())
+                .map(|i| self.index.shard(i).postings(&subject).len())
+                .collect(),
+            Ok(ServeRequest::TopK(..)) => (0..self.index.shard_count())
+                .map(|i| self.index.shard(i).posting_count())
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
     fn top_k_answer(&self, k: usize, polarity: Polarity) -> (Value, u64) {
         let ranked = self.index.top_k(k, polarity);
         let top: Vec<Value> = ranked
@@ -145,19 +178,42 @@ impl SentimentServingBackend {
 
 impl ServingBackend for SentimentServingBackend {
     fn execute(&self, request: &str) -> Result<ServedAnswer> {
-        let parsed = ServeRequest::parse(request)?;
-        let (down, degraded) = self.shard_weather();
-        // both query forms fan out over every shard
-        if down > 0 {
-            return Err(Error::Unavailable(format!(
-                "{down} sentiment index shard(s) down"
-            )));
-        }
-        let (body, scanned) = match parsed {
-            ServeRequest::Subject(subject) => self.subject_answer(&subject)?,
-            ServeRequest::TopK(k, polarity) => self.top_k_answer(k, polarity),
-        };
+        let (body, scanned, degraded) = self.resolve(request)?;
         let cost_sim_ms = scanned + degraded as u64 * DEGRADED_SHARD_PENALTY_MS;
+        Ok(ServedAnswer {
+            body: serde_json::to_string(&body).expect("Value renders infallibly"),
+            cost_sim_ms,
+        })
+    }
+
+    /// Same answer and cost as [`ServingBackend::execute`], with the cost
+    /// attributed to stage spans: `shard_fanout` carries the per-shard
+    /// postings scan (plus the degraded-shard penalty), `postings_merge`
+    /// the k-way combine (free in the cost model; recorded for count).
+    fn execute_traced(&self, request: &str, span: &mut TraceSpan) -> Result<ServedAnswer> {
+        let (body, scanned, degraded) = self.resolve(request)?;
+        let cost_sim_ms = scanned + degraded as u64 * DEGRADED_SHARD_PENALTY_MS;
+        let per_shard = self.per_shard_scanned(request);
+        let mut fanout = span.child("shard_fanout");
+        fanout.attr("shards", self.index.shard_count().to_string());
+        fanout.attr("scanned", scanned.to_string());
+        fanout.attr(
+            "per_shard",
+            per_shard
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        if degraded > 0 {
+            fanout.attr("degraded", degraded.to_string());
+        }
+        fanout.advance(cost_sim_ms);
+        fanout.finish();
+        span.advance(cost_sim_ms);
+        let mut merge = span.child("postings_merge");
+        merge.attr("postings", scanned.to_string());
+        merge.finish();
         Ok(ServedAnswer {
             body: serde_json::to_string(&body).expect("Value renders infallibly"),
             cost_sim_ms,

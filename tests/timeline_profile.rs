@@ -1,0 +1,431 @@
+//! Acceptance suite for the observability tier added by this PR:
+//! `wf_platform::timeseries` (deterministic metrics-over-time) and
+//! `wf_platform::profile` (continuous span profiling), fed by the
+//! per-stage spans threaded through the serving and mining hot paths.
+//!
+//! Locks down the PR's guarantees end to end:
+//!
+//! 1. **Counter conservation** (property) — the summed `increase` over
+//!    every timeline window equals the counter's final snapshot value,
+//!    even when the scrape ring drops samples.
+//! 2. **Profile root-sum** (property + panic scenario) — a profile's
+//!    `total_ms` equals the sum of its root spans' durations, including
+//!    a panicked shard's accrued time (recorded on unwind via Drop).
+//! 3. **Eviction determinism** — same-seed serving runs export
+//!    byte-identical collapsed stacks even when the flight recorder
+//!    evicted spans (`evicted > 0`).
+//! 4. **Attribution** — over the bench serving workload, named leaf
+//!    stages account for ≥ 95% of total simulated time (no
+//!    "unattributed" bucket above 5%).
+//! 5. **Goldens** — the pinned chaos scenario's collapsed profile and
+//!    timeline JSON match checked-in goldens byte for byte
+//!    (`UPDATE_GOLDEN=1` regens), and double runs are byte-identical.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wf_platform::{
+    Annotation, Cluster, DataStore, Entity, EntityMiner, FaultContext, FaultPlan, Ingestor,
+    MinerPipeline, NodeHealth, Profile, RawDocument, ServeLoop, ServingConfig, SourceKind,
+    Telemetry, TimeSeriesStore,
+};
+use wf_sentiment::{AdhocSentimentMiner, SentimentServingBackend, ShardedSentimentIndex};
+use wf_types::{Polarity, Result, RetryPolicy};
+
+// ---------------------------------------------------------------------
+// fixtures: the pinned chaos serving scenario (same shape as
+// tests/serving.rs) and the bench serving workload mirror
+// ---------------------------------------------------------------------
+
+const CHAOS_SEED: u64 = 20050405;
+const SUBJECTS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+const POLARITIES: [Polarity; 3] = [Polarity::Positive, Polarity::Negative, Polarity::Neutral];
+
+fn seeded_store(shards: usize, marks: &[usize]) -> DataStore {
+    let store = DataStore::new(shards).unwrap();
+    for (i, &mark) in marks.iter().enumerate() {
+        let subject = SUBJECTS[mark % 4];
+        let polarity = POLARITIES[(mark / 4) % 3];
+        let text = format!("document {i} mentions {subject} here");
+        let mut entity = Entity::new(format!("test://profile/{i}"), SourceKind::Web, &text);
+        entity.annotate(
+            Annotation::new("sentiment", wf_types::Span::new(0, text.len()))
+                .with_attr("subject", subject.to_string())
+                .with_attr("polarity", polarity.to_string()),
+        );
+        store.insert(entity);
+    }
+    store
+}
+
+fn full_workload() -> Vec<String> {
+    let mut pool: Vec<String> = SUBJECTS
+        .iter()
+        .map(|s| format!("sentiment of {s}"))
+        .collect();
+    pool.push("sentiment of alpha".to_string());
+    pool.push("sentiment of alpha".to_string());
+    pool.push("top 2 +".to_string());
+    pool.push("top 3 -".to_string());
+    pool.push("sentiment of zorblax".to_string());
+    pool
+}
+
+fn chaos_backend() -> SentimentServingBackend {
+    let marks: Vec<usize> = (0..24).map(|i| i % 12).collect();
+    SentimentServingBackend::new(ShardedSentimentIndex::build_from_store(&seeded_store(
+        4, &marks,
+    )))
+}
+
+fn chaos_config() -> ServingConfig {
+    ServingConfig {
+        seed: CHAOS_SEED,
+        clients: 6,
+        qps: 800,
+        requests: 240,
+        cache_capacity: 8,
+        queue_capacity: 32,
+        ..ServingConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1. counter conservation through the scrape ring (property)
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Conservation law: summing a counter's `increase` over every
+    /// retained window telescopes to exactly its final snapshot value —
+    /// monotonicity makes this hold even when the ring drops samples,
+    /// because the oldest retained window measures against the implicit
+    /// zero baseline.
+    #[test]
+    fn counter_increase_conserves_final_value(
+        deltas in prop::collection::vec(0u64..50, 1..40),
+        capacity in 1usize..6,
+        step in 1u64..20,
+    ) {
+        let telemetry = Telemetry::new();
+        let series = TimeSeriesStore::new(capacity, 1);
+        let counter = telemetry.counter("prop.ops");
+        let mut now = 0u64;
+        for delta in &deltas {
+            counter.add(*delta);
+            now += step;
+            series.scrape_at(now, telemetry.snapshot());
+        }
+        let timeline = series.timeline();
+        let expected: u64 = deltas.iter().sum();
+        prop_assert_eq!(timeline.total_increase("prop.ops"), expected);
+        prop_assert_eq!(
+            timeline.total_increase("prop.ops"),
+            telemetry.snapshot().counter("prop.ops")
+        );
+        // the ring really did drop samples when it was supposed to
+        prop_assert_eq!(
+            timeline.dropped,
+            (deltas.len() as u64).saturating_sub(capacity as u64)
+        );
+    }
+
+    /// A profile's `total_ms` is exactly the sum of its root spans'
+    /// durations, whatever tree shape the workload produced. (Stage
+    /// costs are dealt round-robin onto the roots: the shim's proptest
+    /// has no tuple strategies, so the tree is decoded from flat vecs.)
+    #[test]
+    fn profile_total_is_the_sum_of_root_span_durations(
+        owns in prop::collection::vec(0u64..30, 1..8),
+        stage_costs in prop::collection::vec(1u64..12, 0..20),
+    ) {
+        let telemetry = Telemetry::new();
+        let mut expected = 0u64;
+        for (i, own) in owns.iter().enumerate() {
+            let mut root = telemetry.trace_root(format!("job{}", i % 3));
+            root.advance(*own);
+            for (j, cost) in stage_costs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| j % owns.len() == i)
+            {
+                let mut stage = root.child(format!("stage{}", j % 2));
+                stage.advance(*cost);
+                stage.finish();
+                root.advance(*cost);
+            }
+            expected += root.elapsed_sim_ms();
+            root.finish();
+        }
+        let profile = Profile::from_records(&telemetry.recorder().records());
+        prop_assert_eq!(profile.total_ms, expected);
+        prop_assert!(profile.attributed_ms() <= profile.total_ms);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. panicked shards keep their accrued time in the profile
+// ---------------------------------------------------------------------
+
+struct PanicMiner;
+impl EntityMiner for PanicMiner {
+    fn name(&self) -> &str {
+        "panic-miner"
+    }
+    fn process(&self, entity: &mut Entity) -> Result<()> {
+        if entity.text.contains("poison") {
+            panic!("injected miner crash");
+        }
+        Ok(())
+    }
+}
+
+/// The root-sum law survives a shard panic: the crashed shard's span
+/// records its accrued simulated time on unwind (via Drop), and the
+/// profile counts it — crash time is attributed, not lost.
+#[test]
+fn profile_total_includes_panicked_shards_accrued_time() {
+    let store = DataStore::new(2).unwrap();
+    store.insert(Entity::new("a", SourceKind::Web, "fine")); // doc 0, shard 0
+    store.insert(Entity::new("b", SourceKind::Web, "fine")); // doc 1, shard 1
+    store.insert(Entity::new("c", SourceKind::Web, "fine")); // doc 2, shard 0
+    store.insert(Entity::new("d", SourceKind::Web, "poison pill")); // doc 3, shard 1
+    let plan = FaultPlan::new(7); // zero fault rates, 1 sim-ms per op
+    let ctx = FaultContext {
+        plan: Some(&plan),
+        retry: RetryPolicy::default(),
+        health: &[],
+    };
+    let stats = MinerPipeline::new()
+        .add(Box::new(PanicMiner))
+        .run_with(&store, &ctx);
+    assert_eq!(stats.skipped_shards, 1);
+    assert_eq!(stats.shard_sim_ms, vec![2, 2]);
+
+    let records = store.telemetry().recorder().records();
+    let root_sum: u64 = records
+        .iter()
+        .filter(|r| !r.path.contains('/'))
+        .map(|r| r.duration_sim_ms)
+        .sum();
+    let profile = Profile::from_records(&records);
+    assert_eq!(profile.total_ms, root_sum, "root-sum law holds under panic");
+    let run = &profile.roots["pipeline.run"];
+    assert_eq!(
+        run.children["shard:1"].total_ms, 2,
+        "crashed shard keeps the 2 sim-ms it accrued before the panic"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 3. eviction does not break collapsed-stack determinism
+// ---------------------------------------------------------------------
+
+fn evicting_chaos_collapsed() -> (u64, String) {
+    let backend = chaos_backend();
+    // tiny ring: the 240-request scenario must overflow it
+    let telemetry = Telemetry::with_trace_capacity(64);
+    ServeLoop::new(
+        &backend,
+        Arc::clone(&telemetry),
+        chaos_config(),
+        full_workload(),
+    )
+    .with_fault_plan(FaultPlan::uniform(CHAOS_SEED, 0.15))
+    .with_trigger(80, || backend.set_shard_health(1, NodeHealth::Degraded))
+    .with_trigger(120, || backend.set_shard_health(2, NodeHealth::Down))
+    .run()
+    .unwrap();
+    let profile = Profile::from_recorder(telemetry.recorder(), usize::MAX);
+    (telemetry.recorder().evicted(), profile.to_collapsed())
+}
+
+/// Same-seed runs export byte-identical collapsed stacks even when the
+/// flight recorder evicted spans: the serving loop is single-threaded,
+/// so the retained span *set* is identical, and the fold keys on paths.
+#[test]
+fn eviction_preserves_collapsed_stack_determinism() {
+    let (evicted_a, collapsed_a) = evicting_chaos_collapsed();
+    let (evicted_b, collapsed_b) = evicting_chaos_collapsed();
+    assert!(
+        evicted_a > 0,
+        "scenario must actually overflow the 64-span ring"
+    );
+    assert_eq!(evicted_a, evicted_b);
+    assert_eq!(
+        collapsed_a, collapsed_b,
+        "collapsed stacks must not drift under eviction"
+    );
+    assert!(
+        collapsed_a.contains("serve.query;"),
+        "stages survive: {collapsed_a}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// 4. attribution over the bench serving workload (acceptance criterion)
+// ---------------------------------------------------------------------
+
+/// The serving scenario of `crates/bench/benches/serving.rs`, rebuilt
+/// here so the acceptance criterion is enforced by `cargo test`.
+fn bench_corpus() -> Vec<String> {
+    const BRANDS: [&str; 5] = ["Canon", "Nikon", "Sony", "Kodak", "Pentax"];
+    const MOODS: [&str; 4] = [
+        "takes excellent pictures",
+        "has a terrible battery",
+        "produces sharp images",
+        "suffers from blurry output",
+    ];
+    (0..96)
+        .map(|i| {
+            format!(
+                "{} {} in trial {i}.",
+                BRANDS[i % BRANDS.len()],
+                MOODS[i % MOODS.len()]
+            )
+        })
+        .collect()
+}
+
+fn bench_workload() -> Vec<String> {
+    let mut pool = Vec::new();
+    for _ in 0..4 {
+        pool.push("sentiment of canon".to_string());
+    }
+    for _ in 0..2 {
+        pool.push("sentiment of nikon".to_string());
+    }
+    pool.push("sentiment of sony".to_string());
+    pool.push("sentiment of kodak".to_string());
+    pool.push("sentiment of pentax".to_string());
+    pool.push("top 3 +".to_string());
+    pool.push("top 3 -".to_string());
+    pool.push("sentiment of zorblax".to_string());
+    pool
+}
+
+/// ≥ 95% of the bench serving workload's simulated time lands in named
+/// leaf stages (queue_wait / cache_lookup / shard_fanout / ...): the
+/// per-stage spans threaded through the miss path leave no
+/// "unattributed" bucket above 5%.
+#[test]
+fn bench_serving_workload_attribution_exceeds_95_percent() {
+    let cluster = Cluster::new(4).unwrap();
+    let raw: Vec<RawDocument> = bench_corpus()
+        .iter()
+        .enumerate()
+        .map(|(i, text)| {
+            RawDocument::new(
+                format!("bench://serving/{i}"),
+                SourceKind::Web,
+                text.clone(),
+            )
+        })
+        .collect();
+    Ingestor::new(cluster.store()).ingest_batch(raw);
+    let pipeline = MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()));
+    cluster.run_pipeline(&pipeline);
+    let backend =
+        SentimentServingBackend::new(ShardedSentimentIndex::build_from_store(cluster.store()));
+
+    // fresh telemetry, sized so 1200 requests' spans all fit: eviction
+    // would silently shrink the denominator
+    let telemetry = Telemetry::with_trace_capacity(1 << 15);
+    let config = ServingConfig {
+        seed: CHAOS_SEED,
+        clients: 16,
+        qps: 500,
+        requests: 1200,
+        cache_capacity: 32,
+        queue_capacity: 24,
+        ..ServingConfig::default()
+    };
+    ServeLoop::new(&backend, Arc::clone(&telemetry), config, bench_workload())
+        .run()
+        .unwrap();
+    assert_eq!(telemetry.recorder().evicted(), 0, "grow the ring");
+
+    let profile = Profile::from_recorder(telemetry.recorder(), usize::MAX);
+    assert!(profile.total_ms > 0);
+    let milli = profile.attributed_milli();
+    assert!(
+        milli >= 950,
+        "only {milli}‰ of {} sim-ms attributed to named stages:\n{}",
+        profile.total_ms,
+        profile.to_text()
+    );
+}
+
+// ---------------------------------------------------------------------
+// 5. pinned chaos run: goldens + byte-identical double export
+// ---------------------------------------------------------------------
+
+/// Chaos serving run with a timeline attached: returns the collapsed
+/// profile and the timeline JSON export.
+fn observed_chaos_run() -> (String, String) {
+    let backend = chaos_backend();
+    let telemetry = Telemetry::new();
+    let timeline = Arc::new(TimeSeriesStore::new(64, 20));
+    ServeLoop::new(
+        &backend,
+        Arc::clone(&telemetry),
+        chaos_config(),
+        full_workload(),
+    )
+    .with_timeline(Arc::clone(&timeline))
+    .with_fault_plan(FaultPlan::uniform(CHAOS_SEED, 0.15))
+    .with_trigger(80, || backend.set_shard_health(1, NodeHealth::Degraded))
+    .with_trigger(120, || backend.set_shard_health(2, NodeHealth::Down))
+    .run()
+    .unwrap();
+    let collapsed = Profile::from_recorder(telemetry.recorder(), usize::MAX).to_collapsed();
+    let timeline_json = timeline.timeline().to_json_string() + "\n";
+    (collapsed, timeline_json)
+}
+
+/// Same seed, same bytes, for both exports — and the timeline actually
+/// sampled the run rather than just the final flush.
+#[test]
+fn observed_run_exports_are_byte_identical() {
+    let (collapsed_a, timeline_a) = observed_chaos_run();
+    let (collapsed_b, timeline_b) = observed_chaos_run();
+    assert_eq!(collapsed_a, collapsed_b, "collapsed stacks drifted");
+    assert_eq!(timeline_a, timeline_b, "timeline JSON drifted");
+    assert!(timeline_a.contains("\"serving.requests\""));
+    assert!(collapsed_a.contains("serve.query;shard_fanout"));
+}
+
+/// The pinned scenario's collapsed profile matches the checked-in
+/// golden byte for byte. `UPDATE_GOLDEN=1` regenerates.
+#[test]
+fn collapsed_profile_matches_golden() {
+    let (collapsed, _) = observed_chaos_run();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/profile_collapsed.txt"
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &collapsed).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden exists; UPDATE_GOLDEN=1 to create");
+    assert_eq!(
+        collapsed, golden,
+        "collapsed profile drifted from golden; UPDATE_GOLDEN=1 to regen"
+    );
+}
+
+/// The pinned scenario's timeline JSON matches the checked-in golden
+/// byte for byte. `UPDATE_GOLDEN=1` regenerates.
+#[test]
+fn timeline_json_matches_golden() {
+    let (_, timeline_json) = observed_chaos_run();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/timeline.json");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &timeline_json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden exists; UPDATE_GOLDEN=1 to create");
+    assert_eq!(
+        timeline_json, golden,
+        "timeline export drifted from golden; UPDATE_GOLDEN=1 to regen"
+    );
+}

@@ -21,10 +21,19 @@ run in a current directory:
   the per-key tolerance this compares two timings from the same machine
   and run, so it holds regardless of how fast the CI host is.
 
+With ``--expect`` the gate also pins the artifact set: every listed
+name must exist in both directories, and any ``BENCH_*.json`` found in
+either directory but not listed fails the gate. Without an explicit
+list, an artifact that CI forgets to re-run compares against its own
+stale copy and silently passes — the list turns "forgot to gate it"
+into a hard failure. Non-bench files (e.g. a stale ``results.json``)
+are ignored either way.
+
 Exit codes: 0 clean, 1 regression/drift found, 2 usage or I/O error.
 
 Usage:
-    python3 tools/bench_gate.py --baseline artifacts-baseline --current artifacts
+    python3 tools/bench_gate.py --baseline artifacts-baseline --current artifacts \
+        --expect BENCH_serving.json,BENCH_profile.json
 """
 
 import argparse
@@ -109,6 +118,14 @@ def main():
         default=20000,
         help="absolute growth in microseconds a timing must also exceed to fail",
     )
+    parser.add_argument(
+        "--expect",
+        action="append",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated BENCH_*.json names that must be gated (repeatable); "
+        "any artifact in either directory but not listed fails the gate",
+    )
     args = parser.parse_args()
 
     baseline_dir = Path(args.baseline)
@@ -118,12 +135,33 @@ def main():
             print(f"bench gate: not a directory: {d}", file=sys.stderr)
             return 2
 
+    expected = None
+    if args.expect:
+        expected = sorted({n for group in args.expect for n in group.split(",") if n})
+        if not expected:
+            print("bench gate: --expect given but names to expect are empty", file=sys.stderr)
+            return 2
+
     names = sorted(p.name for p in baseline_dir.glob("BENCH_*.json"))
     if not names:
         print(f"bench gate: no BENCH_*.json baselines in {baseline_dir}", file=sys.stderr)
         return 2
 
     failures = []
+    if expected is not None:
+        for name in expected:
+            if name not in names:
+                failures.append(
+                    f"{name}: expected artifact has no checked-in baseline in {baseline_dir}"
+                )
+        for stray in names:
+            if stray not in expected:
+                failures.append(
+                    f"{stray}: baseline artifact has no matching gate rule "
+                    f"(add it to --expect or delete the artifact)"
+                )
+        names = [name for name in expected if name in names]
+
     for name in names:
         cur_path = current_dir / name
         if not cur_path.is_file():
@@ -139,7 +177,12 @@ def main():
         check_speedup_floor(name, cur, failures)
 
     for extra in sorted(p.name for p in current_dir.glob("BENCH_*.json")):
-        if extra not in names:
+        if expected is not None and extra not in expected:
+            failures.append(
+                f"{extra}: produced by current run but has no matching gate rule "
+                f"(add it to --expect or stop producing it)"
+            )
+        elif extra not in names:
             failures.append(
                 f"{extra}: produced by current run but has no checked-in baseline "
                 f"(copy it into {baseline_dir} to adopt it)"
