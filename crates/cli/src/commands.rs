@@ -11,9 +11,9 @@ use std::sync::Arc;
 use wf_features::{FeatureExtractor, Selection, CHI2_95};
 use wf_platform::{
     default_slos, load_store, parse_query, render_scoreboard, save_store, Cluster, DataStore,
-    DoctorReport, FaultPlan, HealthEngine, Indexer, Ingestor, MinerPipeline, NodeHealth,
-    PipelineStats, Profile, RawDocument, SourceKind, Telemetry, TelemetrySnapshot, TimeSeriesStore,
-    DEFAULT_SCRAPE_INTERVAL_MS, DEFAULT_TIMELINE_CAPACITY,
+    DoctorReport, DurableStorage, FaultPlan, HealthEngine, Indexer, Ingestor, MinerPipeline,
+    NodeHealth, PipelineStats, Profile, RawDocument, SourceKind, Telemetry, TelemetrySnapshot,
+    TimeSeriesStore, DEFAULT_SCRAPE_INTERVAL_MS, DEFAULT_TIMELINE_CAPACITY,
 };
 use wf_sentiment::{
     mention_polarities, AdhocSentimentMiner, SentimentEntityMiner, SentimentMiner,
@@ -36,6 +36,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         "doctor" => doctor(args),
         "top" => top(args),
         "serve" => serve(args),
+        "recover" => recover(args),
         "timeline" => timeline(args),
         "profile" => profile(args),
         "help" | "" => Ok(usage()),
@@ -58,7 +59,7 @@ USAGE:
       per line.
   wfsm mine     --input DOCS.txt --snapshot OUT.jsonl [--subjects A,B]
                 [--chaos-seed S] [--fail-rate P] [--metrics M.json]
-                [--explain]
+                [--data-dir DIR] [--explain]
       Run the mining pipeline over one-document-per-line input and save
       an annotated store snapshot (named-entity mode when no subjects).
       With --chaos-seed, inject deterministic faults at probability P
@@ -66,7 +67,11 @@ USAGE:
       also write the run's telemetry snapshot as canonical JSON (same
       seed ⇒ byte-identical file). With --explain, index the mined store
       and print a per-plan-node query profile (postings scanned, sim-ms)
-      for representative boolean / phrase / range / regex queries.
+      for representative boolean / phrase / range / regex queries. With
+      --data-dir, mutations are write-ahead logged under DIR
+      (shard-NNN/{wal.log,snapshot.jsonl}): the raw corpus is
+      snapshotted after ingest and every mining annotation lands in the
+      WAL, ready for `wfsm recover`.
   wfsm metrics  --file M.json [--format table|json]
   wfsm metrics  --input DOCS.txt [--subjects A,B] [--chaos-seed S]
                 [--fail-rate P] [--format table|json]
@@ -103,7 +108,7 @@ USAGE:
   wfsm serve    [--docs N] [--subject NAME | --top K [--polarity +|-|0]]
                 [--clients C] [--qps Q] [--requests R] [--cache N]
                 [--queue N] [--seed S] [--chaos-seed S] [--fail-rate P]
-                [--format text|json]
+                [--data-dir DIR] [--format text|json]
       Mine a synthetic multi-brand corpus on a simulated 4-node cluster,
       build the sharded sentiment index, and serve query-time sentiment
       from it. One-shot with --subject (\"sentiment of X\") or --top K
@@ -112,8 +117,11 @@ USAGE:
       through the LRU result cache and bounded admission queue, and
       report throughput, shed/error counts, latency percentiles and the
       serving SLOs. With --chaos-seed, faults hit the serving path and
-      one index shard is lost mid-stream. Same seed ⇒ byte-identical
-      --format json output.
+      one index shard is lost mid-stream. With --data-dir, the cluster
+      runs durably (WAL + post-ingest checkpoint under DIR) and the
+      mid-stream node loss becomes a crash: node 2's state is dropped
+      and later restarted via snapshot+WAL replay. Same seed ⇒
+      byte-identical --format json output.
   wfsm timeline [--workload serve|mine] [--interval MS] [--docs N]
                 [--chaos-seed S] [--fail-rate P] [--format table|json]
       Run a deterministic workload — the serving request loop (default)
@@ -132,6 +140,13 @@ USAGE:
       postings-merge on the serving path, nlp.tokenize … nlp.ner in the
       mining path. Formats: annotated tree with top hotspots (text),
       flamegraph collapsed stacks (collapsed), canonical JSON (json).
+  wfsm recover  --data-dir DIR [--format text|json]
+      Read-only recovery report over a durable data dir written by `mine
+      --data-dir` / `serve --data-dir`: per shard, what the snapshot
+      holds, how many WAL records replay, the last valid LSN and why
+      replay stopped (end_of_log | torn_tail | bad_crc | bad_payload).
+      Never repairs anything, so running it twice over the same dir is
+      byte-identical (--format json is canonical).
   wfsm gen-corpus --domain camera|music|petroleum|pharma --out DOCS.txt
                 [--docs N] [--seed S]
       Write a synthetic gold-labeled evaluation corpus, one document per
@@ -252,6 +267,12 @@ fn run_mine_pipeline(
     }
     let docs = read_doc_lines(input)?;
     let store = DataStore::new(4).map_err(|e| e.to_string())?;
+    if let Some(dir) = args.opt("data-dir") {
+        let storage = DurableStorage::at_dir(Path::new(dir), 4).map_err(|e| e.to_string())?;
+        store
+            .attach_durability(Arc::new(storage))
+            .map_err(|e| e.to_string())?;
+    }
     // the whole run is one causal trace: mine → ingest.batch → pipeline.run
     let mut root = store.telemetry().trace_root("mine");
     let raw: Vec<RawDocument> = docs
@@ -269,6 +290,11 @@ fn run_mine_pipeline(
         })
         .collect();
     Ingestor::new(&store).ingest_batch_traced(raw, &mut root);
+    // checkpoint the raw corpus now: mining annotations then append to
+    // the WAL, so `wfsm recover` genuinely replays them over the snapshot
+    if let Some(storage) = store.durability() {
+        storage.checkpoint(&store).map_err(|e| e.to_string())?;
+    }
     let names = args.opt_list("subjects");
     let pipeline = if names.is_empty() {
         MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()))
@@ -306,6 +332,17 @@ fn mine(args: &ParsedArgs) -> Result<String, String> {
             stats.retries,
             stats.skipped_shards,
             stats.shard_sim_ms.iter().sum::<u64>()
+        ));
+    }
+    if let Some(storage) = store.durability() {
+        let (wal, snap): (u64, u64) = (0..4)
+            .map(|s| (storage.wal_bytes(s), storage.snapshot_bytes(s)))
+            .fold((0, 0), |(w, p), (a, b)| (w + a, p + b));
+        out.push_str(&format!(
+            "durable: {} snapshot bytes + {} WAL bytes across 4 shards under {} (inspect with `wfsm recover`)\n",
+            snap,
+            wal,
+            args.opt("data-dir").unwrap_or_default()
         ));
     }
     if let Some(metrics_path) = args.opt("metrics") {
@@ -727,12 +764,23 @@ fn serve(args: &ParsedArgs) -> Result<String, String> {
 
     // offline half: ingest + mine the corpus, then precompute the index
     let cluster = Cluster::new(4).map_err(|e| e.to_string())?;
+    if let Some(dir) = args.opt("data-dir") {
+        let storage = DurableStorage::at_dir(Path::new(dir), 4).map_err(|e| e.to_string())?;
+        cluster
+            .attach_durability(Arc::new(storage))
+            .map_err(|e| e.to_string())?;
+    }
     let raw: Vec<RawDocument> = synthetic_serving_docs(docs)
         .iter()
         .enumerate()
         .map(|(i, text)| RawDocument::new(format!("serve://doc{i}"), SourceKind::Web, text.clone()))
         .collect();
     Ingestor::new(cluster.store()).ingest_batch(raw);
+    // checkpoint the raw corpus; mining updates then land in the WAL so a
+    // mid-serve crash recovers the mined state via snapshot + replay
+    if cluster.durability().is_some() {
+        cluster.checkpoint().map_err(|e| e.to_string())?;
+    }
     let pipeline = MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()));
     cluster.run_pipeline(&pipeline);
     let index = ShardedSentimentIndex::build_from_store(cluster.store());
@@ -813,15 +861,28 @@ fn serve(args: &ParsedArgs) -> Result<String, String> {
     );
     if let Some(seed) = chaos_seed {
         // chaos on the serving path, plus the doctor fixture's topology
-        // landing mid-stream: node 1 degrades, node 2's shard is lost
+        // landing mid-stream: node 1 degrades, node 2's shard is lost.
+        // Under --data-dir the loss is a real crash (store state dropped)
+        // and a later trigger restarts the node via snapshot + WAL replay.
         serve_loop = serve_loop
             .with_fault_plan(FaultPlan::uniform(seed, fail_rate))
             .with_trigger(requests / 3, || {
                 backend.set_shard_health(1, NodeHealth::Degraded)
             })
             .with_trigger(requests / 2, || {
-                backend.set_shard_health(2, NodeHealth::Down)
+                backend.set_shard_health(2, NodeHealth::Down);
+                if cluster.durability().is_some() {
+                    cluster.drop_node_state(NodeId(2));
+                }
             });
+        if cluster.durability().is_some() {
+            serve_loop = serve_loop.with_trigger(requests * 2 / 3, || {
+                cluster
+                    .restart_node(NodeId(2))
+                    .expect("durable restart of node 2");
+                backend.set_shard_health(2, NodeHealth::Up);
+            });
+        }
     }
     let report = {
         let cluster = &cluster;
@@ -857,6 +918,23 @@ fn serve(args: &ParsedArgs) -> Result<String, String> {
             Ok(out)
         }
     }
+}
+
+/// `wfsm recover`: a read-only recovery report over a durable data dir.
+/// Never repairs anything, so two runs over the same dir are
+/// byte-identical.
+fn recover(args: &ParsedArgs) -> Result<String, String> {
+    let dir = args.require("data-dir")?;
+    let format = args.opt("format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown --format {format:?} (text|json)"));
+    }
+    let storage = DurableStorage::open_dir(Path::new(dir)).map_err(|e| e.to_string())?;
+    let report = storage.recovery_report().map_err(|e| e.to_string())?;
+    Ok(match format {
+        "json" => report.to_json_string() + "\n",
+        _ => report.to_table(),
+    })
 }
 
 /// Runs the deterministic workload behind `wfsm timeline` / `wfsm
@@ -1491,6 +1569,163 @@ mod tests {
         );
         std::fs::remove_file(docs).ok();
         std::fs::remove_file(snap).ok();
+    }
+
+    /// A scratch path for a durable data dir (not created; `at_dir`
+    /// creates it, and the test removes it afterwards).
+    fn temp_data_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("wfsm-test-dir-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    #[test]
+    fn mine_with_data_dir_then_recover() {
+        // 8 sentiment-bearing lines: every one of the 4 shards gets docs
+        // and post-checkpoint mining updates in its WAL
+        let docs = temp_file(
+            "minedurable",
+            "The Canon takes excellent pictures.\nThe Nikon is terrible.\n\
+             The Sony is excellent.\nThe Kodak is terrible.\n\
+             The Leica is excellent.\nThe Pentax is terrible.\n\
+             The Fuji is excellent.\nThe Olympus is terrible.\n",
+        );
+        let mut snap = std::env::temp_dir();
+        snap.push(format!("wfsm-minedurable-{}.jsonl", std::process::id()));
+        let dir = temp_data_dir("minedurable");
+        let out = run_tokens(&[
+            "mine",
+            "--input",
+            docs.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--data-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("durable:"), "{out}");
+        assert!(out.contains("wfsm recover"), "{out}");
+
+        // text report lists every shard and why replay stopped
+        let text = run_tokens(&["recover", "--data-dir", dir.to_str().unwrap()]).unwrap();
+        assert!(text.contains("SHARD"), "{text}");
+        assert_eq!(text.matches("end_of_log").count(), 4, "{text}");
+        assert!(text.contains("clean"), "{text}");
+
+        // recover is read-only: double-run JSON is byte-identical, and the
+        // WAL holds the post-checkpoint mining annotations (replay > 0)
+        let json = |()| {
+            run_tokens(&[
+                "recover",
+                "--data-dir",
+                dir.to_str().unwrap(),
+                "--format",
+                "json",
+            ])
+            .unwrap()
+        };
+        let (first, second) = (json(()), json(()));
+        assert_eq!(first, second);
+        assert!(first.contains("\"replayed\""), "{first}");
+        assert!(!first.contains("\"replayed\": 0"), "{first}");
+
+        std::fs::remove_file(docs).ok();
+        std::fs::remove_file(snap).ok();
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recover_requires_durable_layout() {
+        let dir = temp_data_dir("recoverempty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run_tokens(&["recover", "--data-dir", dir.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("no shard-"), "{err}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn recover_rejects_unknown_format() {
+        let err = run_tokens(&["recover", "--data-dir", "/tmp", "--format", "xml"]).unwrap_err();
+        assert!(err.contains("unknown --format"), "{err}");
+    }
+
+    #[test]
+    fn mine_data_dir_unwritable_path_errors_cleanly() {
+        let docs = temp_file("minedurbad", "one line\n");
+        // a path under an existing *file* cannot be created even as root
+        let blocker = temp_file("minedurblocker", "");
+        let bad = blocker.join("sub");
+        let mut snap = std::env::temp_dir();
+        snap.push(format!("wfsm-minedurbad-{}.jsonl", std::process::id()));
+        let err = run_tokens(&[
+            "mine",
+            "--input",
+            docs.to_str().unwrap(),
+            "--snapshot",
+            snap.to_str().unwrap(),
+            "--data-dir",
+            bad.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("cannot create data dir"), "{err}");
+        std::fs::remove_file(docs).ok();
+        std::fs::remove_file(blocker).ok();
+        std::fs::remove_file(snap).ok();
+    }
+
+    #[test]
+    fn serve_data_dir_unwritable_path_errors_cleanly() {
+        let blocker = temp_file("servedurblocker", "");
+        let bad = blocker.join("sub");
+        let err = run_tokens(&[
+            "serve",
+            "--docs",
+            "8",
+            "--requests",
+            "20",
+            "--data-dir",
+            bad.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("cannot create data dir"), "{err}");
+        std::fs::remove_file(blocker).ok();
+    }
+
+    #[test]
+    fn serve_durable_chaos_json_is_byte_identical_across_runs() {
+        let dir = temp_data_dir("servedurable");
+        let run = |()| {
+            run_tokens(&[
+                "serve",
+                "--docs",
+                "24",
+                "--requests",
+                "90",
+                "--chaos-seed",
+                "7",
+                "--fail-rate",
+                "0.1",
+                "--data-dir",
+                dir.to_str().unwrap(),
+                "--format",
+                "json",
+            ])
+            .unwrap()
+        };
+        let (first, second) = (run(()), run(()));
+        assert_eq!(first, second);
+        // the crash/restart left a recoverable durable layout behind
+        let report = run_tokens(&[
+            "recover",
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(report.contains("\"shard\": 2"), "{report}");
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! injects node outages and slow calls, Down nodes fail their shards over
 //! to healthy ones, and pipeline runs degrade instead of panicking.
 
+use crate::durable::{DurableStorage, ShardRecoveryStats, SnapshotStats, StopReason};
+use crate::entity::Entity;
 use crate::faults::{FaultPlan, NodeHealth};
 use crate::index::Indexer;
 use crate::miner::{FaultContext, MinerPipeline, PipelineStats};
@@ -19,7 +21,7 @@ use crate::vinci::ServiceBus;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use wf_types::{NodeId, Result, RetryPolicy};
+use wf_types::{Error, NodeId, Result, RetryPolicy};
 
 /// Static description of one simulated node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +52,9 @@ pub struct Cluster {
     /// advance offers the registry a scrape, so pipeline / chaos / serve
     /// runs produce timelines for free.
     timeline: RwLock<Option<Arc<TimeSeriesStore>>>,
+    /// Optional durable layer (shared with the store): enables
+    /// checkpoints and crash/restart recovery.
+    durability: RwLock<Option<Arc<DurableStorage>>>,
 }
 
 /// Rolling per-node operational record: what `wfsm top` renders and the
@@ -106,6 +111,19 @@ pub struct IndexRebuildStats {
     pub failed_over: usize,
 }
 
+/// Outcome of [`Cluster::restart_node`]: what recovery replayed and how
+/// much simulated time the restart consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeRestart {
+    pub node: u32,
+    /// Snapshot/WAL replay stats for the node's shard.
+    pub stats: ShardRecoveryStats,
+    /// Entities re-indexed into the inverted index during the restart.
+    pub reindexed: usize,
+    /// Total simulated ms the restart consumed (replay + rebuild).
+    pub sim_ms: u64,
+}
+
 impl Cluster {
     /// Boots a cluster of `node_count` nodes, all healthy, sharing one
     /// telemetry registry across every component.
@@ -149,6 +167,7 @@ impl Cluster {
             retry_policy: RwLock::new(RetryPolicy::default()),
             sim_clock: AtomicU64::new(0),
             timeline: RwLock::new(None),
+            durability: RwLock::new(None),
         })
     }
 
@@ -190,8 +209,32 @@ impl Cluster {
     /// Advances the cluster clock by externally-driven simulated time
     /// (e.g. an ingest batch performed directly against the store).
     pub fn advance_clock(&self, sim_ms: u64) {
-        self.sim_clock.fetch_add(sim_ms, Ordering::Relaxed);
+        self.advance_sim(sim_ms);
         self.tick_timeline();
+    }
+
+    /// Bumps the clock and forwards the new time to the durable layer,
+    /// so WAL records carry the cluster's simulated timestamps.
+    fn advance_sim(&self, sim_ms: u64) {
+        let now = self.sim_clock.fetch_add(sim_ms, Ordering::Relaxed) + sim_ms;
+        if let Some(durable) = self.durability.read().as_ref() {
+            durable.set_sim_now(now);
+        }
+    }
+
+    /// Attaches a durable layer to this cluster and its store; from now
+    /// on every store mutation is WAL-logged and the cluster can
+    /// [`Cluster::checkpoint`] and [`Cluster::restart_node`].
+    pub fn attach_durability(&self, storage: Arc<DurableStorage>) -> Result<()> {
+        self.store.attach_durability(Arc::clone(&storage))?;
+        storage.set_sim_now(self.sim_now());
+        *self.durability.write() = Some(storage);
+        Ok(())
+    }
+
+    /// The attached durable layer, if any.
+    pub fn durability(&self) -> Option<Arc<DurableStorage>> {
+        self.durability.read().clone()
     }
 
     /// Attaches a metrics-over-time store and returns it: from now on
@@ -310,8 +353,7 @@ impl Cluster {
         let stats = pipeline.run_traced(&self.store, &ctx, &mut root);
         root.attr("processed", stats.processed.to_string());
         root.attr("failed", stats.failed.to_string());
-        self.sim_clock
-            .fetch_add(root.elapsed_sim_ms(), Ordering::Relaxed);
+        self.advance_sim(root.elapsed_sim_ms());
         root.finish();
         self.tick_timeline();
         {
@@ -380,8 +422,7 @@ impl Cluster {
             span.finish();
         }
         root.attr("indexed", stats.indexed.to_string());
-        self.sim_clock
-            .fetch_add(root.elapsed_sim_ms(), Ordering::Relaxed);
+        self.advance_sim(root.elapsed_sim_ms());
         root.finish();
         self.tick_timeline();
         {
@@ -408,6 +449,116 @@ impl Cluster {
             .counter("cluster.rebuild.failed_over")
             .add(stats.failed_over as u64);
         stats
+    }
+
+    /// Snapshots every shard through the durable layer (truncating each
+    /// shard's WAL), as one `cluster.checkpoint` trace. Call at
+    /// quiescent points — between pipeline waves, after ingest.
+    pub fn checkpoint(&self) -> Result<Vec<SnapshotStats>> {
+        let storage = self
+            .durability()
+            .ok_or_else(|| Error::Config("no durable storage attached".into()))?;
+        let mut root = self.telemetry.trace_root("cluster.checkpoint");
+        let mut out = Vec::with_capacity(self.store.shard_count());
+        for node in 0..self.store.shard_count() {
+            let mut span = root.child(format!("snapshot:shard:{node}"));
+            let stats = storage.snapshot_shard(&self.store, NodeId(node as u32))?;
+            span.attr("entities", stats.entities.to_string());
+            span.attr("bytes", stats.snapshot_bytes.to_string());
+            span.advance(stats.entities * crate::durable::SNAPSHOT_ENTITY_COST_MS);
+            root.advance(span.finish());
+            out.push(stats);
+        }
+        let elapsed = root.elapsed_sim_ms();
+        root.finish();
+        self.advance_sim(elapsed);
+        self.tick_timeline();
+        Ok(out)
+    }
+
+    /// Simulated crash of one node: its shard's in-memory entities are
+    /// lost and the node goes Down. Durable state survives for
+    /// [`Cluster::restart_node`]. Returns how many entities were lost.
+    pub fn drop_node_state(&self, node: NodeId) -> usize {
+        let lost = self.store.drop_shard(node);
+        self.set_health(node, NodeHealth::Down);
+        self.telemetry.counter("cluster.node_crashes").inc();
+        lost
+    }
+
+    /// [`Cluster::restart_node_with`] without a per-entity hook.
+    pub fn restart_node(&self, node: NodeId) -> Result<NodeRestart> {
+        self.restart_node_with(node, |_| {})
+    }
+
+    /// Restarts a crashed node from durable state: replays its snapshot
+    /// and WAL (repairing any invalid tail), restores the shard's
+    /// entities, incrementally rebuilds the inverted index, and hands
+    /// each recovered entity to `on_entity` so callers can rebuild
+    /// co-located indices (e.g. the sentiment index). The node comes
+    /// back Up; the whole restart is one `cluster.restart_node` trace
+    /// feeding `wfsm profile`.
+    pub fn restart_node_with<F: FnMut(&Entity)>(
+        &self,
+        node: NodeId,
+        mut on_entity: F,
+    ) -> Result<NodeRestart> {
+        let storage = self
+            .durability()
+            .ok_or_else(|| Error::Config("no durable storage attached".into()))?;
+        if node.0 as usize >= self.store.shard_count() {
+            return Err(Error::Config(format!("no node {}", node.0)));
+        }
+        let mut root = self.telemetry.trace_root("cluster.restart_node");
+        root.attr("node", node.0.to_string());
+
+        let mut replay = root.child("recover.replay");
+        let recovery = storage.recover_shard(node.0)?;
+        storage.repair_shard(node.0, &recovery)?;
+        replay.attr("replayed", recovery.stats.replayed.to_string());
+        replay.attr("last_lsn", recovery.stats.last_lsn.to_string());
+        if recovery.stats.stop != StopReason::EndOfLog {
+            replay.event(format!("truncated:{}", recovery.stats.stop.label()));
+        }
+        if recovery.stats.snapshot_truncated {
+            replay.event("snapshot_truncated");
+        }
+        replay.advance(recovery.stats.sim_ms);
+        root.advance(replay.finish());
+
+        // whatever the crash left behind is dropped before restore, so
+        // the shard holds exactly what the durable state says it should
+        self.store.drop_shard(node);
+        let mut rebuild = root.child("recover.rebuild");
+        let mut reindexed = 0usize;
+        for entity in &recovery.entities {
+            self.store.restore_entity(entity.clone());
+            self.indexer.index_entity(entity);
+            on_entity(entity);
+            reindexed += 1;
+        }
+        rebuild.attr("reindexed", reindexed.to_string());
+        rebuild.advance(reindexed as u64 * crate::durable::REPLAY_COST_MS);
+        root.advance(rebuild.finish());
+
+        self.set_health(node, NodeHealth::Up);
+        let elapsed = root.elapsed_sim_ms();
+        root.finish();
+        self.telemetry
+            .counter("durable.recovered_entities")
+            .add(recovery.stats.recovered_entities);
+        self.telemetry
+            .counter("durable.recovery_sim_ms")
+            .add(elapsed);
+        self.telemetry.counter("cluster.node_restarts").inc();
+        self.advance_sim(elapsed);
+        self.tick_timeline();
+        Ok(NodeRestart {
+            node: node.0,
+            stats: recovery.stats,
+            reindexed,
+            sim_ms: elapsed,
+        })
     }
 
     /// Current cluster state for reports.

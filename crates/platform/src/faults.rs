@@ -177,6 +177,18 @@ impl FaultStream {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// A deterministic draw in `0..n` (`0` when `n == 0`) — the durable
+    /// layer's corruption injector uses this to pick record indices and
+    /// byte offsets reproducibly from the same per-site streams the
+    /// fault draws come from.
+    pub fn next_in(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
     /// Amplifies subsequent draws as if running on a `Degraded` node.
     pub fn degrade(&mut self) {
         self.amplify = self.degraded_factor;

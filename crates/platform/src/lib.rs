@@ -17,6 +17,11 @@
 //! - [`cluster`]: the cluster manager binding it all together;
 //! - [`faults`]: deterministic fault injection (node outages, slow calls,
 //!   update conflicts) with retry/backoff on a simulated clock;
+//! - [`durable`]: the durable layer under the store — a CRC-framed
+//!   write-ahead log with per-shard LSNs and fsync-point markers,
+//!   per-shard snapshots with log truncation, seeded corruption
+//!   injection, and deterministic crash recovery (replay stops at the
+//!   last valid record);
 //! - [`telemetry`]: deterministic metrics + span tracing (counters,
 //!   gauges, fixed-bucket histograms over simulated time) shared by every
 //!   component, exported as tables or canonical JSON;
@@ -45,6 +50,7 @@ pub mod boilerplate;
 pub mod cluster;
 pub mod clustering;
 pub mod dedup;
+pub mod durable;
 pub mod entity;
 pub mod faults;
 pub mod geo;
@@ -67,9 +73,14 @@ pub mod trace;
 pub mod vinci;
 
 pub use boilerplate::{TemplateConfig, TemplateDetector};
-pub use cluster::{Cluster, ClusterReport, IndexRebuildStats, NodeInfo, NodeScore};
+pub use cluster::{Cluster, ClusterReport, IndexRebuildStats, NodeInfo, NodeRestart, NodeScore};
 pub use clustering::{cluster_documents, Clustering, ClusteringMiner};
 pub use dedup::{find_duplicates, DedupConfig, DuplicateDetector};
+pub use durable::{
+    crc32, CorruptionKind, CorruptionOutcome, DurableStorage, FileSink, LogSink, MemorySink,
+    RecoveryReport, ShardRecovery, ShardRecoveryStats, SnapshotStats, StopReason, WalOp, WalRecord,
+    DEFAULT_FSYNC_INTERVAL, REPLAY_COST_MS, SNAPSHOT_ENTITY_COST_MS, WAL_HEADER_BYTES,
+};
 pub use entity::{Annotation, Entity, SourceKind};
 pub use faults::{
     CallOutcome, ChaosCluster, FaultKind, FaultPlan, FaultRates, FaultStream, NodeHealth,

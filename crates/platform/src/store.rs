@@ -5,6 +5,7 @@
 //! in-process partitions (one per simulated node) guarded by `parking_lot`
 //! RwLocks, so miners can process shards in parallel without contention.
 
+use crate::durable::{DurableStorage, WalOp};
 use crate::entity::Entity;
 use crate::telemetry::{Counter, Gauge, Telemetry};
 use crate::trace::TraceSpan;
@@ -58,6 +59,10 @@ pub struct DataStore {
     next_id: AtomicU64,
     telemetry: Arc<Telemetry>,
     metrics: StoreMetrics,
+    /// Optional durable layer: when attached, every mutation appends a
+    /// WAL record under the owning shard's write lock, so per-shard log
+    /// order always equals apply order.
+    durability: RwLock<Option<Arc<DurableStorage>>>,
 }
 
 impl DataStore {
@@ -77,7 +82,28 @@ impl DataStore {
             next_id: AtomicU64::new(0),
             metrics: StoreMetrics::resolve(&telemetry),
             telemetry,
+            durability: RwLock::new(None),
         })
+    }
+
+    /// Attaches a durable layer (same shard count required) and binds
+    /// its `durable.*` instruments to this store's registry.
+    pub fn attach_durability(&self, storage: Arc<DurableStorage>) -> Result<()> {
+        if storage.shard_count() != self.shards.len() {
+            return Err(Error::Config(format!(
+                "durable storage has {} shard(s), store has {}",
+                storage.shard_count(),
+                self.shards.len()
+            )));
+        }
+        storage.bind_telemetry(&self.telemetry);
+        *self.durability.write() = Some(storage);
+        Ok(())
+    }
+
+    /// The attached durable layer, if any.
+    pub fn durability(&self) -> Option<Arc<DurableStorage>> {
+        self.durability.read().clone()
     }
 
     /// The registry this store (and any pipeline run over it) records into.
@@ -100,8 +126,12 @@ impl DataStore {
         NodeId((id.as_u64() % self.shards.len() as u64) as u32)
     }
 
+    fn shard_index(&self, id: DocId) -> usize {
+        (id.as_u64() % self.shards.len() as u64) as usize
+    }
+
     fn shard_of(&self, id: DocId) -> &Shard {
-        &self.shards[(id.as_u64() % self.shards.len() as u64) as usize]
+        &self.shards[self.shard_index(id)]
     }
 
     /// Ingests an entity: assigns the next id, stores it, returns the id.
@@ -109,7 +139,14 @@ impl DataStore {
         let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
         entity.id = id;
         entity.version = 1;
-        self.shard_of(id).entities.write().insert(id, entity);
+        let shard = self.shard_index(id);
+        {
+            let mut guard = self.shards[shard].entities.write();
+            if let Some(durable) = self.durability.read().as_ref() {
+                durable.log(shard as u32, WalOp::Insert(entity.clone()));
+            }
+            guard.insert(id, entity);
+        }
         self.metrics.inserts.inc();
         self.metrics.entities.add(1);
         id
@@ -138,6 +175,11 @@ impl DataStore {
         };
         f(entity);
         entity.version += 1;
+        if let Some(durable) = self.durability.read().as_ref() {
+            // full post-state, so replay is idempotent
+            durable.log(self.shard_index(id) as u32, WalOp::Update(entity.clone()));
+        }
+        drop(guard);
         self.metrics.update_ok.inc();
         self.metrics.version_bumps.inc();
         Ok(())
@@ -145,7 +187,16 @@ impl DataStore {
 
     /// Deletes an entity; returns it if present.
     pub fn delete(&self, id: DocId) -> Option<Entity> {
-        let removed = self.shard_of(id).entities.write().remove(&id);
+        let removed = {
+            let mut guard = self.shard_of(id).entities.write();
+            let removed = guard.remove(&id);
+            if removed.is_some() {
+                if let Some(durable) = self.durability.read().as_ref() {
+                    durable.log(self.shard_index(id) as u32, WalOp::Delete(id));
+                }
+            }
+            removed
+        };
         match removed {
             Some(_) => {
                 self.metrics.delete_ok.inc();
@@ -154,6 +205,33 @@ impl DataStore {
             None => self.metrics.delete_miss.inc(),
         }
         removed
+    }
+
+    /// Recovery path: re-seats a replayed entity preserving its id and
+    /// version, without writing the WAL (the record already lives
+    /// there). Keeps id assignment ahead of everything restored.
+    pub fn restore_entity(&self, entity: Entity) {
+        let id = entity.id;
+        self.next_id
+            .fetch_max(id.as_u64().saturating_add(1), Ordering::Relaxed);
+        let prev = self.shard_of(id).entities.write().insert(id, entity);
+        if prev.is_none() {
+            self.metrics.entities.add(1);
+        }
+    }
+
+    /// Simulated crash: discards one shard's in-memory entities (the
+    /// durable layer, if any, is deliberately untouched — surviving the
+    /// loss is its job). Returns how many entities were dropped.
+    pub fn drop_shard(&self, node: NodeId) -> usize {
+        let Some(shard) = self.shards.get(node.0 as usize) else {
+            return 0;
+        };
+        let mut guard = shard.entities.write();
+        let lost = guard.len();
+        guard.clear();
+        self.metrics.entities.add(-(lost as i64));
+        lost
     }
 
     /// [`DataStore::get`] with a `store.get:<id>` child span under

@@ -157,6 +157,29 @@ impl ShardedSentimentIndex {
         }
     }
 
+    /// Drops one shard's postings (its node crashed), returning how
+    /// many were lost. Out-of-range shards clamp like `add_entity`.
+    pub fn clear_shard(&mut self, shard: u32) -> usize {
+        let slot = (shard as usize).min(self.shards.len() - 1);
+        let dropped = self.shards[slot].posting_count;
+        self.shards[slot] = SentimentIndexShard::default();
+        dropped
+    }
+
+    /// Rebuilds one shard from recovered entities (clear + re-add): the
+    /// incremental half of crash recovery, fed by the WAL replay via
+    /// `Cluster::restart_node_with`. Sorted insertion makes the result
+    /// identical to a bulk build over the same corpus. Returns the
+    /// shard's posting count after the rebuild.
+    pub fn rebuild_shard(&mut self, shard: u32, entities: &[Entity]) -> usize {
+        self.clear_shard(shard);
+        for entity in entities {
+            self.add_entity(entity, shard);
+        }
+        let slot = (shard as usize).min(self.shards.len() - 1);
+        self.shards[slot].posting_count
+    }
+
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
@@ -334,6 +357,31 @@ mod tests {
         let top_neg = index.top_k(1, Polarity::Negative);
         // canon and nikon tie at 1 negative; the subject tie-break wins
         assert_eq!(top_neg[0].subject, "canon");
+    }
+
+    #[test]
+    fn rebuild_shard_matches_bulk_after_clear() {
+        use wf_types::NodeId;
+        let store = seeded_store(2);
+        let bulk = ShardedSentimentIndex::build_from_store(&store);
+        let mut index = ShardedSentimentIndex::build_from_store(&store);
+        let dropped = index.clear_shard(0);
+        assert!(dropped > 0, "shard 0 had postings to lose");
+        assert_eq!(index.posting_count(), bulk.posting_count() - dropped);
+        let recovered: Vec<Entity> = store
+            .shard_ids(NodeId(0))
+            .into_iter()
+            .map(|id| store.get(id).unwrap())
+            .collect();
+        let rebuilt = index.rebuild_shard(0, &recovered);
+        assert_eq!(rebuilt, dropped, "rebuild restores every posting");
+        for subject in bulk.subjects() {
+            assert_eq!(
+                bulk.merged_postings(&subject),
+                index.merged_postings(&subject),
+                "subject {subject}"
+            );
+        }
     }
 
     #[test]

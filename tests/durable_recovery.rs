@@ -1,0 +1,460 @@
+//! Acceptance suite for the durable layer (`wf_platform::durable` +
+//! the cluster crash/restart lifecycle).
+//!
+//! Locks down the PR's guarantees end to end:
+//!
+//! 1. **Crash convergence** — with a pinned seed, killing a node
+//!    mid-workload and restarting it from snapshot + WAL replay
+//!    converges byte-identically with the uninterrupted same-seed run:
+//!    same store bytes, same inverted-index query results, same
+//!    sentiment-index postings — and the telemetry conservation laws
+//!    hold across the restart.
+//! 2. **Mid-serve crash** — the serve loop keeps its conservation law
+//!    (`requests == ok + shed + errors`) while a node crashes and
+//!    restarts mid-stream, deterministically.
+//! 3. **Replay idempotency** (property) — recovering a shard any number
+//!    of times from the same durable state yields byte-identical
+//!    entities, reproduces the live store exactly, and a rebuilt index
+//!    answers queries with identical results and identical
+//!    `index.postings_scanned` work.
+//! 4. **Corruption handling** — torn tails, flipped CRCs, and truncated
+//!    snapshots (pinned seeds) stop replay at exactly the last valid
+//!    record, and the node still restarts with the surviving prefix.
+//! 5. **Golden recovery report** — the `wfsm recover`-style JSON report
+//!    of a pinned corruption scenario matches a checked-in golden byte
+//!    for byte (`UPDATE_GOLDEN=1` regens).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wf_platform::{
+    parse_query, Annotation, Cluster, CorruptionKind, DataStore, DurableStorage, Entity,
+    EntityMiner, FaultPlan, Indexer, Ingestor, MinerPipeline, NodeHealth, RawDocument, ServeLoop,
+    ServingConfig, SourceKind, StopReason, Telemetry,
+};
+use wf_sentiment::{AdhocSentimentMiner, SentimentServingBackend, ShardedSentimentIndex};
+use wf_types::{DocId, NodeId, Polarity, Result as WfResult, Span};
+
+const SEED: u64 = 20050405;
+
+/// Deterministic corpus: capitalized subjects the ad-hoc miner spots,
+/// cycling through clearly positive / negative / neutral phrasings.
+fn corpus(n: usize) -> Vec<RawDocument> {
+    let subjects = ["Alpha", "Beta", "Gamma", "Delta"];
+    let moods = [
+        "takes excellent pictures",
+        "is absolutely terrible",
+        "shipped on a Tuesday",
+    ];
+    (0..n)
+        .map(|i| {
+            RawDocument::new(
+                format!("durable://doc{i}"),
+                SourceKind::Web,
+                format!("{} {}.", subjects[i % 4], moods[i % 3]),
+            )
+        })
+        .collect()
+}
+
+/// Canonical bytes of a store: every entity as shim-JSON (sorted keys),
+/// one per line, ascending id — the convergence currency of this suite.
+fn store_bytes(store: &DataStore) -> String {
+    let mut entities: Vec<Entity> = Vec::new();
+    store.for_each(|e| entities.push(e.clone()));
+    entities.sort_by_key(|e| e.id.0);
+    entities
+        .iter()
+        .map(|e| serde_json::to_value(e).unwrap().to_json_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Canonical bytes of a sentiment index: every subject's merged
+/// postings in merge order.
+fn sindex_bytes(index: &ShardedSentimentIndex) -> String {
+    let mut out = String::new();
+    for subject in index.subjects() {
+        for p in index.merged_postings(&subject) {
+            out.push_str(&format!(
+                "{subject} {} {} {}..{} {}\n",
+                p.doc.0, p.polarity, p.sentence_span.start, p.sentence_span.end, p.sentence
+            ));
+        }
+    }
+    out
+}
+
+/// Second-wave miner: stamps metadata so the post-restart pipeline run
+/// writes fresh WAL updates through the recovered shard.
+struct StampMiner;
+impl EntityMiner for StampMiner {
+    fn name(&self) -> &str {
+        "stamp"
+    }
+    fn process(&self, entity: &mut Entity) -> WfResult<()> {
+        let stamp = entity.text.len().to_string();
+        entity.metadata.insert("stamp".into(), stamp);
+        Ok(())
+    }
+}
+
+/// The pinned scenario behind the convergence tests: a 4-node durable
+/// cluster, ingest + checkpoint, a chaotic sentiment wave, an optional
+/// crash/restart of node 2, a second mining wave, and a full reindex.
+fn run_scenario(crash: bool) -> (Cluster, ShardedSentimentIndex, usize) {
+    let cluster = Cluster::new(4).unwrap();
+    cluster
+        .attach_durability(Arc::new(DurableStorage::in_memory(4).unwrap()))
+        .unwrap();
+    Ingestor::new(cluster.store()).ingest_batch(corpus(24));
+    cluster.checkpoint().unwrap();
+    cluster.set_fault_plan(Some(FaultPlan::uniform(SEED, 0.1)));
+
+    let wave1 = MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()));
+    let stats = cluster.run_pipeline(&wave1);
+    assert_eq!(stats.processed + stats.failed, 24);
+    let mut index = ShardedSentimentIndex::build_from_store(cluster.store());
+
+    let mut lost = 0;
+    if crash {
+        lost = cluster.drop_node_state(NodeId(2));
+        assert!(lost > 0, "shard 2 should hold entities");
+        // the co-located sentiment shard dies with the node…
+        index.clear_shard(2);
+        let mut recovered: Vec<Entity> = Vec::new();
+        let restart = cluster
+            .restart_node_with(NodeId(2), |e| recovered.push(e.clone()))
+            .unwrap();
+        // …and is rebuilt incrementally from the replayed entities
+        index.rebuild_shard(2, &recovered);
+        assert_eq!(restart.reindexed, lost, "replay restores every entity");
+        assert_eq!(restart.stats.stop, StopReason::EndOfLog);
+        assert!(restart.sim_ms > 0, "recovery consumes simulated time");
+    }
+
+    let wave2 = MinerPipeline::new().add(Box::new(StampMiner));
+    cluster.run_pipeline(&wave2);
+    cluster.rebuild_index();
+    (cluster, index, lost)
+}
+
+/// Guarantee 1: the crashed-and-restarted run converges byte-identically
+/// with the uninterrupted same-seed run, across all three state layers.
+#[test]
+fn crash_restart_converges_with_uninterrupted_run() {
+    let (clean, clean_index, _) = run_scenario(false);
+    let (crashed, crashed_index, lost) = run_scenario(true);
+
+    // store layer: byte-identical canonical entities
+    assert_eq!(
+        store_bytes(clean.store()),
+        store_bytes(crashed.store()),
+        "store must converge after crash + replay"
+    );
+
+    // inverted-index layer: identical results and identical work
+    for text in [
+        "excellent",
+        "excellent AND NOT terrible",
+        "\"excellent pictures\"",
+        "regex:terr.*",
+    ] {
+        let query = parse_query(text).unwrap();
+        let (docs_a, prof_a) = clean.indexer().query_explained(&query).unwrap();
+        let (docs_b, prof_b) = crashed.indexer().query_explained(&query).unwrap();
+        assert_eq!(docs_a, docs_b, "query {text:?} diverged");
+        assert_eq!(
+            prof_a.total_scanned(),
+            prof_b.total_scanned(),
+            "query {text:?} scanned different postings"
+        );
+    }
+
+    // sentiment-index layer: identical postings and rankings
+    assert_eq!(sindex_bytes(&clean_index), sindex_bytes(&crashed_index));
+    for polarity in [Polarity::Positive, Polarity::Negative, Polarity::Neutral] {
+        assert_eq!(
+            clean_index.top_k(3, polarity),
+            crashed_index.top_k(3, polarity)
+        );
+    }
+
+    // conservation laws on the crashed run's telemetry
+    let snap = crashed.metrics_snapshot();
+    assert_eq!(snap.gauge("store.entities"), 24);
+    assert_eq!(snap.counter("cluster.node_crashes"), 1);
+    assert_eq!(snap.counter("cluster.node_restarts"), 1);
+    assert_eq!(snap.counter("durable.recovered_entities"), lost as u64);
+    assert!(snap.counter("durable.recovery_sim_ms") > 0);
+    assert!(snap.counter("durable.records_appended") >= snap.counter("durable.records_replayed"));
+
+    // the restart left a trace for `wfsm profile` to attribute
+    let traces = crashed.telemetry().recorder().last_traces(16);
+    let restart_root = traces
+        .iter()
+        .flat_map(|(_, roots)| roots)
+        .find(|t| t.name == "cluster.restart_node")
+        .expect("restart recorded as a trace");
+    assert!(restart_root
+        .find("cluster.restart_node/recover.replay")
+        .is_some());
+    assert!(restart_root
+        .find("cluster.restart_node/recover.rebuild")
+        .is_some());
+}
+
+/// Guarantee 2: a crash + restart *mid-serve* keeps every serving
+/// conservation law, converges the store, and is deterministic.
+#[test]
+fn mid_serve_crash_restart_conserves_and_converges() {
+    let serve_run = |crash: bool| {
+        let cluster = Cluster::new(4).unwrap();
+        cluster
+            .attach_durability(Arc::new(DurableStorage::in_memory(4).unwrap()))
+            .unwrap();
+        Ingestor::new(cluster.store()).ingest_batch(corpus(24));
+        cluster.checkpoint().unwrap();
+        let wave = MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()));
+        cluster.run_pipeline(&wave);
+        let backend =
+            SentimentServingBackend::new(ShardedSentimentIndex::build_from_store(cluster.store()));
+        let workload = vec![
+            "sentiment of alpha".to_string(),
+            "sentiment of beta".to_string(),
+            "top 2 +".to_string(),
+            "sentiment of zorblax".to_string(),
+        ];
+        let config = ServingConfig {
+            seed: SEED,
+            clients: 4,
+            qps: 400,
+            requests: 120,
+            cache_capacity: 8,
+            queue_capacity: 16,
+            ..ServingConfig::default()
+        };
+        let mut serve_loop =
+            ServeLoop::new(&backend, Arc::clone(cluster.telemetry()), config, workload)
+                .with_fault_plan(FaultPlan::uniform(SEED, 0.1));
+        if crash {
+            serve_loop = serve_loop
+                .with_trigger(40, || {
+                    backend.set_shard_health(2, NodeHealth::Down);
+                    cluster.drop_node_state(NodeId(2));
+                })
+                .with_trigger(80, || {
+                    cluster.restart_node(NodeId(2)).unwrap();
+                    backend.set_shard_health(2, NodeHealth::Up);
+                });
+        }
+        let report = {
+            let cluster = &cluster;
+            serve_loop
+                .run_observed(&mut |now_sim_ms| {
+                    cluster.advance_clock(now_sim_ms.saturating_sub(cluster.sim_now()));
+                })
+                .unwrap()
+        };
+        let bytes = store_bytes(cluster.store());
+        let snap = cluster.metrics_snapshot();
+        (report, bytes, snap)
+    };
+
+    let (report, crashed_bytes, snap) = serve_run(true);
+    assert_eq!(report.requests, report.ok + report.shed + report.errors);
+    assert_eq!(
+        snap.counter("serving.requests"),
+        snap.counter("serving.ok") + snap.counter("serving.shed") + snap.counter("serving.errors"),
+    );
+    assert_eq!(snap.counter("cluster.node_crashes"), 1);
+    assert_eq!(snap.counter("cluster.node_restarts"), 1);
+
+    // the restarted store converges with a run that never crashed
+    let (_, clean_bytes, _) = serve_run(false);
+    assert_eq!(crashed_bytes, clean_bytes);
+
+    // and the whole crash-mid-serve trajectory is deterministic
+    let (report_b, bytes_b, _) = serve_run(true);
+    assert_eq!(report.to_json_string(), report_b.to_json_string());
+    assert_eq!(crashed_bytes, bytes_b);
+}
+
+const SUBJECTS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+const POLARITIES: [Polarity; 3] = [Polarity::Positive, Polarity::Negative, Polarity::Neutral];
+
+/// Directly-annotated entity fixture (no NLP), as in the serving suite.
+fn marked_entity(i: usize, mark: usize) -> Entity {
+    let subject = SUBJECTS[mark % 4];
+    let polarity = POLARITIES[(mark / 4) % 3];
+    let text = format!("document {i} mentions {subject} here");
+    let mut entity = Entity::new(format!("test://durable/{i}"), SourceKind::Web, &text);
+    entity.annotate(
+        Annotation::new("sentiment", Span::new(0, text.len()))
+            .with_attr("subject", subject.to_string())
+            .with_attr("polarity", polarity.to_string()),
+    );
+    entity
+}
+
+proptest! {
+    /// Guarantee 3: replaying the same durable state any number of times
+    /// is idempotent — byte-identical entities that reproduce the live
+    /// store, and a rebuilt index that does identical query work.
+    #[test]
+    fn wal_replay_is_idempotent(
+        marks in prop::collection::vec(0usize..12, 1..24),
+        ops in prop::collection::vec(0usize..48, 0..10),
+        checkpoint_coin in 0usize..2,
+    ) {
+        let checkpoint = checkpoint_coin == 1;
+        let store = DataStore::new(4).unwrap();
+        let storage = Arc::new(DurableStorage::in_memory(4).unwrap());
+        store.attach_durability(Arc::clone(&storage)).unwrap();
+        let ids: Vec<DocId> = marks
+            .iter()
+            .enumerate()
+            .map(|(i, &mark)| store.insert(marked_entity(i, mark)))
+            .collect();
+        if checkpoint {
+            storage.checkpoint(&store).unwrap();
+        }
+        // a mixed tail of updates and deletes lands in the WAL
+        for &op in &ops {
+            let id = ids[op % ids.len()];
+            if op % 3 == 0 {
+                store.delete(id);
+            } else {
+                let _ = store.update(id, |e| {
+                    e.metadata.insert("touch".into(), op.to_string());
+                });
+            }
+        }
+
+        let recovered_store = |()| {
+            let fresh = DataStore::new(4).unwrap();
+            for shard in 0..4u32 {
+                let recovery = storage.recover_shard(shard).unwrap();
+                assert_eq!(recovery.stats.stop, StopReason::EndOfLog);
+                for entity in recovery.entities {
+                    fresh.restore_entity(entity);
+                }
+            }
+            fresh
+        };
+        let (first, second) = (recovered_store(()), recovered_store(()));
+        prop_assert_eq!(store_bytes(&first), store_bytes(&second));
+        prop_assert_eq!(store_bytes(&first), store_bytes(&store));
+
+        // identical query results *and* identical postings-scanned work
+        let query = parse_query("mentions").unwrap();
+        let indexed = |s: &DataStore| {
+            let telemetry = Telemetry::new();
+            let indexer = Indexer::with_telemetry(Arc::clone(&telemetry));
+            s.for_each(|e| indexer.index_entity(e));
+            let (docs, profile) = indexer.query_explained(&query).unwrap();
+            (docs, profile.total_scanned())
+        };
+        let (docs_a, scanned_a) = indexed(&first);
+        let (docs_b, scanned_b) = indexed(&second);
+        prop_assert_eq!(docs_a, docs_b);
+        prop_assert_eq!(scanned_a, scanned_b);
+    }
+}
+
+/// A durable cluster with a populated WAL tail: ingest, checkpoint,
+/// then a mining wave whose updates follow the snapshot in the log.
+fn durable_cluster() -> (Cluster, Arc<DurableStorage>) {
+    let cluster = Cluster::new(4).unwrap();
+    let storage = Arc::new(DurableStorage::in_memory(4).unwrap());
+    cluster.attach_durability(Arc::clone(&storage)).unwrap();
+    Ingestor::new(cluster.store()).ingest_batch(corpus(16));
+    cluster.checkpoint().unwrap();
+    let wave = MinerPipeline::new().add(Box::new(AdhocSentimentMiner::new()));
+    cluster.run_pipeline(&wave);
+    (cluster, storage)
+}
+
+/// Guarantee 4a: a torn WAL tail (pinned seed) stops replay at exactly
+/// the record before the victim, and the node restarts on the prefix.
+#[test]
+fn torn_tail_restart_stops_at_exact_lsn() {
+    let (cluster, storage) = durable_cluster();
+    let mut stream = FaultPlan::new(99).stream("durable:2");
+    let outcome = storage
+        .inject_corruption(2, CorruptionKind::TornTail, &mut stream)
+        .unwrap();
+    let victim = outcome.victim_lsn.expect("torn frame has an LSN");
+    cluster.drop_node_state(NodeId(2));
+    let restart = cluster.restart_node(NodeId(2)).unwrap();
+    assert_eq!(restart.stats.stop, StopReason::TornTail);
+    assert_eq!(restart.stats.last_lsn, victim - 1);
+    assert!(restart.stats.truncated_bytes > 0);
+    // the node is back up and the shard holds the surviving prefix
+    assert_eq!(cluster.health_of(NodeId(2)), NodeHealth::Up);
+    assert_eq!(
+        cluster.store().shard_ids(NodeId(2)).len(),
+        restart.reindexed
+    );
+}
+
+/// Guarantee 4b: a flipped payload byte (pinned seed) fails the CRC and
+/// stops replay at exactly the record before the victim.
+#[test]
+fn bad_crc_restart_stops_at_exact_lsn() {
+    let (cluster, storage) = durable_cluster();
+    let mut stream = FaultPlan::new(7).stream("durable:1");
+    let outcome = storage
+        .inject_corruption(1, CorruptionKind::BadCrc, &mut stream)
+        .unwrap();
+    let victim = outcome.victim_lsn.expect("corrupted frame has an LSN");
+    cluster.drop_node_state(NodeId(1));
+    let restart = cluster.restart_node(NodeId(1)).unwrap();
+    assert_eq!(restart.stats.stop, StopReason::BadCrc);
+    assert_eq!(restart.stats.last_lsn, victim - 1);
+    assert!(restart.stats.truncated_records > 0);
+}
+
+/// Guarantee 4c: a truncated snapshot (pinned seed) keeps its valid
+/// prefix; the WAL still replays to end-of-log on top of it.
+#[test]
+fn truncated_snapshot_restart_recovers_valid_prefix() {
+    let (cluster, storage) = durable_cluster();
+    let declared = cluster.store().shard_ids(NodeId(3)).len() as u64;
+    let mut stream = FaultPlan::new(11).stream("durable:3");
+    let outcome = storage
+        .inject_corruption(3, CorruptionKind::TruncatedSnapshot, &mut stream)
+        .unwrap();
+    assert!(outcome.victim_lsn.is_none(), "snapshot damage has no LSN");
+    cluster.drop_node_state(NodeId(3));
+    let restart = cluster.restart_node(NodeId(3)).unwrap();
+    assert!(restart.stats.snapshot_truncated);
+    assert_eq!(restart.stats.snapshot_declared, declared);
+    assert!(restart.stats.snapshot_entities < declared);
+    assert_eq!(restart.stats.stop, StopReason::EndOfLog);
+}
+
+/// Guarantee 5: the recovery report of the pinned bad-CRC scenario
+/// matches the checked-in golden byte for byte. `UPDATE_GOLDEN=1`
+/// regenerates.
+#[test]
+fn recovery_report_matches_golden() {
+    let (_cluster, storage) = durable_cluster();
+    let mut stream = FaultPlan::new(7).stream("durable:1");
+    storage
+        .inject_corruption(1, CorruptionKind::BadCrc, &mut stream)
+        .unwrap();
+    let report = storage.recovery_report().unwrap().to_json_string();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/recovery_report.json"
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &report).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden exists; UPDATE_GOLDEN=1 to create");
+    assert_eq!(
+        report, golden,
+        "recovery report drifted from golden; UPDATE_GOLDEN=1 to regen"
+    );
+}
