@@ -11,9 +11,9 @@ use std::sync::Arc;
 use wf_features::{FeatureExtractor, Selection, CHI2_95};
 use wf_platform::{
     default_slos, load_store, parse_query, render_scoreboard, save_store, Cluster, DataStore,
-    DoctorReport, DurableStorage, FaultPlan, HealthEngine, Indexer, Ingestor, MinerPipeline,
-    NodeHealth, PipelineStats, Profile, RawDocument, SourceKind, Telemetry, TelemetrySnapshot,
-    TimeSeriesStore, DEFAULT_SCRAPE_INTERVAL_MS, DEFAULT_TIMELINE_CAPACITY,
+    DoctorReport, DurableStorage, FaultPlan, HealthEngine, Indexer, Ingestor, Level, LogFilter,
+    MinerPipeline, NodeHealth, PipelineStats, Profile, RawDocument, RunDiff, SourceKind, Telemetry,
+    TelemetrySnapshot, TimeSeriesStore, DEFAULT_SCRAPE_INTERVAL_MS, DEFAULT_TIMELINE_CAPACITY,
 };
 use wf_sentiment::{
     mention_polarities, AdhocSentimentMiner, SentimentEntityMiner, SentimentMiner,
@@ -39,6 +39,8 @@ pub fn run(args: &ParsedArgs) -> Result<String, String> {
         "recover" => recover(args),
         "timeline" => timeline(args),
         "profile" => profile(args),
+        "logs" => logs(args),
+        "diff" => diff(args),
         "help" | "" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n\n{}", usage())),
     }
@@ -140,6 +142,28 @@ USAGE:
       postings-merge on the serving path, nlp.tokenize … nlp.ner in the
       mining path. Formats: annotated tree with top hotspots (text),
       flamegraph collapsed stacks (collapsed), canonical JSON (json).
+  wfsm logs     [--workload serve|mine] [--level error|warn|info|debug]
+                [--target PREFIX] [--trace ID] [--since MS] [--until MS]
+                [--format text|json] [KEY=VALUE ...] [--docs N]
+                [--chaos-seed S] [--fail-rate P]
+      Run the same deterministic workload and query its structured event
+      log: leveled records on the simulated clock with stable targets
+      (bus.svc:*, miner.shard:*, store.shard:*, durable.shard:*,
+      serving.loop), key=value fields and trace correlation IDs that
+      resolve in `wfsm trace`. Filters AND together: --level is a
+      maximum severity, --target a prefix match, positional KEY=VALUE
+      terms match record fields exactly. The header reports the
+      conservation law (emitted = kept + sampled + dropped). Same seed
+      ⇒ byte-identical output (text and json).
+  wfsm diff     RUN_A.json RUN_B.json [--format text|json]
+      Compare two exported run artifacts — telemetry snapshots from
+      `mine --metrics`/`wfsm metrics --format json`, or profile trees
+      from `wfsm profile --format json`. Reports per-counter/per-gauge
+      deltas or per-stage self-time deltas with regression attribution
+      (stage slower in run B), and a machine-readable verdict
+      (ok | changed | regressed) that tools/bench_gate.py can consume.
+      Same-seed runs diff to \"ok\"; a perturbed run yields deterministic
+      non-empty attribution.
   wfsm recover  --data-dir DIR [--format text|json]
       Read-only recovery report over a durable data dir written by `mine
       --data-dir` / `serve --data-dir`: per shard, what the snapshot
@@ -155,6 +179,25 @@ USAGE:
       This message.
 "
     .to_string()
+}
+
+/// Parses `--format`, shared by every exporting command: returns the
+/// default when the option is absent, and rejects anything outside
+/// `allowed` with the canonical `unknown --format` error.
+fn parse_format<'a>(
+    args: &'a ParsedArgs,
+    default: &'a str,
+    allowed: &[&str],
+) -> Result<&'a str, String> {
+    let format = args.opt("format").unwrap_or(default);
+    if allowed.contains(&format) {
+        Ok(format)
+    } else {
+        Err(format!(
+            "unknown --format {format:?} ({})",
+            allowed.join("|")
+        ))
+    }
 }
 
 fn read_text(args: &ParsedArgs) -> Result<String, String> {
@@ -398,15 +441,10 @@ fn metrics(args: &ParsedArgs) -> Result<String, String> {
     } else {
         return Err("metrics needs --file SNAPSHOT.json or --input DOCS.txt".into());
     };
-    let format = match args.opt("format") {
-        Some(f) => f,
-        None if args.flag("json") => "json",
-        None => "table",
-    };
-    match format {
+    let default = if args.flag("json") { "json" } else { "table" };
+    match parse_format(args, default, &["table", "json"])? {
         "json" => Ok(snapshot.to_json_string() + "\n"),
-        "table" => Ok(snapshot.to_table()),
-        other => Err(format!("unknown --format {other:?} (table|json)")),
+        _ => Ok(snapshot.to_table()),
     }
 }
 
@@ -467,11 +505,10 @@ fn trace(args: &ParsedArgs) -> Result<String, String> {
         .transpose()?
         .unwrap_or(10);
     let recorder = store.telemetry().recorder();
-    match args.opt("format").unwrap_or("text") {
-        "text" => Ok(recorder.export_text(last)),
+    match parse_format(args, "text", &["text", "json", "chrome"])? {
         "json" => Ok(recorder.export_json_string(last) + "\n"),
         "chrome" => Ok(recorder.export_chrome_string(last) + "\n"),
-        other => Err(format!("unknown --format {other:?} (text|json|chrome)")),
+        _ => Ok(recorder.export_text(last)),
     }
 }
 
@@ -628,10 +665,9 @@ fn doctor(args: &ParsedArgs) -> Result<String, String> {
         &workload.engine,
         workload.cluster.sim_now(),
     );
-    match args.opt("format").unwrap_or("text") {
-        "text" => Ok(report.to_table()),
+    match parse_format(args, "text", &["text", "json"])? {
         "json" => Ok(report.to_json_string() + "\n"),
-        other => Err(format!("unknown --format {other:?} (text|json)")),
+        _ => Ok(report.to_table()),
     }
 }
 
@@ -757,10 +793,7 @@ fn serve(args: &ParsedArgs) -> Result<String, String> {
     if !(0.0..=1.0).contains(&fail_rate) {
         return Err(format!("--fail-rate must be in [0, 1], got {fail_rate}"));
     }
-    let format = args.opt("format").unwrap_or("text");
-    if !matches!(format, "text" | "json") {
-        return Err(format!("unknown --format {format:?} (text|json)"));
-    }
+    let format = parse_format(args, "text", &["text", "json"])?;
 
     // offline half: ingest + mine the corpus, then precompute the index
     let cluster = Cluster::new(4).map_err(|e| e.to_string())?;
@@ -925,10 +958,7 @@ fn serve(args: &ParsedArgs) -> Result<String, String> {
 /// byte-identical.
 fn recover(args: &ParsedArgs) -> Result<String, String> {
     let dir = args.require("data-dir")?;
-    let format = args.opt("format").unwrap_or("text");
-    if !matches!(format, "text" | "json") {
-        return Err(format!("unknown --format {format:?} (text|json)"));
-    }
+    let format = parse_format(args, "text", &["text", "json"])?;
     let storage = DurableStorage::open_dir(Path::new(dir)).map_err(|e| e.to_string())?;
     let report = storage.recovery_report().map_err(|e| e.to_string())?;
     Ok(match format {
@@ -1052,10 +1082,7 @@ fn observed_workload(args: &ParsedArgs) -> Result<(Arc<Telemetry>, Arc<TimeSerie
 
 /// Metrics-over-time for a deterministic workload run.
 fn timeline(args: &ParsedArgs) -> Result<String, String> {
-    let format = args.opt("format").unwrap_or("table");
-    if !matches!(format, "table" | "json") {
-        return Err(format!("unknown --format {format:?} (table|json)"));
-    }
+    let format = parse_format(args, "table", &["table", "json"])?;
     let (_telemetry, store) = observed_workload(args)?;
     let timeline = store.timeline();
     Ok(match format {
@@ -1066,10 +1093,7 @@ fn timeline(args: &ParsedArgs) -> Result<String, String> {
 
 /// Self/total-time profile of a deterministic workload's trace spans.
 fn profile(args: &ParsedArgs) -> Result<String, String> {
-    let format = args.opt("format").unwrap_or("text");
-    if !matches!(format, "text" | "collapsed" | "json") {
-        return Err(format!("unknown --format {format:?} (text|collapsed|json)"));
-    }
+    let format = parse_format(args, "text", &["text", "collapsed", "json"])?;
     let last: usize = args
         .opt("last")
         .map(|v| v.parse().map_err(|e| format!("bad --last: {e}")))
@@ -1081,6 +1105,53 @@ fn profile(args: &ParsedArgs) -> Result<String, String> {
         "collapsed" => profile.to_collapsed(),
         "json" => profile.to_json_string() + "\n",
         _ => profile.to_text(),
+    })
+}
+
+/// Runs the deterministic workload and queries its structured event log.
+fn logs(args: &ParsedArgs) -> Result<String, String> {
+    let format = parse_format(args, "text", &["text", "json"])?;
+    let mut filter = LogFilter::default();
+    if let Some(level) = args.opt("level") {
+        filter.max_level = Some(Level::parse(level)?);
+    }
+    if let Some(prefix) = args.opt("target") {
+        filter.target_prefix = Some(prefix.to_string());
+    }
+    if let Some(trace) = args.opt("trace") {
+        filter.trace = Some(trace.parse().map_err(|e| format!("bad --trace: {e}"))?);
+    }
+    if let Some(since) = args.opt("since") {
+        filter.since = Some(since.parse().map_err(|e| format!("bad --since: {e}"))?);
+    }
+    if let Some(until) = args.opt("until") {
+        filter.until = Some(until.parse().map_err(|e| format!("bad --until: {e}"))?);
+    }
+    for term in &args.positional {
+        filter.add_term(term)?;
+    }
+    let (telemetry, _timeline) = observed_workload(args)?;
+    let snapshot = telemetry.evlog().snapshot().filtered(&filter);
+    Ok(match format {
+        "json" => snapshot.to_json_string(),
+        _ => snapshot.to_text(),
+    })
+}
+
+/// Diffs two exported run artifacts (metrics snapshots or profile trees).
+fn diff(args: &ParsedArgs) -> Result<String, String> {
+    let format = parse_format(args, "text", &["text", "json"])?;
+    let [a, b] = args.positional.as_slice() else {
+        return Err(
+            "diff needs exactly two artifact paths: wfsm diff RUN_A.json RUN_B.json".into(),
+        );
+    };
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let diff = RunDiff::between_texts(&read(a)?, &read(b)?)?;
+    Ok(match format {
+        "json" => diff.to_json_string(),
+        _ => diff.to_text(),
     })
 }
 
@@ -2089,5 +2160,139 @@ mod tests {
         let b = run_tokens(&json_args).unwrap();
         assert_eq!(a, b, "same-seed serve runs must be byte-identical");
         assert!(a.contains("\"requests\": 80"), "{a}");
+    }
+
+    /// Small chaos workload shared by the `logs` / `diff` tests: enough
+    /// faults that the event log is non-empty, small enough to be fast.
+    const LOGS_ARGS: [&str; 13] = [
+        "logs",
+        "--chaos-seed",
+        "7",
+        "--fail-rate",
+        "0.2",
+        "--docs",
+        "20",
+        "--clients",
+        "4",
+        "--qps",
+        "300",
+        "--requests",
+        "80",
+    ];
+
+    #[test]
+    fn logs_text_and_json_are_deterministic() {
+        let a = run_tokens(&LOGS_ARGS).unwrap();
+        let b = run_tokens(&LOGS_ARGS).unwrap();
+        assert_eq!(a, b, "same-seed logs must be byte-identical");
+        assert!(a.starts_with("evlog: emitted="), "{a}");
+        assert!(a.contains("serving.loop"), "{a}");
+
+        let mut json_args = LOGS_ARGS.to_vec();
+        json_args.extend_from_slice(&["--format", "json"]);
+        let ja = run_tokens(&json_args).unwrap();
+        let jb = run_tokens(&json_args).unwrap();
+        assert_eq!(ja, jb, "same-seed json logs must be byte-identical");
+        assert!(ja.contains("\"records\""), "{ja}");
+    }
+
+    #[test]
+    fn logs_filters_compose() {
+        let mut args = LOGS_ARGS.to_vec();
+        args.extend_from_slice(&["--level", "warn", "--target", "serving."]);
+        args.push("kind=node_down");
+        let out = run_tokens(&args).unwrap();
+        for line in out.lines().skip(1) {
+            assert!(line.contains("WARN"), "level filter leaked: {line}");
+            assert!(
+                line.contains("serving.loop"),
+                "target filter leaked: {line}"
+            );
+            assert!(
+                line.contains("kind=node_down"),
+                "field filter leaked: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn logs_rejects_bad_arguments() {
+        let err = run_tokens(&["logs", "--format", "yaml"]).unwrap_err();
+        assert_eq!(err, "unknown --format \"yaml\" (text|json)");
+        let err = run_tokens(&["logs", "--level", "loud"]).unwrap_err();
+        assert_eq!(err, "unknown level \"loud\" (error|warn|info|debug)");
+        let err = run_tokens(&["logs", "not-a-term"]).unwrap_err();
+        assert_eq!(err, "malformed filter \"not-a-term\" (expected key=value)");
+        let err = run_tokens(&["logs", "--trace", "abc"]).unwrap_err();
+        assert!(err.starts_with("bad --trace:"), "{err}");
+        let err = run_tokens(&["logs", "--since", "soon"]).unwrap_err();
+        assert!(err.starts_with("bad --since:"), "{err}");
+    }
+
+    #[test]
+    fn diff_same_seed_runs_report_ok() {
+        let mut args = LOGS_ARGS.to_vec();
+        args[0] = "profile";
+        args.extend_from_slice(&["--format", "json"]);
+        let a = temp_file("diff-a", &run_tokens(&args).unwrap());
+        let b = temp_file("diff-b", &run_tokens(&args).unwrap());
+        let out = run_tokens(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]).unwrap();
+        assert!(out.contains("— ok"), "{out}");
+        assert!(out.contains("0 regression(s)"), "{out}");
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn diff_perturbed_run_attributes_regressions_deterministically() {
+        let mut base = LOGS_ARGS.to_vec();
+        base[0] = "profile";
+        base.extend_from_slice(&["--format", "json"]);
+        let mut perturbed = base.clone();
+        perturbed[2] = "9"; // different chaos seed
+        perturbed[4] = "0.35"; // heavier faults
+        let a = temp_file("diff-base", &run_tokens(&base).unwrap());
+        let b = temp_file("diff-pert", &run_tokens(&perturbed).unwrap());
+        let args = [
+            "diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--format",
+            "json",
+        ];
+        let out1 = run_tokens(&args).unwrap();
+        let out2 = run_tokens(&args).unwrap();
+        assert_eq!(out1, out2, "diff of fixed artifacts must be byte-identical");
+        assert!(out1.contains("\"kind\": \"profile\""), "{out1}");
+        assert!(
+            !out1.contains("\"verdict\": \"ok\""),
+            "perturbed run should not diff clean: {out1}"
+        );
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn diff_rejects_bad_arguments() {
+        let err = run_tokens(&["diff", "only-one.json"]).unwrap_err();
+        assert!(err.contains("exactly two artifact paths"), "{err}");
+        let a = temp_file("diff-real", "{\"counters\": {}}");
+        let err = run_tokens(&["diff", a.to_str().unwrap(), "/no/such/file.json"]).unwrap_err();
+        assert!(err.starts_with("cannot read /no/such/file.json:"), "{err}");
+        let garbage = temp_file("diff-garbage", "not json at all");
+        let err =
+            run_tokens(&["diff", garbage.to_str().unwrap(), a.to_str().unwrap()]).unwrap_err();
+        assert!(err.starts_with("run-a is not JSON:"), "{err}");
+        let err = run_tokens(&[
+            "diff",
+            a.to_str().unwrap(),
+            garbage.to_str().unwrap(),
+            "--format",
+            "yaml",
+        ])
+        .unwrap_err();
+        assert_eq!(err, "unknown --format \"yaml\" (text|json)");
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(garbage).ok();
     }
 }

@@ -33,6 +33,7 @@
 //! and recovery reports everywhere.
 
 use crate::entity::Entity;
+use crate::evlog::{EvLog, Level};
 use crate::faults::FaultStream;
 use crate::store::DataStore;
 use crate::telemetry::{Counter, Telemetry};
@@ -533,11 +534,15 @@ struct DurableMetrics {
     snapshot_bytes: Arc<Counter>,
     replayed: Arc<Counter>,
     truncated: Arc<Counter>,
+    /// Structured event log: recovery decisions narrate under
+    /// `durable.shard:<n>` targets.
+    evlog: Arc<EvLog>,
 }
 
 impl DurableMetrics {
     fn resolve(tele: &Telemetry) -> Self {
         DurableMetrics {
+            evlog: Arc::clone(tele.evlog()),
             appended: tele.counter("durable.records_appended"),
             bytes_appended: tele.counter("durable.wal_bytes_appended"),
             fsyncs: tele.counter("durable.fsyncs"),
@@ -988,6 +993,44 @@ impl DurableStorage {
         self.with_metrics(|m| {
             m.replayed.add(stats.replayed);
             m.truncated.add(stats.truncated_records);
+            let target = format!("durable.shard:{shard}");
+            if stats.snapshot_truncated {
+                m.evlog.event(
+                    Level::Warn,
+                    &target,
+                    stats.sim_ms,
+                    "snapshot truncated, falling back to readable prefix",
+                    &[
+                        ("declared", stats.snapshot_declared.to_string()),
+                        ("readable", stats.snapshot_entities.to_string()),
+                    ],
+                );
+            }
+            if stats.stop == StopReason::EndOfLog {
+                m.evlog.event(
+                    Level::Info,
+                    &target,
+                    stats.sim_ms,
+                    "wal replay clean",
+                    &[
+                        ("entities", stats.recovered_entities.to_string()),
+                        ("replayed", stats.replayed.to_string()),
+                    ],
+                );
+            } else {
+                m.evlog.event(
+                    Level::Error,
+                    &target,
+                    stats.sim_ms,
+                    "wal replay stopped",
+                    &[
+                        ("last_lsn", stats.last_lsn.to_string()),
+                        ("stop", stats.stop.label().to_string()),
+                        ("truncated_bytes", stats.truncated_bytes.to_string()),
+                        ("truncated_records", stats.truncated_records.to_string()),
+                    ],
+                );
+            }
         });
         Ok(ShardRecovery {
             entities: map.into_values().collect(),
@@ -1012,6 +1055,21 @@ impl DurableStorage {
             .next_lsn
             .store(recovery.stats.last_lsn + 1, Ordering::Relaxed);
         state.since_fsync.store(0, Ordering::Relaxed);
+        self.with_metrics(|m| {
+            m.evlog.event(
+                Level::Info,
+                &format!("durable.shard:{shard}"),
+                self.sim_now(),
+                "wal repaired to valid prefix",
+                &[
+                    ("next_lsn", (recovery.stats.last_lsn + 1).to_string()),
+                    (
+                        "truncated_bytes",
+                        recovery.stats.truncated_bytes.to_string(),
+                    ),
+                ],
+            );
+        });
         Ok(())
     }
 
@@ -1056,7 +1114,7 @@ impl DurableStorage {
             .shards
             .get(shard as usize)
             .ok_or_else(|| Error::Config(format!("no shard {shard}")))?;
-        match kind {
+        let outcome = match kind {
             CorruptionKind::TornTail => {
                 let bytes = state.wal.read_all()?;
                 let frames = Self::frames_of(&bytes);
@@ -1120,7 +1178,20 @@ impl DurableStorage {
                     victim_lsn: None,
                 })
             }
-        }
+        }?;
+        self.with_metrics(|m| {
+            m.evlog.event(
+                Level::Warn,
+                &format!("durable.shard:{shard}"),
+                self.sim_now(),
+                "corruption injected",
+                &[
+                    ("kind", kind.label().to_string()),
+                    ("offset", outcome.offset.to_string()),
+                ],
+            );
+        });
+        Ok(outcome)
     }
 }
 

@@ -44,7 +44,17 @@
 //!   percentiles) and canonical table/JSON export;
 //! - [`profile`]: the continuous profiler — flight-recorder spans folded
 //!   by path into a self/total-time tree with collapsed-stack
-//!   (flamegraph-compatible) export and hotspot ranking.
+//!   (flamegraph-compatible) export and hotspot ranking;
+//! - [`evlog`]: the third observability pillar — a deterministic
+//!   structured event log on the simulated clock (leveled records with
+//!   stable targets, key=value fields, trace/span correlation, a
+//!   fixed-capacity ring with conservation-law drop accounting, and
+//!   per-(target, level) token-bucket sampling), exported as canonical
+//!   text or JSON behind `wfsm logs`;
+//! - [`rundiff`]: the differential layer over the deterministic
+//!   exports — `wfsm diff` compares two metrics/profile artifacts and
+//!   attributes regressions to counters or profile stage paths with a
+//!   machine-readable verdict.
 
 pub mod boilerplate;
 pub mod cluster;
@@ -52,6 +62,7 @@ pub mod clustering;
 pub mod dedup;
 pub mod durable;
 pub mod entity;
+pub mod evlog;
 pub mod faults;
 pub mod geo;
 pub mod health;
@@ -64,6 +75,7 @@ pub mod postings;
 pub mod profile;
 pub mod query_parser;
 pub mod regex;
+pub mod rundiff;
 pub mod serving;
 pub mod stats;
 pub mod store;
@@ -82,6 +94,10 @@ pub use durable::{
     DEFAULT_FSYNC_INTERVAL, REPLAY_COST_MS, SNAPSHOT_ENTITY_COST_MS, WAL_HEADER_BYTES,
 };
 pub use entity::{Annotation, Entity, SourceKind};
+pub use evlog::{
+    EvLog, EvLogSnapshot, EvRecord, EvView, Level, LogFilter, DEFAULT_EVLOG_CAPACITY,
+    DEFAULT_SAMPLE_BURST, DEFAULT_SAMPLE_REFILL_MS,
+};
 pub use faults::{
     CallOutcome, ChaosCluster, FaultKind, FaultPlan, FaultRates, FaultStream, NodeHealth,
 };
@@ -101,6 +117,7 @@ pub use postings::{CompressedPostings, Cursor as PostingsCursor};
 pub use profile::{Hotspot, Profile, ProfileNode};
 pub use query_parser::parse_query;
 pub use regex::Regex;
+pub use rundiff::{ArtifactKind, RunDiff, StageDelta, ValueDelta};
 pub use serving::{
     LruCache, QueryOutcome, ServeLoop, ServedAnswer, ServedQuery, ServingBackend, ServingConfig,
     ServingReport, CACHE_HIT_COST_MS, DISPATCH_COST_MS,

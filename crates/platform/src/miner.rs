@@ -14,6 +14,7 @@
 //! by retrying with exponential backoff on a simulated clock.
 
 use crate::entity::Entity;
+use crate::evlog::Level;
 use crate::faults::{FaultKind, FaultPlan, NodeHealth};
 use crate::store::DataStore;
 use crate::trace::TraceSpan;
@@ -341,6 +342,13 @@ impl MinerPipeline {
                             Err(_) => {
                                 sp.event("panicked");
                                 let shard_len = store.shard_ids(NodeId(shard as u32)).len();
+                                store.telemetry().evlog().event_in(
+                                    Level::Error,
+                                    &sp,
+                                    &format!("miner.shard:{shard}"),
+                                    "shard worker panicked",
+                                    &[("docs", shard_len.to_string())],
+                                );
                                 PipelineStats {
                                     failed: shard_len,
                                     skipped_shards: 1,
@@ -574,6 +582,13 @@ impl MinerPipeline {
         let Some(executor) = ctx.executor_for(shard, store.shard_count()) else {
             // whole cluster down: shard cannot be placed
             span.event("unplaced");
+            store.telemetry().evlog().event_in(
+                Level::Error,
+                span,
+                &format!("miner.shard:{shard}"),
+                "shard unplaced: no healthy node",
+                &[("docs", shard_len.to_string())],
+            );
             return PipelineStats {
                 failed: shard_len,
                 skipped_shards: 1,
@@ -592,6 +607,13 @@ impl MinerPipeline {
         let failed_over = executor != shard;
         if failed_over {
             span.event(format!("failover:node:{executor}"));
+            store.telemetry().evlog().event_in(
+                Level::Warn,
+                span,
+                &format!("miner.shard:{shard}"),
+                "shard failed over",
+                &[("executor", executor.to_string())],
+            );
         }
         match catch_unwind(AssertUnwindSafe(|| {
             self.run_shard(store, shard, executor, ctx, span)
@@ -605,6 +627,13 @@ impl MinerPipeline {
             }
             Err(_) => {
                 span.event("panicked");
+                store.telemetry().evlog().event_in(
+                    Level::Error,
+                    span,
+                    &format!("miner.shard:{shard}"),
+                    "shard worker panicked",
+                    &[("docs", shard_len.to_string())],
+                );
                 PipelineStats {
                     // conservative accounting: a crashed worker forfeits the
                     // shard, so every entity in it counts as failed
@@ -642,6 +671,8 @@ impl MinerPipeline {
         let mut sim_ms = 0u64;
         let mut faults = 0u64;
         let mut last_error: Option<String> = None;
+        let log = store.telemetry().evlog();
+        let target = format!("miner.shard:{shard}");
         let mut stream = ctx.plan.map(|p| p.stream(&format!("shard:{shard}")));
         if let Some(s) = stream.as_mut() {
             if ctx.health_of(executor) == NodeHealth::Degraded {
@@ -664,6 +695,16 @@ impl MinerPipeline {
                 span.advance(latency);
                 if entity_elapsed > ctx.retry.timeout_budget_ms {
                     span.event(format!("timeout doc={}", id.0));
+                    log.event_in(
+                        Level::Error,
+                        span,
+                        &target,
+                        "entity timeout",
+                        &[
+                            ("budget_ms", ctx.retry.timeout_budget_ms.to_string()),
+                            ("doc", id.0.to_string()),
+                        ],
+                    );
                     entity_error = Some(format!("timeout doc={}", id.0));
                     outcome = Some(false); // budget exhausted: timeout
                     break;
@@ -671,6 +712,16 @@ impl MinerPipeline {
                 if let Some(kind) = fault {
                     faults += 1;
                     span.event(format!("fault:{} doc={}", kind.label(), id.0));
+                    log.event_in(
+                        Level::Warn,
+                        span,
+                        &target,
+                        "fault injected",
+                        &[
+                            ("doc", id.0.to_string()),
+                            ("kind", kind.label().to_string()),
+                        ],
+                    );
                 }
                 match fault {
                     Some(FaultKind::ServiceError) => {
@@ -683,6 +734,16 @@ impl MinerPipeline {
                         // so a later successful attempt bumps the entity
                         // version exactly once
                         if attempt == ctx.retry.max_retries {
+                            log.event_in(
+                                Level::Error,
+                                span,
+                                &target,
+                                "retries exhausted",
+                                &[
+                                    ("doc", id.0.to_string()),
+                                    ("kind", kind.label().to_string()),
+                                ],
+                            );
                             entity_error = Some(format!(
                                 "fault:{} doc={} retries exhausted",
                                 kind.label(),
@@ -700,8 +761,29 @@ impl MinerPipeline {
                             attempt + 1,
                             id.0
                         ));
+                        log.event_in(
+                            Level::Info,
+                            span,
+                            &target,
+                            "retrying entity",
+                            &[
+                                ("backoff_ms", backoff.to_string()),
+                                ("doc", id.0.to_string()),
+                                ("retry", (attempt + 1).to_string()),
+                            ],
+                        );
                         if entity_elapsed > ctx.retry.timeout_budget_ms {
                             span.event(format!("timeout doc={}", id.0));
+                            log.event_in(
+                                Level::Error,
+                                span,
+                                &target,
+                                "entity timeout",
+                                &[
+                                    ("budget_ms", ctx.retry.timeout_budget_ms.to_string()),
+                                    ("doc", id.0.to_string()),
+                                ],
+                            );
                             entity_error = Some(format!("timeout doc={}", id.0));
                             outcome = Some(false);
                             break;

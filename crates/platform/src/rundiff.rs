@@ -1,0 +1,452 @@
+//! Cross-run regression diff — the differential layer over the
+//! deterministic observability exports.
+//!
+//! Every export in this workspace is byte-identical for a given seed,
+//! which turns *comparison* into signal: any delta between two runs is
+//! a real behavioural difference, never noise. [`RunDiff`] compares two
+//! artifacts of the same kind —
+//!
+//! - **metrics snapshots** (`wfsm metrics --format json`): per-counter
+//!   and per-gauge deltas;
+//! - **profile exports** (`wfsm profile --format json`): per-stage
+//!   self-time deltas over the folded span tree, attributing a
+//!   regression to the exact `serve.query/...` path that grew.
+//!
+//! The verdict is machine-readable (`ok` / `changed` / `regressed`) so
+//! gate tooling (`tools/bench_gate.py --diff-verdict`) can consume it:
+//! `ok` means byte-equivalent runs, `changed` means values moved but no
+//! stage self-time grew, `regressed` means at least one stage got
+//! slower. Surface via `wfsm diff <run-a> <run-b>`.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What kind of artifact a diff compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    Metrics,
+    Profile,
+}
+
+impl ArtifactKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            ArtifactKind::Metrics => "metrics",
+            ArtifactKind::Profile => "profile",
+        }
+    }
+
+    /// Sniffs an artifact's shape: a profile export carries `roots`, a
+    /// metrics snapshot a `counters` object.
+    fn detect(value: &Value) -> Result<ArtifactKind, String> {
+        if matches!(value.get("roots"), Some(Value::Array(_))) {
+            Ok(ArtifactKind::Profile)
+        } else if matches!(value.get("counters"), Some(Value::Object(_))) {
+            Ok(ArtifactKind::Metrics)
+        } else {
+            Err(
+                "unrecognized artifact shape (expected a metrics snapshot or profile export)"
+                    .into(),
+            )
+        }
+    }
+}
+
+/// One counter (or gauge) whose value differs between the runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueDelta {
+    pub name: String,
+    pub a: i64,
+    pub b: i64,
+}
+
+impl ValueDelta {
+    pub fn delta(&self) -> i64 {
+        self.b - self.a
+    }
+}
+
+/// One profile stage whose self-time or hit count moved; `path` is the
+/// `/`-joined span path from the folded tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageDelta {
+    pub path: String,
+    pub self_ms_a: u64,
+    pub self_ms_b: u64,
+    pub count_a: u64,
+    pub count_b: u64,
+}
+
+impl StageDelta {
+    /// Positive when run B spent more self-time in this stage.
+    pub fn delta_ms(&self) -> i64 {
+        self.b_ms() - self.a_ms()
+    }
+
+    fn a_ms(&self) -> i64 {
+        self.self_ms_a as i64
+    }
+
+    fn b_ms(&self) -> i64 {
+        self.self_ms_b as i64
+    }
+
+    /// A regression: self-time grew.
+    pub fn regressed(&self) -> bool {
+        self.self_ms_b > self.self_ms_a
+    }
+}
+
+/// The comparison of two same-kind observability artifacts. Only
+/// changed entries are listed, in name/path order, so two identical
+/// runs produce an empty (and byte-stable) diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunDiff {
+    pub kind: ArtifactKind,
+    /// Changed counters, by name (metrics artifacts).
+    pub counters: Vec<ValueDelta>,
+    /// Changed gauges, by name (metrics artifacts).
+    pub gauges: Vec<ValueDelta>,
+    /// Changed stages, by path (profile artifacts).
+    pub stages: Vec<StageDelta>,
+}
+
+fn numeric_section(value: &Value, key: &str) -> BTreeMap<String, i64> {
+    match value.get(key) {
+        Some(Value::Object(map)) => map
+            .iter()
+            .filter_map(|(k, v)| v.as_i64().map(|n| (k.clone(), n)))
+            .collect(),
+        _ => BTreeMap::new(),
+    }
+}
+
+fn diff_section(a: &BTreeMap<String, i64>, b: &BTreeMap<String, i64>) -> Vec<ValueDelta> {
+    let mut names: Vec<&String> = a.keys().chain(b.keys()).collect();
+    names.sort();
+    names.dedup();
+    names
+        .into_iter()
+        .filter_map(|name| {
+            let va = a.get(name).copied().unwrap_or(0);
+            let vb = b.get(name).copied().unwrap_or(0);
+            (va != vb).then(|| ValueDelta {
+                name: name.clone(),
+                a: va,
+                b: vb,
+            })
+        })
+        .collect()
+}
+
+/// Flattens a profile export's `roots` tree into
+/// `path -> (self_ms, count)`.
+fn flatten_profile(value: &Value) -> Result<BTreeMap<String, (u64, u64)>, String> {
+    fn walk(
+        node: &Value,
+        prefix: &str,
+        out: &mut BTreeMap<String, (u64, u64)>,
+    ) -> Result<(), String> {
+        let name = node
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("profile node missing \"name\"")?;
+        let path = if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix}/{name}")
+        };
+        let self_ms = node.get("self_ms").and_then(Value::as_u64).unwrap_or(0);
+        let count = node.get("count").and_then(Value::as_u64).unwrap_or(0);
+        out.insert(path.clone(), (self_ms, count));
+        if let Some(Value::Array(children)) = node.get("children") {
+            for child in children {
+                walk(child, &path, out)?;
+            }
+        }
+        Ok(())
+    }
+    let mut out = BTreeMap::new();
+    if let Some(Value::Array(roots)) = value.get("roots") {
+        for root in roots {
+            walk(root, "", &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+impl RunDiff {
+    /// Compares two artifact documents (already-parsed JSON). Both must
+    /// be the same kind; mixing a metrics snapshot with a profile is an
+    /// error, not a silent empty diff.
+    pub fn between(a: &Value, b: &Value) -> Result<RunDiff, String> {
+        let kind_a = ArtifactKind::detect(a)?;
+        let kind_b = ArtifactKind::detect(b)?;
+        if kind_a != kind_b {
+            return Err(format!(
+                "artifact kinds differ: run-a is {} but run-b is {}",
+                kind_a.label(),
+                kind_b.label()
+            ));
+        }
+        match kind_a {
+            ArtifactKind::Metrics => Ok(RunDiff {
+                kind: kind_a,
+                counters: diff_section(
+                    &numeric_section(a, "counters"),
+                    &numeric_section(b, "counters"),
+                ),
+                gauges: diff_section(&numeric_section(a, "gauges"), &numeric_section(b, "gauges")),
+                stages: Vec::new(),
+            }),
+            ArtifactKind::Profile => {
+                let flat_a = flatten_profile(a)?;
+                let flat_b = flatten_profile(b)?;
+                let mut paths: Vec<&String> = flat_a.keys().chain(flat_b.keys()).collect();
+                paths.sort();
+                paths.dedup();
+                let stages = paths
+                    .into_iter()
+                    .filter_map(|path| {
+                        let (sa, ca) = flat_a.get(path).copied().unwrap_or((0, 0));
+                        let (sb, cb) = flat_b.get(path).copied().unwrap_or((0, 0));
+                        (sa != sb || ca != cb).then(|| StageDelta {
+                            path: path.clone(),
+                            self_ms_a: sa,
+                            self_ms_b: sb,
+                            count_a: ca,
+                            count_b: cb,
+                        })
+                    })
+                    .collect();
+                Ok(RunDiff {
+                    kind: kind_a,
+                    counters: Vec::new(),
+                    gauges: Vec::new(),
+                    stages,
+                })
+            }
+        }
+    }
+
+    /// Parses and compares two artifact texts.
+    pub fn between_texts(a: &str, b: &str) -> Result<RunDiff, String> {
+        let va: Value = serde_json::from_str(a).map_err(|e| format!("run-a is not JSON: {e}"))?;
+        let vb: Value = serde_json::from_str(b).map_err(|e| format!("run-b is not JSON: {e}"))?;
+        RunDiff::between(&va, &vb)
+    }
+
+    /// Stages whose self-time grew from A to B.
+    pub fn regressions(&self) -> usize {
+        self.stages.iter().filter(|s| s.regressed()).count()
+    }
+
+    /// Any difference at all?
+    pub fn changed(&self) -> bool {
+        !(self.counters.is_empty() && self.gauges.is_empty() && self.stages.is_empty())
+    }
+
+    /// `ok` (identical) / `changed` (moved, nothing slower) /
+    /// `regressed` (some stage's self-time grew).
+    pub fn verdict(&self) -> &'static str {
+        if self.regressions() > 0 {
+            "regressed"
+        } else if self.changed() {
+            "changed"
+        } else {
+            "ok"
+        }
+    }
+
+    /// Canonical machine-readable report (sorted keys, newline-
+    /// terminated) — what gate tooling consumes.
+    pub fn to_json_string(&self) -> String {
+        let delta_json = |d: &ValueDelta| {
+            let mut obj: BTreeMap<String, Value> = BTreeMap::new();
+            obj.insert("a".into(), Value::from(d.a));
+            obj.insert("b".into(), Value::from(d.b));
+            obj.insert("delta".into(), Value::from(d.delta()));
+            obj.insert("name".into(), Value::from(d.name.as_str()));
+            Value::Object(obj)
+        };
+        let mut root: BTreeMap<String, Value> = BTreeMap::new();
+        root.insert(
+            "counters".into(),
+            Value::Array(self.counters.iter().map(delta_json).collect()),
+        );
+        root.insert(
+            "gauges".into(),
+            Value::Array(self.gauges.iter().map(delta_json).collect()),
+        );
+        root.insert("kind".into(), Value::from(self.kind.label()));
+        root.insert("regressions".into(), Value::from(self.regressions() as u64));
+        root.insert(
+            "stages".into(),
+            Value::Array(
+                self.stages
+                    .iter()
+                    .map(|s| {
+                        let mut obj: BTreeMap<String, Value> = BTreeMap::new();
+                        obj.insert("count_a".into(), Value::from(s.count_a));
+                        obj.insert("count_b".into(), Value::from(s.count_b));
+                        obj.insert("delta_ms".into(), Value::from(s.delta_ms()));
+                        obj.insert("path".into(), Value::from(s.path.as_str()));
+                        obj.insert("self_ms_a".into(), Value::from(s.self_ms_a));
+                        obj.insert("self_ms_b".into(), Value::from(s.self_ms_b));
+                        Value::Object(obj)
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert("verdict".into(), Value::from(self.verdict()));
+        let mut out =
+            serde_json::to_string_pretty(&Value::Object(root)).expect("Value renders infallibly");
+        out.push('\n');
+        out
+    }
+
+    /// Human-readable report for `wfsm diff` without `--format json`.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "run diff ({}): {} counter(s), {} gauge(s), {} stage(s) changed; {} regression(s) — {}\n",
+            self.kind.label(),
+            self.counters.len(),
+            self.gauges.len(),
+            self.stages.len(),
+            self.regressions(),
+            self.verdict()
+        );
+        for d in self.counters.iter().chain(self.gauges.iter()) {
+            let _ = writeln!(out, "  {} {} -> {} ({:+})", d.name, d.a, d.b, d.delta());
+        }
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "  {} self {}ms -> {}ms ({:+}ms, count {} -> {}){}",
+                s.path,
+                s.self_ms_a,
+                s.self_ms_b,
+                s.delta_ms(),
+                s.count_a,
+                s.count_b,
+                if s.regressed() { "  REGRESSED" } else { "" }
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(counters: &[(&str, u64)], gauges: &[(&str, i64)]) -> String {
+        let mut c: BTreeMap<String, Value> = BTreeMap::new();
+        for (k, v) in counters {
+            c.insert(k.to_string(), Value::from(*v));
+        }
+        let mut g: BTreeMap<String, Value> = BTreeMap::new();
+        for (k, v) in gauges {
+            g.insert(k.to_string(), Value::from(*v));
+        }
+        let mut root: BTreeMap<String, Value> = BTreeMap::new();
+        root.insert("counters".into(), Value::Object(c));
+        root.insert("gauges".into(), Value::Object(g));
+        Value::Object(root).to_json_string()
+    }
+
+    fn profile(stages: &[(&str, u64, u64)]) -> String {
+        // one root per (name, self_ms, count), no nesting
+        let roots: Vec<Value> = stages
+            .iter()
+            .map(|(name, self_ms, count)| {
+                let mut o: BTreeMap<String, Value> = BTreeMap::new();
+                o.insert("children".into(), Value::Array(Vec::new()));
+                o.insert("count".into(), Value::from(*count));
+                o.insert("name".into(), Value::from(*name));
+                o.insert("self_ms".into(), Value::from(*self_ms));
+                o.insert("total_ms".into(), Value::from(*self_ms));
+                Value::Object(o)
+            })
+            .collect();
+        let mut root: BTreeMap<String, Value> = BTreeMap::new();
+        root.insert("roots".into(), Value::Array(roots));
+        root.insert("spans".into(), Value::from(1u64));
+        root.insert("total_ms".into(), Value::from(1u64));
+        Value::Object(root).to_json_string()
+    }
+
+    #[test]
+    fn identical_metrics_diff_is_ok() {
+        let a = metrics(&[("x", 3)], &[("g", -1)]);
+        let diff = RunDiff::between_texts(&a, &a).unwrap();
+        assert!(!diff.changed());
+        assert_eq!(diff.regressions(), 0);
+        assert_eq!(diff.verdict(), "ok");
+        assert!(diff.to_json_string().contains("\"verdict\": \"ok\""));
+    }
+
+    #[test]
+    fn counter_and_gauge_deltas_are_reported() {
+        let a = metrics(&[("x", 3), ("same", 1)], &[("g", 4)]);
+        let b = metrics(&[("x", 5), ("same", 1), ("new", 2)], &[("g", 1)]);
+        let diff = RunDiff::between_texts(&a, &b).unwrap();
+        assert_eq!(diff.verdict(), "changed");
+        let names: Vec<&str> = diff.counters.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["new", "x"], "only changed counters, sorted");
+        assert_eq!(diff.counters[1].delta(), 2);
+        assert_eq!(diff.gauges[0].delta(), -3);
+    }
+
+    #[test]
+    fn profile_regressions_attribute_to_stage_paths() {
+        let a = profile(&[("serve.query", 100, 10), ("mine", 50, 5)]);
+        let b = profile(&[("serve.query", 130, 10), ("mine", 40, 5)]);
+        let diff = RunDiff::between_texts(&a, &b).unwrap();
+        assert_eq!(diff.verdict(), "regressed");
+        assert_eq!(diff.regressions(), 1);
+        assert_eq!(diff.stages.len(), 2, "improvement also listed");
+        let slow = diff.stages.iter().find(|s| s.regressed()).unwrap();
+        assert_eq!(slow.path, "serve.query");
+        assert_eq!(slow.delta_ms(), 30);
+        assert!(diff.to_text().contains("REGRESSED"), "{}", diff.to_text());
+    }
+
+    #[test]
+    fn nested_profile_paths_join_with_slash() {
+        let a = r#"{"roots":[{"name":"serve.query","self_ms":1,"count":1,"total_ms":5,
+            "children":[{"name":"dispatch","self_ms":4,"count":1,"total_ms":4,"children":[]}]}]}"#;
+        let b = r#"{"roots":[{"name":"serve.query","self_ms":1,"count":1,"total_ms":9,
+            "children":[{"name":"dispatch","self_ms":8,"count":1,"total_ms":8,"children":[]}]}]}"#;
+        let diff = RunDiff::between_texts(a, b).unwrap();
+        assert_eq!(diff.stages.len(), 1);
+        assert_eq!(diff.stages[0].path, "serve.query/dispatch");
+    }
+
+    #[test]
+    fn mixed_kinds_and_garbage_are_rejected() {
+        let m = metrics(&[("x", 1)], &[]);
+        let p = profile(&[("s", 1, 1)]);
+        assert!(RunDiff::between_texts(&m, &p)
+            .unwrap_err()
+            .contains("artifact kinds differ"));
+        assert!(RunDiff::between_texts("not json", &m)
+            .unwrap_err()
+            .contains("run-a is not JSON"));
+        assert!(RunDiff::between_texts("{}", &m)
+            .unwrap_err()
+            .contains("unrecognized artifact shape"));
+    }
+
+    #[test]
+    fn diff_json_is_deterministic() {
+        let a = profile(&[("stage", 10, 2)]);
+        let b = profile(&[("stage", 12, 2)]);
+        let d1 = RunDiff::between_texts(&a, &b).unwrap().to_json_string();
+        let d2 = RunDiff::between_texts(&a, &b).unwrap().to_json_string();
+        assert_eq!(d1, d2);
+        assert!(d1.contains("\"verdict\": \"regressed\""), "{d1}");
+        assert!(d1.contains("\"regressions\": 1"), "{d1}");
+    }
+}

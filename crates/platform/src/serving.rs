@@ -27,6 +27,7 @@
 //! the flight recorder. Same seed ⇒ byte-identical snapshots and
 //! [`ServingReport`]s.
 
+use crate::evlog::Level;
 use crate::faults::{FaultKind, FaultPlan, FaultStream};
 use crate::telemetry::Telemetry;
 use crate::timeseries::TimeSeriesStore;
@@ -466,6 +467,7 @@ impl<'a> ServeLoop<'a> {
         let gauge_depth = self.telemetry.gauge("serving.queue.depth");
         let gauge_peak = self.telemetry.gauge("serving.queue.peak");
         let latency_hist = self.telemetry.histogram("serving.latency.sim_ms");
+        let evlog = Arc::clone(self.telemetry.evlog());
 
         let mut cache = LruCache::new(self.config.cache_capacity);
         let mut fault_stream: Option<FaultStream> =
@@ -538,6 +540,13 @@ impl<'a> ServeLoop<'a> {
             end_ms = end_ms.max(now);
             while trigger_idx < self.triggers.len() && self.triggers[trigger_idx].0 <= issued {
                 (self.triggers[trigger_idx].1)();
+                evlog.event(
+                    Level::Warn,
+                    "serving.loop",
+                    now,
+                    "chaos trigger fired",
+                    &[("at_request", issued.to_string())],
+                );
                 trigger_idx += 1;
             }
             counter_requests.inc();
@@ -549,6 +558,16 @@ impl<'a> ServeLoop<'a> {
                 counter_shed.inc();
                 report.shed += 1;
                 think += self.config.shed_backoff_ms;
+                evlog.event(
+                    Level::Warn,
+                    "serving.loop",
+                    now,
+                    "request shed: queue full",
+                    &[
+                        ("client", client.to_string()),
+                        ("queue", pending.len().to_string()),
+                    ],
+                );
             } else {
                 pending.push_back(PendingRequest {
                     arrival_ms: now,
@@ -658,6 +677,13 @@ impl<'a> ServeLoop<'a> {
             let executed = match fault {
                 Some(kind) if kind != FaultKind::SlowResponse => {
                     span.event(format!("fault:{}", kind.label()));
+                    self.telemetry.evlog().event_in(
+                        Level::Warn,
+                        &span,
+                        "serving.loop",
+                        "fault injected",
+                        &[("kind", kind.label().to_string()), ("seq", seq.to_string())],
+                    );
                     let err = Error::Unavailable(format!("injected {}", kind.label()));
                     (
                         QueryOutcome::Error,
@@ -705,6 +731,17 @@ impl<'a> ServeLoop<'a> {
                 counter_errors.inc();
                 report.errors += 1;
                 span.attr("outcome", "error");
+                self.telemetry.evlog().event_in(
+                    Level::Error,
+                    &span,
+                    "serving.loop",
+                    "query failed",
+                    &[
+                        ("client", req.client.to_string()),
+                        ("error", body.clone()),
+                        ("seq", seq.to_string()),
+                    ],
+                );
             }
         }
         span.attr("cached", if cached { "1" } else { "0" });

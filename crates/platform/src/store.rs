@@ -7,6 +7,7 @@
 
 use crate::durable::{DurableStorage, WalOp};
 use crate::entity::Entity;
+use crate::evlog::{EvLog, Level};
 use crate::telemetry::{Counter, Gauge, Telemetry};
 use crate::trace::TraceSpan;
 use parking_lot::RwLock;
@@ -34,11 +35,15 @@ struct StoreMetrics {
     delete_miss: Arc<Counter>,
     version_bumps: Arc<Counter>,
     entities: Arc<Gauge>,
+    /// Structured event log: CRUD misses narrate under
+    /// `store.shard:<n>` targets.
+    evlog: Arc<EvLog>,
 }
 
 impl StoreMetrics {
     fn resolve(tele: &Telemetry) -> Self {
         StoreMetrics {
+            evlog: Arc::clone(tele.evlog()),
             inserts: tele.counter("store.insert"),
             get_ok: tele.counter("store.get.ok"),
             get_miss: tele.counter("store.get.miss"),
@@ -134,6 +139,28 @@ impl DataStore {
         &self.shards[self.shard_index(id)]
     }
 
+    /// Emits a warn-level event for a CRUD miss on `id`'s shard, stamped
+    /// with the durable layer's simulated clock when one is attached
+    /// (the plain store has no clock of its own).
+    fn log_miss(&self, op: &str, id: DocId) {
+        if !self.metrics.evlog.enabled() {
+            return;
+        }
+        let sim_ms = self
+            .durability
+            .read()
+            .as_ref()
+            .map(|d| d.sim_now())
+            .unwrap_or(0);
+        self.metrics.evlog.event(
+            Level::Warn,
+            &format!("store.shard:{}", self.shard_index(id)),
+            sim_ms,
+            format!("{op} miss"),
+            &[("doc", id.as_u64().to_string())],
+        );
+    }
+
     /// Ingests an entity: assigns the next id, stores it, returns the id.
     pub fn insert(&self, mut entity: Entity) -> DocId {
         let id = DocId(self.next_id.fetch_add(1, Ordering::Relaxed));
@@ -161,6 +188,7 @@ impl DataStore {
             }
             None => {
                 self.metrics.get_miss.inc();
+                self.log_miss("get", id);
                 Err(Error::NotFound(id.to_string()))
             }
         }
@@ -170,7 +198,9 @@ impl DataStore {
     pub fn update<F: FnOnce(&mut Entity)>(&self, id: DocId, f: F) -> Result<()> {
         let mut guard = self.shard_of(id).entities.write();
         let Some(entity) = guard.get_mut(&id) else {
+            drop(guard);
             self.metrics.update_miss.inc();
+            self.log_miss("update", id);
             return Err(Error::NotFound(id.to_string()));
         };
         f(entity);
@@ -202,7 +232,10 @@ impl DataStore {
                 self.metrics.delete_ok.inc();
                 self.metrics.entities.add(-1);
             }
-            None => self.metrics.delete_miss.inc(),
+            None => {
+                self.metrics.delete_miss.inc();
+                self.log_miss("delete", id);
+            }
         }
         removed
     }

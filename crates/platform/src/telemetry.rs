@@ -26,6 +26,7 @@
 //! one `fetch_add`, and because every recorded value is itself
 //! deterministic, concurrent merging cannot perturb a snapshot.
 
+use crate::evlog::{EvLog, DEFAULT_EVLOG_CAPACITY};
 use crate::trace::{FlightRecorder, TraceId, TraceSpan, DEFAULT_TRACE_CAPACITY};
 use parking_lot::{Mutex, RwLock};
 use serde_json::Value;
@@ -265,6 +266,7 @@ pub struct Telemetry {
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
     recorder: Arc<FlightRecorder>,
+    evlog: Arc<EvLog>,
 }
 
 impl Default for Telemetry {
@@ -274,6 +276,7 @@ impl Default for Telemetry {
             gauges: RwLock::default(),
             histograms: RwLock::default(),
             recorder: FlightRecorder::with_capacity(DEFAULT_TRACE_CAPACITY),
+            evlog: Arc::new(EvLog::with_capacity(DEFAULT_EVLOG_CAPACITY)),
         }
     }
 }
@@ -288,17 +291,30 @@ impl Telemetry {
     /// A registry whose flight recorder retains up to `capacity`
     /// completed spans (0 disables tracing entirely).
     pub fn with_trace_capacity(capacity: usize) -> Arc<Telemetry> {
+        Telemetry::with_capacities(capacity, DEFAULT_EVLOG_CAPACITY)
+    }
+
+    /// A registry with explicit trace and event-log capacities (0
+    /// disables the respective subsystem — the bench harness uses an
+    /// evlog capacity of 0 for its log-off arm).
+    pub fn with_capacities(trace_capacity: usize, evlog_capacity: usize) -> Arc<Telemetry> {
         Arc::new(Telemetry {
             counters: RwLock::default(),
             gauges: RwLock::default(),
             histograms: RwLock::default(),
-            recorder: FlightRecorder::with_capacity(capacity),
+            recorder: FlightRecorder::with_capacity(trace_capacity),
+            evlog: Arc::new(EvLog::with_capacity(evlog_capacity)),
         })
     }
 
     /// The trace flight recorder owned by this registry.
     pub fn recorder(&self) -> &Arc<FlightRecorder> {
         &self.recorder
+    }
+
+    /// The structured event log owned by this registry.
+    pub fn evlog(&self) -> &Arc<EvLog> {
+        &self.evlog
     }
 
     /// Opens a new trace rooted at `name` (one per top-level operation).
@@ -378,6 +394,12 @@ impl Telemetry {
         if recorded > 0 || evicted > 0 {
             counters.insert("trace.spans".to_string(), recorded);
             counters.insert("trace.evicted".to_string(), evicted);
+        }
+        if self.evlog.emitted() > 0 {
+            counters.insert("evlog.emitted".to_string(), self.evlog.emitted());
+            counters.insert("evlog.kept".to_string(), self.evlog.kept());
+            counters.insert("evlog.sampled".to_string(), self.evlog.sampled());
+            counters.insert("evlog.dropped".to_string(), self.evlog.dropped());
         }
         TelemetrySnapshot {
             counters,

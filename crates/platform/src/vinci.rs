@@ -13,6 +13,7 @@
 //! timeout budget. [`ServiceBus::call_detailed`] exposes the full
 //! [`CallOutcome`] (attempts, backoffs, injected faults, simulated time).
 
+use crate::evlog::{EvLog, Level};
 use crate::faults::{CallOutcome, FaultKind, FaultPlan, FaultStream};
 use crate::telemetry::{Counter, Histogram, Telemetry};
 use crate::trace::TraceSpan;
@@ -80,11 +81,15 @@ struct BusMetrics {
     /// Slots follow [`FaultKind`]'s variant order.
     faults: [Arc<Counter>; 4],
     call_sim_ms: Arc<Histogram>,
+    /// Structured event log: call anomalies narrate under
+    /// `bus.svc:<name>` targets.
+    evlog: Arc<EvLog>,
 }
 
 impl BusMetrics {
     fn resolve(tele: &Telemetry) -> Self {
         BusMetrics {
+            evlog: Arc::clone(tele.evlog()),
             calls: tele.counter("bus.calls"),
             ok: tele.counter("bus.ok"),
             errors: tele.counter("bus.errors"),
@@ -222,6 +227,37 @@ impl ServiceBus {
             .add(errors.saturating_sub(prev));
     }
 
+    /// Emits a structured event for a call anomaly: correlated to the
+    /// call's span when traced (so `wfsm logs --trace N` joins back to
+    /// the flight recorder), stamped with the in-call simulated offset
+    /// otherwise.
+    fn log_call_event(
+        &self,
+        name: &str,
+        level: Level,
+        span: Option<&TraceSpan>,
+        offset_ms: u64,
+        message: &str,
+        fields: &[(&str, String)],
+    ) {
+        if !self.metrics.evlog.enabled() {
+            return;
+        }
+        let target = format!("bus.svc:{name}");
+        match span {
+            Some(s) => {
+                self.metrics
+                    .evlog
+                    .event_in(level, s, &target, message, fields);
+            }
+            None => {
+                self.metrics
+                    .evlog
+                    .event(level, &target, offset_ms, message, fields);
+            }
+        }
+    }
+
     /// Calls a service by name (retrying per the installed policy when a
     /// fault plan is active).
     pub fn call(&self, name: &str, request: &Value) -> Result<Value> {
@@ -264,10 +300,23 @@ impl ServiceBus {
         let entry = match self.services.read().get(name).cloned() {
             Some(entry) => entry,
             None => {
-                if let Some(parent) = parent {
-                    let mut span = parent.child(format!("bus:{name}#0"));
-                    span.event("error: no such service");
-                    span.finish();
+                match parent {
+                    Some(parent) => {
+                        let mut span = parent.child(format!("bus:{name}#0"));
+                        span.event("error: no such service");
+                        self.log_call_event(
+                            name,
+                            Level::Error,
+                            Some(&span),
+                            0,
+                            "no such service",
+                            &[],
+                        );
+                        span.finish();
+                    }
+                    None => {
+                        self.log_call_event(name, Level::Error, None, 0, "no such service", &[])
+                    }
                 }
                 self.metrics.errors.inc();
                 return (
@@ -288,6 +337,22 @@ impl ServiceBus {
         };
         let policy = self.retry_policy();
         let result = self.drive_call(name, &entry, request, policy, &mut outcome, span.as_mut());
+        if let Err(err) = &result {
+            // timeouts already logged an error-level record in drive_call
+            if !matches!(err, Error::Timeout(_)) {
+                self.log_call_event(
+                    name,
+                    Level::Error,
+                    span.as_ref(),
+                    outcome.sim_elapsed_ms,
+                    "call failed",
+                    &[
+                        ("attempts", outcome.attempts.to_string()),
+                        ("error", err.to_string()),
+                    ],
+                );
+            }
+        }
         if result.is_err() {
             entry.errors.fetch_add(1, Ordering::Relaxed);
         }
@@ -357,6 +422,17 @@ impl ServiceBus {
                 if let Some(s) = span.as_deref_mut() {
                     s.event(format!("fault:{}", kind.label()));
                 }
+                self.log_call_event(
+                    name,
+                    Level::Warn,
+                    span.as_deref(),
+                    outcome.sim_elapsed_ms,
+                    "fault injected",
+                    &[
+                        ("attempt", outcome.attempts.to_string()),
+                        ("kind", kind.label().to_string()),
+                    ],
+                );
             }
             let latency = stream.as_ref().map(|s| s.latency_ms(fault)).unwrap_or(0);
             outcome.sim_elapsed_ms += latency;
@@ -367,6 +443,17 @@ impl ServiceBus {
                 if let Some(s) = span.as_deref_mut() {
                     s.event("timeout");
                 }
+                self.log_call_event(
+                    name,
+                    Level::Error,
+                    span.as_deref(),
+                    outcome.sim_elapsed_ms,
+                    "call timeout",
+                    &[
+                        ("budget_ms", policy.timeout_budget_ms.to_string()),
+                        ("elapsed_ms", outcome.sim_elapsed_ms.to_string()),
+                    ],
+                );
                 return Err(Error::Timeout(format!(
                     "call to {name} exceeded {} sim ms",
                     policy.timeout_budget_ms
@@ -399,10 +486,32 @@ impl ServiceBus {
                         s.event(format!("retry:{} backoff:{backoff}ms", outcome.retries));
                         s.advance(backoff);
                     }
+                    self.log_call_event(
+                        name,
+                        Level::Info,
+                        span.as_deref(),
+                        outcome.sim_elapsed_ms,
+                        "retrying transient failure",
+                        &[
+                            ("backoff_ms", backoff.to_string()),
+                            ("retry", outcome.retries.to_string()),
+                        ],
+                    );
                     if outcome.sim_elapsed_ms > policy.timeout_budget_ms {
                         if let Some(s) = span.as_deref_mut() {
                             s.event("timeout");
                         }
+                        self.log_call_event(
+                            name,
+                            Level::Error,
+                            span.as_deref(),
+                            outcome.sim_elapsed_ms,
+                            "call timeout",
+                            &[
+                                ("budget_ms", policy.timeout_budget_ms.to_string()),
+                                ("elapsed_ms", outcome.sim_elapsed_ms.to_string()),
+                            ],
+                        );
                         return Err(Error::Timeout(format!(
                             "call to {name} exceeded {} sim ms while backing off",
                             policy.timeout_budget_ms

@@ -134,6 +134,19 @@ macro_rules! range_strategy {
 }
 range_strategy!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
 
+macro_rules! tuple_strategy {
+    ($(($($s:ident $v:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!((A a, B b) (A a, B b, C c) (A a, B b, C c, D d));
+
 /// `prop::collection` and friends.
 pub mod prop {
     pub mod collection {
@@ -304,6 +317,17 @@ mod tests {
         #[test]
         fn vec_strategy_sizes(v in prop::collection::vec("[xy]{1,2}", 2..5)) {
             prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn tuple_strategies_compose(
+            pair in (0u8..4, 10u64..20),
+            v in prop::collection::vec((0u8..4, "[ab]{1,1}", 5i32..8), 1..4),
+        ) {
+            prop_assert!(pair.0 < 4 && (10..20).contains(&pair.1));
+            for (n, s, i) in &v {
+                prop_assert!(*n < 4 && s.len() == 1 && (5..8).contains(i));
+            }
         }
 
         #[test]

@@ -1,0 +1,287 @@
+//! Acceptance suite for the structured event log (`wf_platform::evlog`)
+//! added by this PR — the third observability pillar next to metrics
+//! (`timeseries`) and traces (`trace`/`profile`).
+//!
+//! Locks down the PR's guarantees end to end:
+//!
+//! 1. **Conservation law** (property) — `emitted = kept + sampled +
+//!    dropped` holds under random emission plans across arbitrary
+//!    capacities and sampling budgets, and a zero-capacity log stays
+//!    silent (`emitted == 0`).
+//! 2. **Sampling determinism** (property) — replaying the same emission
+//!    plan yields the identical canonical snapshot, byte for byte.
+//! 3. **Chaos goldens** — the pinned chaos serving scenario's event log
+//!    matches `tests/golden/evlog_snapshot.json` byte for byte
+//!    (`UPDATE_GOLDEN=1` regens), double runs are byte-identical in
+//!    both text and JSON, and the JSON export round-trips through
+//!    `from_json_str` to the same bytes (parse ↔ export fixpoint).
+//! 4. **Trace correlation** — every `error`-level record emitted from a
+//!    traced path carries a trace ID that resolves in the flight
+//!    recorder (`wfsm trace` can dump the owning trace).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use wf_platform::{
+    Annotation, DataStore, Entity, EvLog, EvLogSnapshot, FaultPlan, Level, LogFilter, NodeHealth,
+    ServeLoop, ServingConfig, SourceKind, Telemetry, TimeSeriesStore,
+};
+use wf_sentiment::{SentimentServingBackend, ShardedSentimentIndex};
+use wf_types::Polarity;
+
+// ---------------------------------------------------------------------
+// fixtures: the pinned chaos serving scenario (same shape as
+// tests/timeline_profile.rs so the goldens describe one run family)
+// ---------------------------------------------------------------------
+
+const CHAOS_SEED: u64 = 20050405;
+const SUBJECTS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+const POLARITIES: [Polarity; 3] = [Polarity::Positive, Polarity::Negative, Polarity::Neutral];
+
+fn seeded_store(shards: usize, marks: &[usize]) -> DataStore {
+    let store = DataStore::new(shards).unwrap();
+    for (i, &mark) in marks.iter().enumerate() {
+        let subject = SUBJECTS[mark % 4];
+        let polarity = POLARITIES[(mark / 4) % 3];
+        let text = format!("document {i} mentions {subject} here");
+        let mut entity = Entity::new(format!("test://evlog/{i}"), SourceKind::Web, &text);
+        entity.annotate(
+            Annotation::new("sentiment", wf_types::Span::new(0, text.len()))
+                .with_attr("subject", subject.to_string())
+                .with_attr("polarity", polarity.to_string()),
+        );
+        store.insert(entity);
+    }
+    store
+}
+
+fn full_workload() -> Vec<String> {
+    let mut pool: Vec<String> = SUBJECTS
+        .iter()
+        .map(|s| format!("sentiment of {s}"))
+        .collect();
+    pool.push("sentiment of alpha".to_string());
+    pool.push("sentiment of alpha".to_string());
+    pool.push("top 2 +".to_string());
+    pool.push("top 3 -".to_string());
+    pool.push("sentiment of zorblax".to_string());
+    pool
+}
+
+fn chaos_backend() -> SentimentServingBackend {
+    let marks: Vec<usize> = (0..24).map(|i| i % 12).collect();
+    SentimentServingBackend::new(ShardedSentimentIndex::build_from_store(&seeded_store(
+        4, &marks,
+    )))
+}
+
+fn chaos_config() -> ServingConfig {
+    ServingConfig {
+        seed: CHAOS_SEED,
+        clients: 6,
+        qps: 800,
+        requests: 240,
+        cache_capacity: 8,
+        queue_capacity: 32,
+        ..ServingConfig::default()
+    }
+}
+
+/// Chaos serving run: returns the telemetry registry whose event log
+/// observed the shed / fault / shard-loss decisions.
+fn observed_chaos_run() -> Arc<Telemetry> {
+    let backend = chaos_backend();
+    let telemetry = Telemetry::new();
+    let timeline = Arc::new(TimeSeriesStore::new(64, 20));
+    ServeLoop::new(
+        &backend,
+        Arc::clone(&telemetry),
+        chaos_config(),
+        full_workload(),
+    )
+    .with_timeline(Arc::clone(&timeline))
+    .with_fault_plan(FaultPlan::uniform(CHAOS_SEED, 0.15))
+    .with_trigger(80, || backend.set_shard_health(1, NodeHealth::Degraded))
+    .with_trigger(120, || backend.set_shard_health(2, NodeHealth::Down))
+    .run()
+    .unwrap();
+    telemetry
+}
+
+// ---------------------------------------------------------------------
+// 1 + 2. conservation law and replay determinism (properties)
+// ---------------------------------------------------------------------
+
+/// One random emission plan entry: (level pick, target pick, sim-ms
+/// step). Levels and targets cycle through fixed pools so token-bucket
+/// state is exercised per (target, level) pair.
+type PlanEntry = (u8, u8, u64);
+
+const PLAN_LEVELS: [Level; 4] = [Level::Error, Level::Warn, Level::Info, Level::Debug];
+const PLAN_TARGETS: [&str; 3] = ["bus.svc:probe", "miner.shard:0", "serving.loop"];
+
+fn replay(plan: &[PlanEntry], capacity: usize, burst: u64, refill_ms: u64) -> EvLog {
+    let log = EvLog::with_capacity(capacity).with_sampling(burst, refill_ms);
+    let mut now = 0u64;
+    for (i, &(level, target, step)) in plan.iter().enumerate() {
+        now += step;
+        log.event(
+            PLAN_LEVELS[level as usize % PLAN_LEVELS.len()],
+            PLAN_TARGETS[target as usize % PLAN_TARGETS.len()],
+            now,
+            format!("event {i}"),
+            &[("seq", i.to_string())],
+        );
+    }
+    log
+}
+
+proptest! {
+    /// Every emission is accounted for exactly once: kept in the ring,
+    /// suppressed by the sampler, or displaced by capacity.
+    #[test]
+    fn emission_counters_obey_conservation(
+        plan in prop::collection::vec((0u8..8, 0u8..8, 0u64..16), 1..120),
+        capacity in 1usize..48,
+        burst in 1u64..12,
+        refill_ms in 1u64..10,
+    ) {
+        let log = replay(&plan, capacity, burst, refill_ms);
+        prop_assert_eq!(log.emitted(), plan.len() as u64);
+        prop_assert_eq!(log.emitted(), log.kept() + log.sampled() + log.dropped());
+        prop_assert!(log.kept() <= capacity as u64, "ring can keep at most capacity");
+        let snapshot = log.snapshot();
+        prop_assert!(snapshot.conserved(), "snapshot must carry the conservation law");
+        prop_assert_eq!(snapshot.records.len() as u64, log.kept());
+    }
+
+    /// Same plan, same budgets ⇒ the same canonical snapshot. The
+    /// token-bucket sampler keys off the simulated clock only, so a
+    /// replay cannot diverge.
+    #[test]
+    fn same_plan_replays_to_identical_snapshot(
+        plan in prop::collection::vec((0u8..8, 0u8..8, 0u64..16), 1..80),
+        capacity in 1usize..32,
+        burst in 1u64..8,
+        refill_ms in 1u64..10,
+    ) {
+        let a = replay(&plan, capacity, burst, refill_ms).snapshot();
+        let b = replay(&plan, capacity, burst, refill_ms).snapshot();
+        prop_assert_eq!(a.to_json_string(), b.to_json_string());
+    }
+
+    /// Capacity zero disables the log entirely — the bench "log-off"
+    /// arm: no records, no counters, no overhead accounting.
+    #[test]
+    fn zero_capacity_log_stays_silent(
+        plan in prop::collection::vec((0u8..8, 0u8..8, 0u64..16), 1..40),
+    ) {
+        let log = replay(&plan, 0, 4, 8);
+        prop_assert!(!log.enabled());
+        prop_assert_eq!(log.emitted(), 0);
+        prop_assert_eq!(log.snapshot().records.len(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. pinned chaos run: golden + byte-identical double export + fixpoint
+// ---------------------------------------------------------------------
+
+/// Same seed, same bytes, for both export formats.
+#[test]
+fn chaos_evlog_exports_are_byte_identical() {
+    let a = observed_chaos_run().evlog().snapshot();
+    let b = observed_chaos_run().evlog().snapshot();
+    assert_eq!(a.to_text(), b.to_text(), "text export drifted");
+    assert_eq!(
+        a.to_json_string(),
+        b.to_json_string(),
+        "json export drifted"
+    );
+    assert!(a.emitted > 0, "chaos run must emit events");
+    assert!(a.conserved(), "emitted != kept + sampled + dropped");
+    assert!(
+        a.records.iter().any(|r| r.target == "serving.loop"),
+        "serving loop must log its shed/fault/error decisions"
+    );
+}
+
+/// The pinned scenario's event log matches the checked-in golden byte
+/// for byte. `UPDATE_GOLDEN=1` regenerates.
+#[test]
+fn chaos_evlog_matches_golden() {
+    let json = observed_chaos_run().evlog().snapshot().to_json_string();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/evlog_snapshot.json"
+    );
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(path, &json).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden exists; UPDATE_GOLDEN=1 to create");
+    assert_eq!(
+        json, golden,
+        "event log drifted from golden; UPDATE_GOLDEN=1 to regen"
+    );
+}
+
+/// parse ↔ export fixpoint: the JSON export re-parses to an equal
+/// snapshot whose re-export is byte-identical.
+#[test]
+fn evlog_json_round_trips_byte_identically() {
+    let snapshot = observed_chaos_run().evlog().snapshot();
+    let json = snapshot.to_json_string();
+    let parsed = EvLogSnapshot::from_json_str(&json).expect("export must re-parse");
+    assert_eq!(parsed, snapshot, "parsed snapshot differs");
+    assert_eq!(parsed.to_json_string(), json, "re-export differs");
+}
+
+/// Filtering is a view, not a re-run: counters still describe the full
+/// log, and a filtered export stays within the filter.
+#[test]
+fn filtered_view_keeps_conservation_header() {
+    let snapshot = observed_chaos_run().evlog().snapshot();
+    let mut filter = LogFilter {
+        max_level: Some(Level::Warn),
+        ..LogFilter::default()
+    };
+    filter.add_term("kind=node_down").unwrap();
+    let view = snapshot.filtered(&filter);
+    assert_eq!(view.emitted, snapshot.emitted, "counters must not shrink");
+    assert!(view.records.len() < snapshot.records.len());
+    for r in &view.records {
+        assert!(r.level.rank() <= Level::Warn.rank(), "level leaked: {r:?}");
+        assert_eq!(r.fields.get("kind").map(String::as_str), Some("node_down"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// 4. trace correlation: error records resolve in the flight recorder
+// ---------------------------------------------------------------------
+
+/// Every error-level record from a traced path carries a trace ID the
+/// flight recorder can resolve — `wfsm logs` lines point at dumpable
+/// `wfsm trace` waterfalls.
+#[test]
+fn error_records_resolve_in_flight_recorder() {
+    let telemetry = observed_chaos_run();
+    let recorder = telemetry.recorder();
+    let records = telemetry.evlog().records();
+    let errors_with_trace = records
+        .iter()
+        .filter(|r| r.level == Level::Error && r.trace.is_some())
+        .count();
+    assert!(errors_with_trace > 0, "chaos run must log traced errors");
+    for record in &records {
+        if record.level == Level::Error {
+            let trace = record
+                .trace
+                .expect("serving-path errors are emitted inside spans");
+            assert!(
+                recorder.contains_trace(trace),
+                "trace {trace:?} of {:?} not resolvable in recorder",
+                record.message
+            );
+        }
+    }
+}

@@ -21,6 +21,11 @@ run in a current directory:
   the per-key tolerance this compares two timings from the same machine
   and run, so it holds regardless of how fast the CI host is.
 
+With ``--diff-verdict FILE`` (repeatable) the gate additionally consumes
+``wfsm diff --format json`` outputs: each file must carry a ``verdict``
+of ``ok`` — ``changed`` or ``regressed`` fails the gate, with the diff's
+own stage/counter attribution echoed into the failure list.
+
 With ``--expect`` the gate also pins the artifact set: every listed
 name must exist in both directories, and any ``BENCH_*.json`` found in
 either directory but not listed fails the gate. Without an explicit
@@ -102,6 +107,34 @@ def check_speedup_floor(name, cur, failures):
         )
 
 
+def check_diff_verdict(path, failures):
+    """Consumes one ``wfsm diff --format json`` artifact: verdict must be ok."""
+    try:
+        diff = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        failures.append(f"{path}: cannot read diff verdict: {err}")
+        return
+    verdict = diff.get("verdict") if isinstance(diff, dict) else None
+    if verdict == "ok":
+        return
+    if verdict not in ("changed", "regressed"):
+        failures.append(f"{path}: not a wfsm diff artifact (verdict {verdict!r})")
+        return
+    failures.append(f"{path}: run diff verdict is {verdict!r} (want 'ok')")
+    for stage in diff.get("stages", []):
+        failures.append(
+            f"{path}: stage {stage.get('path')!r} self "
+            f"{stage.get('self_ms_a')}ms -> {stage.get('self_ms_b')}ms "
+            f"({stage.get('delta_ms'):+}ms)"
+        )
+    for section in ("counters", "gauges"):
+        for delta in diff.get(section, []):
+            failures.append(
+                f"{path}: {section[:-1]} {delta.get('name')!r} "
+                f"{delta.get('a')} -> {delta.get('b')}"
+            )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, help="directory of checked-in BENCH_*.json")
@@ -125,6 +158,13 @@ def main():
         metavar="NAMES",
         help="comma-separated BENCH_*.json names that must be gated (repeatable); "
         "any artifact in either directory but not listed fails the gate",
+    )
+    parser.add_argument(
+        "--diff-verdict",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="wfsm diff --format json output that must report verdict 'ok' (repeatable)",
     )
     args = parser.parse_args()
 
@@ -175,6 +215,9 @@ def main():
             return 2
         walk(name, base, cur, failures, args.tolerance, args.floor_us)
         check_speedup_floor(name, cur, failures)
+
+    for verdict_path in args.diff_verdict or []:
+        check_diff_verdict(verdict_path, failures)
 
     for extra in sorted(p.name for p in current_dir.glob("BENCH_*.json")):
         if expected is not None and extra not in expected:
